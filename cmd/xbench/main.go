@@ -1,0 +1,361 @@
+// Command xbench regenerates the paper's evaluation: Table I (crossbar
+// and ring routers without PDNs), Table II (ORNoC vs XRing with PDNs,
+// 8/16/32 nodes), Table III (ORing vs XRing, 16 nodes), and the
+// ablation studies of the design choices called out in DESIGN.md.
+//
+// Usage:
+//
+//	xbench             # all tables
+//	xbench -table 1    # a single table
+//	xbench -ablation   # ablation study only
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+	"time"
+
+	"xring"
+	"xring/internal/report"
+)
+
+// floorplanKind selects regular grids (the default) or irregular
+// placements (the paper's motivating hard case, where shortcut gains
+// are largest).
+var floorplanKind = flag.String("floorplan", "grid", "floorplan family: grid or irregular")
+
+// networkFor returns the evaluation floorplan for n nodes.
+func networkFor(n int) *xring.Network {
+	if *floorplanKind == "irregular" {
+		switch n {
+		case 8:
+			return xring.Irregular(8, 12, 12, 2.5, 3)
+		case 16:
+			return xring.Irregular(16, 16, 16, 2.5, 5)
+		case 32:
+			return xring.Irregular(32, 24, 24, 2.5, 2)
+		}
+	}
+	switch n {
+	case 8:
+		return xring.Floorplan8()
+	case 16:
+		return xring.Floorplan16()
+	default:
+		return xring.Floorplan32()
+	}
+}
+
+func main() {
+	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3 or all")
+	ablation := flag.Bool("ablation", false, "run the ablation study instead of the paper tables")
+	sweep := flag.Bool("sweep", false, "print the full #wl sweep curve for the 16-node XRing instead of the tables")
+	flag.Parse()
+
+	if *ablation {
+		runAblation(os.Stdout)
+		return
+	}
+	if *sweep {
+		runSweepCurve(os.Stdout)
+		return
+	}
+	switch *table {
+	case "1":
+		table1(os.Stdout)
+	case "2":
+		table2(os.Stdout)
+	case "3":
+		table3(os.Stdout)
+	case "all":
+		table1(os.Stdout)
+		fmt.Println()
+		table2(os.Stdout)
+		fmt.Println()
+		table3(os.Stdout)
+		fmt.Println()
+		runAblation(os.Stdout)
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
+		os.Exit(2)
+	}
+}
+
+func wlCandidates(n int) []int {
+	var out []int
+	for wl := 1; wl <= n; wl++ {
+		if n > 16 && wl%2 == 1 {
+			continue // thin the 32-node sweep
+		}
+		out = append(out, wl)
+	}
+	return out
+}
+
+// ringBaselineSweep picks the best baseline setting under an objective.
+type baselineRun struct {
+	res   *xring.BaselineResult
+	maxWL int
+	time  time.Duration
+}
+
+func sweepBaseline(name string, synth func(maxWL int) (*xring.BaselineResult, error),
+	n int, better func(a, b *xring.BaselineResult) bool) *baselineRun {
+	var best *baselineRun
+	for _, wl := range wlCandidates(n) {
+		t0 := time.Now()
+		r, err := synth(wl)
+		el := time.Since(t0)
+		if err != nil {
+			continue
+		}
+		if best == nil || better(r, best.res) {
+			best = &baselineRun{res: r, maxWL: wl, time: el}
+		}
+	}
+	if best == nil {
+		panic("no feasible setting for " + name)
+	}
+	return best
+}
+
+func minIL(a, b *xring.BaselineResult) bool { return a.Loss.WorstIL < b.Loss.WorstIL }
+func minP(a, b *xring.BaselineResult) bool {
+	return a.Loss.TotalPowerMW < b.Loss.TotalPowerMW
+}
+func maxSNR(a, b *xring.BaselineResult) bool {
+	if a.Xtalk.WorstSNR != b.Xtalk.WorstSNR {
+		return a.Xtalk.WorstSNR > b.Xtalk.WorstSNR
+	}
+	return a.Loss.TotalPowerMW < b.Loss.TotalPowerMW
+}
+
+// table1 reproduces Table I: 8- and 16-node routers without PDNs.
+func table1(w *os.File) {
+	fmt.Fprintln(w, "TABLE I — WRONoC routers without PDNs")
+	fmt.Fprintln(w, "(paper Sec. IV-A; loss parameters after PROTON+ [15])")
+	par := xring.TableIParams()
+
+	for _, n := range []int{8, 16} {
+		net := networkFor(n)
+		tb := &report.Table{
+			Title:  fmt.Sprintf("\n%d-node network", n),
+			Header: []string{"Tool/Method", "Router", "#wl", "il_w", "L", "C", "T"},
+		}
+
+		type cbRow struct {
+			tool   string
+			kind   xring.CrossbarKind
+			mapper xring.CrossbarMapper
+		}
+		rows := []cbRow{
+			{"Proton+", xring.LambdaRouter, xring.MapperMatrix},
+			{"PlanarONoC", xring.LambdaRouter, xring.MapperPlanar},
+		}
+		if n == 8 {
+			rows = append(rows, cbRow{"ToPro", xring.GWOR, xring.MapperProjection})
+		} else {
+			rows = append(rows, cbRow{"ToPro", xring.Light, xring.MapperProjection})
+		}
+		for _, r := range rows {
+			t0 := time.Now()
+			res, err := xring.SynthesizeCrossbar(net, r.kind, r.mapper, par)
+			el := time.Since(t0)
+			if err != nil {
+				fmt.Fprintf(w, "%s failed: %v\n", r.tool, err)
+				continue
+			}
+			tb.AddRow(r.tool, res.Kind.String(), report.D(res.Wavelengths),
+				report.F(res.WorstIL, 1), report.F(res.WorstLen, 1),
+				report.D(res.WorstCrossings), report.Seconds(el.Seconds()))
+		}
+
+		// Ring baselines: sweep #wl for minimum worst-case IL.
+		on := sweepBaseline("ornoc", func(wl int) (*xring.BaselineResult, error) {
+			return xring.SynthesizeORNoC(net, par, wl, false)
+		}, n, minIL)
+		tb.AddRow("ORNoC", "ring", report.D(on.res.Loss.WavelengthCount),
+			report.F(on.res.Loss.WorstIL, 1), report.F(on.res.Loss.WorstLen, 1),
+			report.D(on.res.Loss.WorstCrossings), report.Seconds(on.time.Seconds()))
+
+		og := sweepBaseline("oring", func(wl int) (*xring.BaselineResult, error) {
+			return xring.SynthesizeORing(net, par, wl, false)
+		}, n, minIL)
+		tb.AddRow("ORing", "ring", report.D(og.res.Loss.WavelengthCount),
+			report.F(og.res.Loss.WorstIL, 1), report.F(og.res.Loss.WorstLen, 1),
+			report.D(og.res.Loss.WorstCrossings), report.Seconds(og.time.Seconds()))
+
+		parCopy := par
+		t0 := time.Now()
+		xr, _, err := xring.Sweep(net, xring.Options{Par: &parCopy}, xring.MinWorstIL, wlCandidates(n))
+		el := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(w, "XRing failed: %v\n", err)
+			continue
+		}
+		tb.AddRow("XRing", "ring", report.D(xr.Loss.WavelengthCount),
+			report.F(xr.Loss.WorstIL, 1), report.F(xr.Loss.WorstLen, 1),
+			report.D(xr.Loss.WorstCrossings), report.Seconds(el.Seconds()))
+		fmt.Fprint(w, tb.String())
+	}
+}
+
+// table2 reproduces Table II: ORNoC vs XRing with PDNs, 8/16/32 nodes.
+func table2(w *os.File) {
+	fmt.Fprintln(w, "TABLE II — ORNoC vs XRing with PDNs (8-, 16-, 32-node networks)")
+	par := xring.DefaultParams()
+	for _, n := range []int{8, 16, 32} {
+		net := networkFor(n)
+		for _, setting := range []struct {
+			name   string
+			better func(a, b *xring.BaselineResult) bool
+			obj    xring.Objective
+		}{
+			{"min. power", minP, xring.MinPower},
+			{"max. SNR", maxSNR, xring.MaxSNR},
+		} {
+			tb := &report.Table{
+				Title:  fmt.Sprintf("\nThe setting for %s for %d-node networks", setting.name, n),
+				Header: []string{"", "#wl", "il_w*", "L", "C", "P(mW)", "#s", "SNR_w", "noise-free", "T"},
+			}
+			on := sweepBaseline("ornoc", func(wl int) (*xring.BaselineResult, error) {
+				return xring.SynthesizeORNoC(net, par, wl, true)
+			}, n, setting.better)
+			tb.AddRow("ORNoC", report.D(on.res.Loss.WavelengthCount),
+				report.F(on.res.Loss.WorstIL, 2), report.F(on.res.Loss.WorstLen, 1),
+				report.D(on.res.Loss.WorstCrossings), report.F(on.res.Loss.TotalPowerMW, 3),
+				report.D(on.res.Xtalk.NumNoisy), report.F(on.res.Xtalk.WorstSNR, 1),
+				report.Pct(on.res.Xtalk.NoiseFreeFrac), report.Seconds(on.time.Seconds()))
+
+			t0 := time.Now()
+			xr, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, setting.obj, wlCandidates(n))
+			el := time.Since(t0)
+			if err != nil {
+				fmt.Fprintf(w, "XRing failed: %v\n", err)
+				continue
+			}
+			tb.AddRow("XRing", report.D(xr.Loss.WavelengthCount),
+				report.F(xr.Loss.WorstIL, 2), report.F(xr.Loss.WorstLen, 1),
+				report.D(xr.Loss.WorstCrossings), report.F(xr.Loss.TotalPowerMW, 3),
+				report.D(xr.Xtalk.NumNoisy), report.F(xr.Xtalk.WorstSNR, 1),
+				report.Pct(xr.Xtalk.NoiseFreeFrac), report.Seconds(el.Seconds()))
+			fmt.Fprint(w, tb.String())
+		}
+	}
+}
+
+// table3 reproduces Table III: ORing vs XRing, 16 nodes, with PDNs.
+func table3(w *os.File) {
+	fmt.Fprintln(w, "TABLE III — ORing vs XRing with PDNs (16-node network)")
+	par := xring.DefaultParams()
+	net := networkFor(16)
+	for _, setting := range []struct {
+		name   string
+		better func(a, b *xring.BaselineResult) bool
+		obj    xring.Objective
+	}{
+		{"min. power", minP, xring.MinPower},
+		{"max. SNR", maxSNR, xring.MaxSNR},
+	} {
+		tb := &report.Table{
+			Title:  fmt.Sprintf("\nThe setting for %s", setting.name),
+			Header: []string{"", "#wl", "il_w*", "L", "C", "P(mW)", "#s", "SNR_w", "noise-free", "T"},
+		}
+		og := sweepBaseline("oring", func(wl int) (*xring.BaselineResult, error) {
+			return xring.SynthesizeORing(net, par, wl, true)
+		}, 16, setting.better)
+		tb.AddRow("ORing", report.D(og.res.Loss.WavelengthCount),
+			report.F(og.res.Loss.WorstIL, 2), report.F(og.res.Loss.WorstLen, 1),
+			report.D(og.res.Loss.WorstCrossings), report.F(og.res.Loss.TotalPowerMW, 3),
+			report.D(og.res.Xtalk.NumNoisy), report.F(og.res.Xtalk.WorstSNR, 1),
+			report.Pct(og.res.Xtalk.NoiseFreeFrac), report.Seconds(og.time.Seconds()))
+
+		t0 := time.Now()
+		xr, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, setting.obj, wlCandidates(16))
+		el := time.Since(t0)
+		if err != nil {
+			fmt.Fprintf(w, "XRing failed: %v\n", err)
+			continue
+		}
+		tb.AddRow("XRing", report.D(xr.Loss.WavelengthCount),
+			report.F(xr.Loss.WorstIL, 2), report.F(xr.Loss.WorstLen, 1),
+			report.D(xr.Loss.WorstCrossings), report.F(xr.Loss.TotalPowerMW, 3),
+			report.D(xr.Xtalk.NumNoisy), report.F(xr.Xtalk.WorstSNR, 1),
+			report.Pct(xr.Xtalk.NoiseFreeFrac), report.Seconds(el.Seconds()))
+		fmt.Fprint(w, tb.String())
+	}
+}
+
+// runAblation exercises the design choices DESIGN.md calls out:
+// shortcuts, CSE merging, openings + tree PDN, and the Eq. (3) conflict
+// constraints.
+func runAblation(w *os.File) {
+	fmt.Fprintln(w, "ABLATION — XRing design choices (16-node network, #wl swept for min power)")
+	net := networkFor(16)
+	variants := []struct {
+		name string
+		opt  xring.Options
+	}{
+		{"full XRing", xring.Options{WithPDN: true}},
+		{"no shortcuts", xring.Options{WithPDN: true, DisableShortcuts: true}},
+		{"no CSE merging", xring.Options{WithPDN: true, NoCSE: true}},
+		{"comb PDN (no openings)", xring.Options{WithPDN: true, NoOpenings: true}},
+		{"no conflict constraints", xring.Options{WithPDN: true, DisableConflicts: true}},
+	}
+	tb := &report.Table{
+		Header: []string{"variant", "#wl", "il_w*", "L", "C(total)", "P(mW)", "#s", "SNR_w", "T"},
+	}
+	for _, v := range variants {
+		t0 := time.Now()
+		res, _, err := xring.Sweep(net, v.opt, xring.MinPower, wlCandidates(16))
+		el := time.Since(t0)
+		if err != nil {
+			tb.AddRow(v.name, "-", "-", "-", "-", "-", "-", "-", "failed: "+err.Error())
+			continue
+		}
+		snr := res.Xtalk.WorstSNR
+		if math.IsInf(snr, 1) {
+			snr = math.Inf(1) // rendered as "-"
+		}
+		tb.AddRow(v.name, report.D(res.Loss.WavelengthCount),
+			report.F(res.Loss.WorstIL, 2), report.F(res.Loss.WorstLen, 1),
+			report.D(res.Design.TotalCrossings()),
+			report.F(res.Loss.TotalPowerMW, 3), report.D(res.Xtalk.NumNoisy),
+			report.F(snr, 1), report.Seconds(el.Seconds()))
+	}
+	fmt.Fprint(w, tb.String())
+}
+
+// runSweepCurve prints the raw design-space data behind the paper's
+// "#wl setting" selection: every (#wl, packing policy) point of the
+// 16-node XRing with PDN, with the metrics both objectives look at.
+func runSweepCurve(w *os.File) {
+	fmt.Fprintln(w, "SWEEP — 16-node XRing with tree PDN, all #wl settings and packing policies")
+	net := networkFor(16)
+	tb := &report.Table{
+		Header: []string{"#wl", "policy", "waveguides", "il_w*", "L", "P(mW)", "#s", "noise-free", "feasible"},
+	}
+	for wl := 1; wl <= 16; wl++ {
+		for _, share := range []bool{false, true} {
+			policy := "fresh"
+			if share {
+				policy = "share"
+			}
+			res, err := xring.Synthesize(net, xring.Options{
+				MaxWL: wl, WithPDN: true, ShareWavelengths: share,
+			})
+			if err != nil {
+				tb.AddRow(report.D(wl), policy, "-", "-", "-", "-", "-", "-", "no")
+				continue
+			}
+			tb.AddRow(report.D(wl), policy,
+				report.D(len(res.Design.Waveguides)),
+				report.F(res.Loss.WorstIL, 2), report.F(res.Loss.WorstLen, 1),
+				report.F(res.Loss.TotalPowerMW, 3), report.D(res.Xtalk.NumNoisy),
+				report.Pct(res.Xtalk.NoiseFreeFrac), "yes")
+		}
+	}
+	fmt.Fprint(w, tb.String())
+}

@@ -1,0 +1,209 @@
+// Command xfig regenerates the scenarios behind the paper's
+// methodology figures as SVG files plus printed metrics:
+//
+//	Fig. 2 — ring waveguide quality on 16 regularly-aligned nodes:
+//	         (a) the optimal minimum-length crossing-free tour,
+//	         (b) a sub-optimal tour with a long detour,
+//	         (c) a sub-optimal tour with a waveguide crossing;
+//	Fig. 7 — two crossing shortcuts merged with CSEs;
+//	Fig. 8 — ring waveguide openings at least-passed nodes;
+//	Fig. 9 — the binary splitter-tree PDN of one ring waveguide.
+//
+// Usage:
+//
+//	xfig [-outdir figures]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"xring"
+	"xring/internal/geom"
+	"xring/internal/mapping"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/phys"
+	"xring/internal/ring"
+	"xring/internal/router"
+	"xring/internal/viz"
+)
+
+func main() {
+	outdir := flag.String("outdir", "figures", "directory for the SVG files")
+	flag.Parse()
+	if err := os.MkdirAll(*outdir, 0o755); err != nil {
+		fatal(err)
+	}
+	fig2(*outdir)
+	fig7(*outdir)
+	fig8()
+	fig9()
+}
+
+func write(outdir, name, svg string) {
+	path := filepath.Join(outdir, name)
+	if err := os.WriteFile(path, []byte(svg), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  wrote %s\n", path)
+}
+
+// fig2 contrasts the optimal tour with a detouring and a crossing tour
+// on the 16-node grid (the paper's Fig. 2 uses 16 regularly aligned
+// nodes).
+func fig2(outdir string) {
+	fmt.Println("Fig. 2 — ring waveguide construction quality (16 aligned nodes)")
+	net := noc.Floorplan16()
+	opt, err := ring.Construct(net, ring.Options{})
+	if err != nil {
+		fatal(err)
+	}
+	dOpt, err := router.NewDesign(net, phys.Default(), opt.Tour, opt.Orders)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("  (a) optimal tour: %.1f mm, crossing-free: %v\n",
+		opt.Length, dOpt.Validate() == nil)
+	write(outdir, "fig2a_optimal.svg", viz.SVG(dOpt))
+
+	// (b) long detour: swap two distant tour positions. The tour stays
+	// planar on this grid but gains length.
+	base := append([]int(nil), opt.Tour...)
+	best := -1.0
+	var bestTour []int
+	var bestOrders []geom.LOrder
+	for i := 0; i < len(base); i++ {
+		// Remove node base[i] and reinsert it elsewhere: the Fig. 2(b)
+		// shape, where one node is visited out of order.
+		rest := append(append([]int(nil), base[:i]...), base[i+1:]...)
+		for j := 0; j <= len(rest); j++ {
+			t2 := append([]int(nil), rest[:j]...)
+			t2 = append(t2, base[i])
+			t2 = append(t2, rest[j:]...)
+			orders, err := ring.OrdersFor(net, t2)
+			if err != nil {
+				continue // no planar embedding: that is case (c)
+			}
+			d2, err := router.NewDesign(net, phys.Default(), t2, orders)
+			if err != nil || d2.Validate() != nil {
+				continue
+			}
+			l := d2.Perimeter()
+			if l > best {
+				best = l
+				bestTour = t2
+				bestOrders = orders
+			}
+		}
+	}
+	if bestTour != nil {
+		d2, _ := router.NewDesign(net, phys.Default(), bestTour, bestOrders)
+		fmt.Printf("  (b) detoured tour: %.1f mm (+%.0f%%), still crossing-free\n",
+			best, (best/opt.Length-1)*100)
+		write(outdir, "fig2b_detour.svg", viz.SVG(d2))
+	}
+
+	// (c) crossing: swap adjacent tour positions so two edges must
+	// cross; the validator rejects it, demonstrating Eq. (3)'s purpose.
+	for i := 0; i < len(opt.Tour); i++ {
+		t3 := append([]int(nil), opt.Tour...)
+		j := (i + 1) % len(t3)
+		t3[i], t3[j] = t3[j], t3[i]
+		d3, err := router.NewDesign(net, phys.Default(), t3, nil)
+		if err != nil {
+			continue
+		}
+		if verr := d3.Validate(); verr != nil {
+			fmt.Printf("  (c) crossing tour: %.1f mm, rejected by the validator:\n      %v\n",
+				d3.Perimeter(), verr)
+			write(outdir, "fig2c_crossing.svg", viz.SVG(d3))
+			break
+		}
+	}
+}
+
+// fig7 renders a CSE-merged crossing shortcut pair.
+func fig7(outdir string) {
+	fmt.Println("Fig. 7 — crossing shortcuts merged with CSEs")
+	net := xring.Irregular(10, 30, 30, 3, 8)
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 10, WithPDN: true})
+	if err != nil {
+		fatal(err)
+	}
+	for i, s := range res.Design.Shortcuts {
+		if s.Partner > i {
+			p := res.Design.Shortcuts[s.Partner]
+			fmt.Printf("  shortcuts %d<->%d and %d<->%d cross and are CSE-merged\n",
+				s.A, s.B, p.A, p.B)
+			for _, c := range s.Channels {
+				if c.ViaCSE {
+					fmt.Printf("    CSE-routed signal %v on λ%d\n", c.Sig, c.WL)
+				}
+			}
+		}
+	}
+	write(outdir, "fig7_cse.svg", xring.RenderSVG(res.Design))
+}
+
+// fig8 prints the openings Step 3 chose and verifies no signal passes
+// them.
+func fig8() {
+	fmt.Println("Fig. 8 — ring waveguide openings")
+	net := noc.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		fatal(err)
+	}
+	for _, w := range res.Design.Waveguides {
+		passing := 0
+		for _, c := range w.Channels {
+			if res.Design.PassesNode(c.Sig.Src, c.Sig.Dst, w.Opening, w.Dir) {
+				passing++
+			}
+		}
+		fmt.Printf("  waveguide %d (%s): opening at node %d, %d signals pass it (must be 0)\n",
+			w.ID, w.Dir, w.Opening, passing)
+		if passing != 0 {
+			fatal(fmt.Errorf("opening invariant violated"))
+		}
+	}
+}
+
+// fig9 prints the splitter tree of the busiest ring waveguide.
+func fig9() {
+	fmt.Println("Fig. 9 — binary splitter-tree PDN")
+	net := noc.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		fatal(err)
+	}
+	var busiest *router.Waveguide
+	for _, w := range res.Design.Waveguides {
+		if busiest == nil || len(res.Design.SendersOn(w)) > len(res.Design.SendersOn(busiest)) {
+			busiest = w
+		}
+	}
+	senders := res.Design.SendersOn(busiest)
+	fmt.Printf("  waveguide %d: %d senders as leaves, opened at node %d\n",
+		busiest.ID, len(senders), busiest.Opening)
+	for _, s := range senders {
+		f := res.Plan.Feeds[pdn.FeedKey{Index: busiest.ID, Node: s}]
+		loss, err := res.Plan.SenderLossDB(res.Design.Par, f.Key)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("    sender %d: %d splitter stages, %.2f mm of PDN waveguide, %.2f dB laser-to-sender\n",
+			s, f.Splitters, f.PathLen, loss)
+	}
+	fmt.Printf("  total PDN wire: %.1f mm, crossings: %d (crossing-free by construction)\n",
+		res.Plan.WireLength, res.Plan.CrossingsAdded)
+	_ = mapping.WaveguideCap(net, phys.Default())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xfig:", err)
+	os.Exit(1)
+}

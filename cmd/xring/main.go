@@ -1,0 +1,352 @@
+// Command xring synthesizes a wavelength-routed optical ring router for
+// a given floorplan and reports its metrics, optionally writing an SVG
+// rendering and a JSON summary.
+//
+// Usage:
+//
+//	xring -nodes 16 -pdn                   # standard 16-node floorplan
+//	xring -nodes 16 -wl 14 -pdn -svg out.svg
+//	xring -floorplan chip.json -objective min-power
+//	xring -nodes 8 -baseline ornoc -pdn    # synthesize a baseline instead
+//
+// The floorplan JSON format:
+//
+//	{"dieW": 8, "dieH": 8,
+//	 "nodes": [{"x": 1, "y": 1}, {"x": 3, "y": 1}, ...]}
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"xring"
+	"xring/internal/report"
+)
+
+type floorplanFile struct {
+	DieW  float64 `json:"dieW"`
+	DieH  float64 `json:"dieH"`
+	Nodes []struct {
+		X float64 `json:"x"`
+		Y float64 `json:"y"`
+	} `json:"nodes"`
+}
+
+func main() {
+	nodes := flag.Int("nodes", 16, "use the standard floorplan with this many nodes (8, 16 or 32)")
+	fpPath := flag.String("floorplan", "", "JSON floorplan file (overrides -nodes)")
+	wl := flag.Int("wl", 0, "per-ring wavelength budget #wl (0 = sweep)")
+	objective := flag.String("objective", "min-power", "sweep objective when -wl is 0: min-il, min-power or max-snr")
+	pdnFlag := flag.Bool("pdn", false, "synthesize the crossing-free tree PDN (Step 4)")
+	baseline := flag.String("baseline", "", "synthesize a baseline instead: ornoc or oring")
+	traffic := flag.String("traffic", "all", "traffic pattern: all, transpose, bitrev, hotspot, neighbor or shuffle")
+	svgPath := flag.String("svg", "", "write an SVG rendering of the design")
+	chartPath := flag.String("chart", "", "write the wavelength-allocation chart (SVG)")
+	netlistPath := flag.String("netlist", "", "write the physical layout netlist (text)")
+	jsonPath := flag.String("json", "", "write a JSON summary of the result")
+	designPath := flag.String("design", "", "write the full design (reloadable JSON)")
+	analyzePath := flag.String("analyze", "", "load a saved design and re-run the analyses")
+	flag.Parse()
+
+	if *analyzePath != "" {
+		analyzeSaved(*analyzePath, *svgPath)
+		return
+	}
+
+	net, err := loadNetwork(*nodes, *fpPath)
+	if err != nil {
+		fatal(err)
+	}
+	pattern, err := trafficFor(*traffic, net.N())
+	if err != nil {
+		fatal(err)
+	}
+
+	if *baseline != "" {
+		runBaseline(net, *baseline, *wl, *pdnFlag, *svgPath)
+		return
+	}
+
+	var res *xring.Result
+	chosenWL := *wl
+	if *wl > 0 {
+		res, err = xring.Synthesize(net, xring.Options{MaxWL: *wl, WithPDN: *pdnFlag, Traffic: pattern})
+	} else {
+		var obj xring.Objective
+		switch *objective {
+		case "min-il":
+			obj = xring.MinWorstIL
+		case "min-power":
+			obj = xring.MinPower
+		case "max-snr":
+			obj = xring.MaxSNR
+		default:
+			fatal(fmt.Errorf("unknown objective %q", *objective))
+		}
+		res, chosenWL, err = xring.Sweep(net, xring.Options{WithPDN: *pdnFlag, Traffic: pattern}, obj, nil)
+	}
+	if err != nil {
+		fatal(err)
+	}
+
+	printResult(net, res, chosenWL)
+
+	if *svgPath != "" {
+		if err := os.WriteFile(*svgPath, []byte(xring.RenderSVG(res.Design)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *svgPath)
+	}
+	if *jsonPath != "" {
+		if err := writeJSON(*jsonPath, net, res, chosenWL); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *jsonPath)
+	}
+	if *chartPath != "" {
+		if err := os.WriteFile(*chartPath, []byte(xring.RenderChannelChart(res.Design)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *chartPath)
+	}
+	if *netlistPath != "" {
+		l, err := xring.BuildLayout(res.Design)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*netlistPath, []byte(l.Netlist()), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *netlistPath)
+	}
+	if *designPath != "" {
+		blob, err := xring.SaveDesign(res.Design)
+		if err != nil {
+			fatal(err)
+		}
+		if err := os.WriteFile(*designPath, blob, 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", *designPath)
+	}
+}
+
+// analyzeSaved reloads a stored design and re-runs the analyses.
+func analyzeSaved(path, svgPath string) {
+	blob, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	d, err := xring.LoadDesign(blob)
+	if err != nil {
+		fatal(err)
+	}
+	withTree := false
+	for _, w := range d.Waveguides {
+		if w.Opening >= 0 {
+			withTree = true
+			break
+		}
+	}
+	lrep, xrep, err := xring.AnalyzeDesign(d, withTree)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("loaded %s: %d nodes, %d waveguides, %d shortcuts, %d routes\n",
+		path, d.N(), len(d.Waveguides), len(d.Shortcuts), len(d.Routes))
+	tb := &report.Table{Header: []string{"metric", "value"}}
+	tb.AddRow("worst-case insertion loss", report.F(lrep.WorstIL, 2)+" dB")
+	tb.AddRow("worst-loss path length", report.F(lrep.WorstLen, 1)+" mm")
+	tb.AddRow("total laser power", report.F(lrep.TotalPowerMW, 3)+" mW")
+	tb.AddRow("signals with noise", report.D(xrep.NumNoisy))
+	tb.AddRow("noise-free signals", report.Pct(xrep.NoiseFreeFrac))
+	fmt.Print(tb.String())
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(xring.RenderSVG(d)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+}
+
+// trafficFor resolves the -traffic flag to a signal set (nil = all-to-all).
+func trafficFor(name string, n int) ([]xring.Signal, error) {
+	var t []xring.Signal
+	switch name {
+	case "all", "":
+		return nil, nil
+	case "transpose":
+		t = xring.Transpose(n)
+	case "bitrev":
+		t = xring.BitReversal(n)
+	case "hotspot":
+		t = xring.Hotspot(n, 0)
+	case "neighbor":
+		t = xring.NeighborRing(n)
+	case "shuffle":
+		t = xring.Shuffle(n)
+	default:
+		return nil, fmt.Errorf("unknown traffic pattern %q", name)
+	}
+	if t == nil {
+		return nil, fmt.Errorf("pattern %q is undefined for %d nodes", name, n)
+	}
+	return t, nil
+}
+
+func loadNetwork(nodes int, path string) (*xring.Network, error) {
+	if path == "" {
+		switch nodes {
+		case 8:
+			return xring.Floorplan8(), nil
+		case 16:
+			return xring.Floorplan16(), nil
+		case 32:
+			return xring.Floorplan32(), nil
+		default:
+			return nil, fmt.Errorf("no standard floorplan for %d nodes (use -floorplan)", nodes)
+		}
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var fp floorplanFile
+	if err := json.Unmarshal(raw, &fp); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	net := &xring.Network{DieW: fp.DieW, DieH: fp.DieH}
+	for i, n := range fp.Nodes {
+		net.Nodes = append(net.Nodes, xring.Node{
+			ID: i, Name: fmt.Sprintf("n%d", i),
+			Pos: xring.Point{X: n.X, Y: n.Y},
+		})
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	return net, nil
+}
+
+func printResult(net *xring.Network, res *xring.Result, wl int) {
+	fmt.Printf("XRing synthesis for %d nodes (die %.1f x %.1f mm)\n",
+		net.N(), net.DieW, net.DieH)
+	fmt.Printf("  ring tour length     %.2f mm (%d sub-cycles merged, %d B&B nodes)\n",
+		res.Ring.Length, res.Ring.Subcycles, res.Ring.Nodes)
+	fmt.Printf("  shortcuts            %d", len(res.Design.Shortcuts))
+	cse := 0
+	for i, s := range res.Design.Shortcuts {
+		if s.Partner > i {
+			cse++
+		}
+	}
+	if cse > 0 {
+		fmt.Printf(" (%d CSE-merged pairs)", cse)
+	}
+	fmt.Println()
+	fmt.Printf("  ring waveguides      %d (budget #wl = %d, used %d wavelengths)\n",
+		len(res.Design.Waveguides), wl, res.Loss.WavelengthCount)
+	fmt.Printf("  signals routed       %d (%d on shortcuts)\n",
+		len(res.Design.Routes), res.MapStats.ShortcutSignals)
+	if res.Plan != nil {
+		fmt.Printf("  PDN                  %s, %d crossings, %.1f mm of waveguide\n",
+			res.Plan.Kind, res.Plan.CrossingsAdded, res.Plan.WireLength)
+	}
+	fmt.Println()
+	tb := &report.Table{Header: []string{"metric", "value"}}
+	tb.AddRow("worst-case insertion loss il_w", report.F(res.Loss.WorstIL, 2)+" dB")
+	tb.AddRow("worst-loss path length L", report.F(res.Loss.WorstLen, 1)+" mm")
+	tb.AddRow("crossings on worst path C", report.D(res.Loss.WorstCrossings))
+	tb.AddRow("total laser power P", report.F(res.Loss.TotalPowerMW, 3)+" mW")
+	tb.AddRow("signals with noise #s", report.D(res.Xtalk.NumNoisy))
+	snr := "-"
+	if !math.IsInf(res.Xtalk.WorstSNR, 1) {
+		snr = report.F(res.Xtalk.WorstSNR, 1) + " dB"
+	}
+	tb.AddRow("worst-case SNR_w", snr)
+	tb.AddRow("noise-free signals", report.Pct(res.Xtalk.NoiseFreeFrac))
+	tb.AddRow("synthesis time T", report.Seconds(res.SynthTime.Seconds())+" s")
+	fmt.Print(tb.String())
+}
+
+func runBaseline(net *xring.Network, kind string, wl int, withPDN bool, svgPath string) {
+	if wl == 0 {
+		wl = net.N()
+	}
+	par := xring.DefaultParams()
+	var (
+		res *xring.BaselineResult
+		err error
+	)
+	switch kind {
+	case "ornoc":
+		res, err = xring.SynthesizeORNoC(net, par, wl, withPDN)
+	case "oring":
+		res, err = xring.SynthesizeORing(net, par, wl, withPDN)
+	default:
+		fatal(fmt.Errorf("unknown baseline %q (ornoc or oring)", kind))
+	}
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("%s baseline for %d nodes (#wl = %d)\n", kind, net.N(), wl)
+	tb := &report.Table{Header: []string{"metric", "value"}}
+	tb.AddRow("worst-case insertion loss il_w*", report.F(res.Loss.WorstIL, 2)+" dB")
+	tb.AddRow("worst-loss path length L", report.F(res.Loss.WorstLen, 1)+" mm")
+	tb.AddRow("crossings on worst path C", report.D(res.Loss.WorstCrossings))
+	tb.AddRow("total laser power P", report.F(res.Loss.TotalPowerMW, 3)+" mW")
+	tb.AddRow("signals with noise #s", report.D(res.Xtalk.NumNoisy))
+	tb.AddRow("worst-case SNR_w", report.F(res.Xtalk.WorstSNR, 1)+" dB")
+	fmt.Print(tb.String())
+	if svgPath != "" {
+		if err := os.WriteFile(svgPath, []byte(xring.RenderSVG(res.Design)), 0o644); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("wrote %s\n", svgPath)
+	}
+}
+
+type jsonSummary struct {
+	Nodes       int     `json:"nodes"`
+	WLBudget    int     `json:"wlBudget"`
+	Wavelengths int     `json:"wavelengths"`
+	Waveguides  int     `json:"waveguides"`
+	Shortcuts   int     `json:"shortcuts"`
+	WorstILdB   float64 `json:"worstIL_dB"`
+	WorstLenMM  float64 `json:"worstLen_mm"`
+	Crossings   int     `json:"crossingsOnWorstPath"`
+	PowerMW     float64 `json:"laserPower_mW"`
+	NumNoisy    int     `json:"signalsWithNoise"`
+	NoiseFree   float64 `json:"noiseFreeFraction"`
+	SynthSec    float64 `json:"synthesisSeconds"`
+}
+
+func writeJSON(path string, net *xring.Network, res *xring.Result, wl int) error {
+	s := jsonSummary{
+		Nodes:       net.N(),
+		WLBudget:    wl,
+		Wavelengths: res.Loss.WavelengthCount,
+		Waveguides:  len(res.Design.Waveguides),
+		Shortcuts:   len(res.Design.Shortcuts),
+		WorstILdB:   res.Loss.WorstIL,
+		WorstLenMM:  res.Loss.WorstLen,
+		Crossings:   res.Loss.WorstCrossings,
+		PowerMW:     res.Loss.TotalPowerMW,
+		NumNoisy:    res.Xtalk.NumNoisy,
+		NoiseFree:   res.Xtalk.NoiseFreeFrac,
+		SynthSec:    res.SynthTime.Seconds(),
+	}
+	raw, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(raw, '\n'), 0o644)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xring:", err)
+	os.Exit(1)
+}

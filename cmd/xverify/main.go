@@ -1,0 +1,115 @@
+// Command xverify runs the DRC-style signoff suite on a design: either
+// a freshly synthesized standard router, or a design reloaded from
+// cmd/xring's -design output.
+//
+// Usage:
+//
+//	xverify -nodes 16                # synthesize + audit
+//	xverify -design d.json           # audit a saved design
+//	xverify -nodes 16 -ring-um 30    # include the FSR capacity check
+//
+// Exit status 1 when any check fails.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"xring"
+	"xring/internal/designio"
+	"xring/internal/loss"
+	"xring/internal/pdn"
+	"xring/internal/report"
+	"xring/internal/verify"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 16, "standard floorplan size (8, 16 or 32)")
+	wl := flag.Int("wl", 0, "per-ring wavelength budget (0 = N-2)")
+	designPath := flag.String("design", "", "audit a saved design instead of synthesizing")
+	ringUM := flag.Float64("ring-um", 0, "ring circumference in µm for the FSR check (0 = skip)")
+	flag.Parse()
+
+	var (
+		d    *xring.Design
+		plan *pdn.Plan
+		lrep *loss.Report
+	)
+	if *designPath != "" {
+		blob, err := os.ReadFile(*designPath)
+		if err != nil {
+			fatal(err)
+		}
+		d, err = designio.Load(blob)
+		if err != nil {
+			fatal(err)
+		}
+		// Re-derive the PDN when the design has openings (tree) or
+		// pre-registered crossings (comb).
+		hasOpenings := false
+		for _, w := range d.Waveguides {
+			if w.Opening >= 0 {
+				hasOpenings = true
+			}
+		}
+		if hasOpenings {
+			plan, err = pdn.BuildTree(d)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	} else {
+		var net *xring.Network
+		switch *nodes {
+		case 8:
+			net = xring.Floorplan8()
+		case 16:
+			net = xring.Floorplan16()
+		case 32:
+			net = xring.Floorplan32()
+		default:
+			fatal(fmt.Errorf("no standard floorplan for %d nodes", *nodes))
+		}
+		budget := *wl
+		if budget == 0 {
+			budget = *nodes - 2
+		}
+		res, err := xring.Synthesize(net, xring.Options{MaxWL: budget, WithPDN: true})
+		if err != nil {
+			fatal(err)
+		}
+		d, plan, lrep = res.Design, res.Plan, res.Loss
+	}
+
+	rep, err := verify.Run(d, plan, lrep, verify.Options{
+		RingCircumferenceUM: *ringUM,
+		GroupIndex:          4.2,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	tb := &report.Table{
+		Title:  fmt.Sprintf("signoff: %d nodes, %d waveguides", d.N(), len(d.Waveguides)),
+		Header: []string{"check", "result", "detail"},
+	}
+	for _, c := range rep.Checks {
+		status := "PASS"
+		if c.Skipped {
+			status = "skip"
+		} else if !c.Passed {
+			status = "FAIL"
+		}
+		tb.AddRow(c.Name, status, c.Detail)
+	}
+	fmt.Print(tb.String())
+	if rep.Failed > 0 {
+		fmt.Fprintf(os.Stderr, "%d checks failed\n", rep.Failed)
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "xverify:", err)
+	os.Exit(1)
+}

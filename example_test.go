@@ -1,0 +1,94 @@
+package xring_test
+
+import (
+	"fmt"
+
+	"xring"
+)
+
+// ExampleSynthesize shows the minimal end-to-end flow: synthesize the
+// standard 16-node router with its PDN and read the headline metrics.
+func ExampleSynthesize() {
+	net := xring.Floorplan16()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("PDN crossings:", res.Plan.CrossingsAdded)
+	fmt.Println("signals routed:", len(res.Design.Routes))
+	fmt.Println("signals with first-order noise:", res.Xtalk.NumNoisy)
+	// Output:
+	// PDN crossings: 0
+	// signals routed: 240
+	// signals with first-order noise: 0
+}
+
+// ExampleSweep picks the best wavelength budget for minimum laser
+// power, as the paper's evaluation does.
+func ExampleSweep() {
+	net := xring.Floorplan8()
+	res, wl, err := xring.Sweep(net, xring.Options{WithPDN: true}, xring.MinPower, []int{2, 4, 8})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("chosen #wl within candidates:", wl >= 2 && wl <= 8)
+	fmt.Println("noise-free:", res.Xtalk.NumNoisy == 0)
+	// Output:
+	// chosen #wl within candidates: true
+	// noise-free: true
+}
+
+// ExampleSynthesize_traffic restricts the router to an
+// application-specific communication graph.
+func ExampleSynthesize_traffic() {
+	net := xring.Floorplan8()
+	traffic := []xring.Signal{
+		{Src: 0, Dst: 1}, {Src: 1, Dst: 2}, {Src: 2, Dst: 3}, {Src: 3, Dst: 0},
+	}
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 4, Traffic: traffic})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("routes:", len(res.Design.Routes))
+	// Output:
+	// routes: 4
+}
+
+// ExampleSaveDesign round-trips a synthesized design through its JSON
+// form.
+func ExampleSaveDesign() {
+	net := xring.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8})
+	if err != nil {
+		panic(err)
+	}
+	blob, err := xring.SaveDesign(res.Design)
+	if err != nil {
+		panic(err)
+	}
+	loaded, err := xring.LoadDesign(blob)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("routes preserved:", len(loaded.Routes) == len(res.Design.Routes))
+	// Output:
+	// routes preserved: true
+}
+
+// ExampleTakeInventory tallies the physical devices of a design.
+func ExampleTakeInventory() {
+	net := xring.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		panic(err)
+	}
+	inv, err := xring.TakeInventory(res)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("modulators:", inv.Modulators)
+	fmt.Println("crossings:", inv.Crossings)
+	// Output:
+	// modulators: 56
+	// crossings: 0
+}

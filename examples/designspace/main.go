@@ -1,0 +1,81 @@
+// designspace pushes the synthesized router through the extension
+// analyses a designer would run before tape-out: device inventory and
+// tuning power, per-link power margins and bit error rates, the
+// wavelength-grid choice (how tight can the DWDM spacing be?) and the
+// thermal budget (how much ring detuning is tolerable?).
+//
+// Run with:
+//
+//	go run ./examples/designspace
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xring"
+)
+
+func main() {
+	net := xring.Floorplan16()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// --- Device inventory ------------------------------------------------
+	inv, err := xring.TakeInventory(res)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("device inventory (16-node XRing with tree PDN):")
+	fmt.Printf("  modulators %d, receiver MRRs %d, terminators %d, CSE MRRs %d\n",
+		inv.Modulators, inv.ReceiverMRRs, inv.TerminatorMRRs, inv.CSEMRRs)
+	fmt.Printf("  splitters %d, waveguide %.0f mm (%.0f ring / %.0f shortcut / %.0f PDN)\n",
+		inv.Splitters, inv.TotalWaveguideMM, inv.RingWaveguideMM, inv.ShortcutMM, inv.PDNWireMM)
+	fmt.Printf("  crossings %d, static MRR tuning power %.2f mW\n",
+		inv.Crossings, inv.TuningPowerMW)
+
+	// --- Link budget -------------------------------------------------------
+	spec, err := xring.AnalyzeSpectral(res, xring.DefaultSpectralParams())
+	if err != nil {
+		log.Fatal(err)
+	}
+	lb, err := xring.AnalyzeLinkBudget(res, spec, 1e-12)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nlink budget (Q=9000 rings, 100 GHz grid, target BER 1e-12):\n")
+	fmt.Printf("  worst power margin %.2f dB (0 by construction: the laser is sized exactly)\n",
+		lb.WorstMarginDB)
+	fmt.Printf("  worst spectral SNR %.1f dB, worst BER %.2e, links failing target: %d\n",
+		spec.WorstSNR, lb.WorstBER, lb.LinksBelow)
+
+	// --- Wavelength grid exploration ---------------------------------------
+	spacing, err := xring.MinChannelSpacing(res, 9000, 20, 25, 800)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\ntightest channel spacing for 20 dB spectral SNR: %.0f GHz\n", spacing)
+
+	// --- Thermal budget ------------------------------------------------------
+	// Silicon rings drift ~10 GHz/K; how many GHz of uncompensated drift
+	// keeps the worst spectral SNR above 12 dB? (The 100 GHz / Q=9000
+	// operating point starts at ~14.8 dB, so the budget is tight — a
+	// 200 GHz grid would relax it.)
+	budget, err := xring.ThermalBudget(res, xring.DefaultSpectralParams(), 12, 1, 200)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("thermal detuning budget for 12 dB spectral SNR: %.0f GHz (~%.1f K)\n",
+		budget, budget/10)
+
+	wide := xring.DefaultSpectralParams()
+	wide.Grid.SpacingGHz = 200
+	budget200, err := xring.ThermalBudget(res, wide, 15, 1, 400)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("on a 200 GHz grid the 15 dB budget grows to %.0f GHz (~%.1f K)\n",
+		budget200, budget200/10)
+}

@@ -1,0 +1,58 @@
+// placement co-optimizes the floorplan and the router, in the spirit of
+// the paper's reference [20] (PSION+): when node positions still have
+// slack, perturbing them and re-running the XRing flow trims the
+// worst-case insertion loss beyond what synthesis alone achieves.
+//
+// Run with:
+//
+//	go run ./examples/placement
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"xring"
+)
+
+func main() {
+	// An awkward irregular placement with room to improve.
+	net := xring.Irregular(10, 14, 14, 1.5, 11)
+
+	before, err := xring.Synthesize(net, xring.Options{MaxWL: 10, WithPDN: true})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	improvedNet, after, trace, err := xring.OptimizePlacement(net, xring.PlacementOptions{
+		Objective:  xring.PlaceMinWorstIL,
+		Synth:      xring.Options{MaxWL: 10, WithPDN: true},
+		Iterations: 120,
+		StepMM:     1.5,
+		Seed:       1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("placement co-optimization (10 irregular nodes, %d proposals evaluated)\n\n",
+		trace.Evaluated)
+	fmt.Printf("%-28s %10s %10s\n", "", "before", "after")
+	fmt.Printf("%-28s %7.2f dB %7.2f dB\n", "worst-case insertion loss",
+		before.Loss.WorstIL, after.Loss.WorstIL)
+	fmt.Printf("%-28s %7.1f mm %7.1f mm\n", "ring tour length",
+		before.Ring.Length, after.Ring.Length)
+	fmt.Printf("%-28s %6.3f mW %6.3f mW\n", "total laser power",
+		before.Loss.TotalPowerMW, after.Loss.TotalPowerMW)
+	fmt.Printf("\naccepted moves: %d\n", len(trace.Moves))
+	for _, m := range trace.Moves {
+		fmt.Printf("  iter %3d: node %d %v -> %v (il_w %.3f dB)\n",
+			m.Iteration, m.Node, m.From, m.To, m.Score)
+	}
+	if after.Loss.WorstIL >= before.Loss.WorstIL {
+		log.Fatal("optimization should improve this instance")
+	}
+	_ = improvedNet
+	fmt.Printf("\nworst-case insertion loss improved by %.1f%%\n",
+		(1-after.Loss.WorstIL/before.Loss.WorstIL)*100)
+}

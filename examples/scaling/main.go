@@ -1,0 +1,60 @@
+// scaling studies how XRing scales with network size, reproducing the
+// paper's computational-efficiency claim ("XRing automatically
+// synthesizes the 16-node ring router within one second") and showing
+// how worst-case loss, laser power and wavelength demand grow from 8 to
+// 48 nodes.
+//
+// Run with:
+//
+//	go run ./examples/scaling
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"xring"
+	"xring/internal/report"
+)
+
+func main() {
+	configs := []struct {
+		name string
+		net  *xring.Network
+	}{
+		{"8 (4x2 grid)", xring.Floorplan8()},
+		{"16 (4x4 grid)", xring.Floorplan16()},
+		{"32 (8x4 grid)", xring.Floorplan32()},
+		{"48 (8x6 grid)", xring.Grid(8, 6, 2, 1)},
+	}
+	tb := &report.Table{
+		Title: "XRing scaling (full flow with tree PDN, #wl = N-2)",
+		Header: []string{"nodes", "tour(mm)", "waveguides", "#wl", "il_w*(dB)",
+			"P(mW)", "noise-free", "synth time"},
+	}
+	for _, c := range configs {
+		t0 := time.Now()
+		res, err := xring.Synthesize(c.net, xring.Options{
+			MaxWL:   c.net.N() - 2,
+			WithPDN: true,
+		})
+		if err != nil {
+			log.Fatalf("%s: %v", c.name, err)
+		}
+		el := time.Since(t0)
+		tb.AddRow(c.name,
+			report.F(res.Ring.Length, 1),
+			report.D(len(res.Design.Waveguides)),
+			report.D(res.Loss.WavelengthCount),
+			report.F(res.Loss.WorstIL, 2),
+			report.F(res.Loss.TotalPowerMW, 3),
+			report.Pct(res.Xtalk.NoiseFreeFrac),
+			el.String())
+		if c.net.N() == 16 && res.SynthTime > time.Second {
+			log.Fatalf("16-node synthesis took %v; the paper does it within a second", res.SynthTime)
+		}
+	}
+	fmt.Print(tb.String())
+	fmt.Println("\nThe 16-node router synthesizes well within the paper's one-second budget.")
+}

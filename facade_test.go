@@ -1,0 +1,187 @@
+package xring_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xring"
+)
+
+// TestFacadeAnalysisWrappers drives every extension analysis through
+// the public API on one synthesized router.
+func TestFacadeAnalysisWrappers(t *testing.T) {
+	net := xring.Floorplan16()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Spectral.
+	spec, err := xring.AnalyzeSpectral(res, xring.DefaultSpectralParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spec.WorstSNR <= 0 || math.IsInf(spec.WorstSNR, 1) {
+		t.Fatalf("spectral worst SNR %v implausible", spec.WorstSNR)
+	}
+
+	// Wavelength-grid exploration.
+	spacing, err := xring.MinChannelSpacing(res, 9000, 18, 50, 1600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if spacing < 50 || spacing > 1600 {
+		t.Fatalf("spacing %v out of range", spacing)
+	}
+
+	// Thermal budget.
+	budget, err := xring.ThermalBudget(res, xring.DefaultSpectralParams(), 10, 1, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if budget <= 0 {
+		t.Fatalf("thermal budget %v", budget)
+	}
+
+	// Link budget (with and without spectral noise).
+	lb, err := xring.AnalyzeLinkBudget(res, spec, 1e-12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(lb.WorstMarginDB) > 1e-9 {
+		t.Fatalf("worst margin %v, want 0 by construction", lb.WorstMarginDB)
+	}
+
+	// Inventory.
+	inv, err := xring.TakeInventory(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if inv.Modulators != 240 || inv.TuningPowerMW <= 0 {
+		t.Fatalf("inventory %+v", inv)
+	}
+
+	// Performance.
+	pr, err := xring.AnalyzePerformance(res, xring.DefaultPerfParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.AggregateGbps != 2400 {
+		t.Fatalf("aggregate %v", pr.AggregateGbps)
+	}
+
+	// Simulation (both modes).
+	ded, err := xring.Simulate(res, xring.DefaultSimConfig(0.3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := xring.DefaultSimConfig(0.3)
+	cfg.Mode = xring.SimArbitrated
+	arb, err := xring.Simulate(res, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ded.MeanTotalNS <= 0 || arb.MeanTotalNS <= ded.MeanTotalNS {
+		t.Fatalf("sim means: wronoc %v, arbitrated %v", ded.MeanTotalNS, arb.MeanTotalNS)
+	}
+
+	// Rendering.
+	if !strings.Contains(xring.RenderChannelChart(res.Design), "wavelength allocation") {
+		t.Fatal("channel chart missing")
+	}
+}
+
+// TestFacadeDesignIORoundtrip exercises Save/Load/AnalyzeDesign,
+// including the comb-PDN reload path.
+func TestFacadeDesignIORoundtrip(t *testing.T) {
+	net := xring.Floorplan8()
+	for _, opt := range []xring.Options{
+		{MaxWL: 8, WithPDN: true},
+		{MaxWL: 6, WithPDN: true, NoOpenings: true}, // comb
+		{MaxWL: 8},
+	} {
+		res, err := xring.Synthesize(net, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		blob, err := xring.SaveDesign(res.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d, err := xring.LoadDesign(blob)
+		if err != nil {
+			t.Fatal(err)
+		}
+		withTree := opt.WithPDN && !opt.NoOpenings
+		lrep, xrep, err := xring.AnalyzeDesign(d, withTree)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if math.Abs(lrep.WorstIL-res.Loss.WorstIL) > 1e-9 {
+			t.Fatalf("reloaded worst IL %v vs %v", lrep.WorstIL, res.Loss.WorstIL)
+		}
+		if xrep.NumNoisy != res.Xtalk.NumNoisy {
+			t.Fatalf("reloaded #s %d vs %d", xrep.NumNoisy, res.Xtalk.NumNoisy)
+		}
+	}
+}
+
+// TestFacadeTrafficPatterns routes each synthetic pattern end to end.
+func TestFacadeTrafficPatterns(t *testing.T) {
+	net := xring.Floorplan16()
+	for name, traffic := range map[string][]xring.Signal{
+		"transpose": xring.Transpose(16),
+		"bitrev":    xring.BitReversal(16),
+		"hotspot":   xring.Hotspot(16, 5),
+		"neighbor":  xring.NeighborRing(16),
+		"shuffle":   xring.Shuffle(16),
+	} {
+		res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true, Traffic: traffic})
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(res.Design.Routes) != len(traffic) {
+			t.Fatalf("%s: %d routes for %d signals", name, len(res.Design.Routes), len(traffic))
+		}
+		if res.Xtalk.NoiseFreeFrac < 0.98 {
+			t.Fatalf("%s: noise-free %v", name, res.Xtalk.NoiseFreeFrac)
+		}
+	}
+}
+
+// TestFacadePlacement exercises the co-optimization wrapper.
+func TestFacadePlacement(t *testing.T) {
+	net := xring.Irregular(8, 12, 12, 1.5, 4)
+	improved, res, trace, err := xring.OptimizePlacement(net, xring.PlacementOptions{
+		Objective:  xring.PlaceMinWorstIL,
+		Synth:      xring.Options{MaxWL: 8},
+		Iterations: 20,
+		Seed:       1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if improved == nil || res == nil || trace.Final > trace.Initial {
+		t.Fatal("placement wrapper broken")
+	}
+}
+
+// TestFacadeLayout exercises the physical-realization wrapper.
+func TestFacadeLayout(t *testing.T) {
+	net := xring.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := xring.BuildLayout(res.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Waveguides) != len(res.Design.Waveguides) || len(l.Taps) == 0 {
+		t.Fatal("layout incomplete")
+	}
+	if !strings.Contains(l.Netlist(), "WAVEGUIDE") {
+		t.Fatal("netlist broken")
+	}
+}

@@ -1,0 +1,3 @@
+module xring
+
+go 1.22

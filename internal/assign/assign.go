@@ -1,0 +1,147 @@
+// Package assign implements the Hungarian algorithm for the linear
+// assignment problem. It is the bounding engine behind the exact ring
+// waveguide constructor: the paper's MILP (Sec. III-A) is an assignment
+// problem (every node picks exactly one successor) with side constraints,
+// and the assignment relaxation yields the strong lower bound used by
+// branch-and-bound.
+//
+// Costs are float64; Forbidden marks cells that must not be chosen
+// (for example the diagonal of a successor matrix, banned edges during
+// branching, or conflict-eliminated edges).
+package assign
+
+import (
+	"errors"
+	"math"
+)
+
+// Forbidden is the cost value that marks an inadmissible assignment cell.
+const Forbidden = math.MaxFloat64
+
+// ErrInfeasible is returned when no perfect assignment avoids all
+// forbidden cells.
+var ErrInfeasible = errors.New("assign: no feasible perfect assignment")
+
+// Solve computes a minimum-cost perfect assignment on an n-by-n cost
+// matrix using the O(n^3) shortest-augmenting-path formulation of the
+// Hungarian algorithm (Jonker-Volgenant style with row/column
+// potentials).
+//
+// It returns rowToCol where rowToCol[i] is the column assigned to row i,
+// along with the total cost. Cells with cost Forbidden are never chosen;
+// if they cannot be avoided, ErrInfeasible is returned.
+func Solve(cost [][]float64) (rowToCol []int, total float64, err error) {
+	n := len(cost)
+	if n == 0 {
+		return nil, 0, nil
+	}
+	for i, row := range cost {
+		if len(row) != n {
+			return nil, 0, errors.New("assign: cost matrix is not square")
+		}
+		_ = i
+	}
+
+	inf := math.Inf(1)
+	// Internally 1-indexed, following the classic formulation.
+	u := make([]float64, n+1) // row potentials
+	v := make([]float64, n+1) // column potentials
+	p := make([]int, n+1)     // p[j] = row assigned to column j (0 = none)
+	way := make([]int, n+1)
+
+	at := func(i, j int) float64 {
+		c := cost[i-1][j-1]
+		if c == Forbidden {
+			return inf
+		}
+		return c
+	}
+
+	for i := 1; i <= n; i++ {
+		p[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := range minv {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := p[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := at(i0, j) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			if j1 < 0 || math.IsInf(delta, 1) {
+				return nil, 0, ErrInfeasible
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[p[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if p[j0] == 0 {
+				break
+			}
+		}
+		// Augment along the alternating path.
+		for j0 != 0 {
+			j1 := way[j0]
+			p[j0] = p[j1]
+			j0 = j1
+		}
+	}
+
+	rowToCol = make([]int, n)
+	for j := 1; j <= n; j++ {
+		if p[j] == 0 {
+			return nil, 0, ErrInfeasible
+		}
+		rowToCol[p[j]-1] = j - 1
+	}
+	for i := 0; i < n; i++ {
+		c := cost[i][rowToCol[i]]
+		if c == Forbidden {
+			return nil, 0, ErrInfeasible
+		}
+		total += c
+	}
+	return rowToCol, total, nil
+}
+
+// LowerBound returns the optimal assignment cost, or +Inf when the
+// matrix is infeasible. It is a convenience wrapper used as a
+// branch-and-bound bound function.
+func LowerBound(cost [][]float64) float64 {
+	_, total, err := Solve(cost)
+	if err != nil {
+		return math.Inf(1)
+	}
+	return total
+}
+
+// Clone returns a deep copy of a cost matrix. Branch-and-bound uses it
+// to apply edge bans/forces without disturbing the parent node.
+func Clone(cost [][]float64) [][]float64 {
+	out := make([][]float64, len(cost))
+	for i, row := range cost {
+		out[i] = append([]float64(nil), row...)
+	}
+	return out
+}

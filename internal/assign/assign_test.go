@@ -1,0 +1,205 @@
+package assign
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// bruteForce enumerates all permutations to find the optimal assignment.
+func bruteForce(cost [][]float64) (best float64, feasible bool) {
+	n := len(cost)
+	perm := make([]int, n)
+	for i := range perm {
+		perm[i] = i
+	}
+	best = math.Inf(1)
+	var rec func(k int, acc float64)
+	rec = func(k int, acc float64) {
+		if acc >= best {
+			return
+		}
+		if k == n {
+			best = acc
+			return
+		}
+		for i := k; i < n; i++ {
+			perm[k], perm[i] = perm[i], perm[k]
+			c := cost[k][perm[k]]
+			if c != Forbidden {
+				rec(k+1, acc+c)
+			}
+			perm[k], perm[i] = perm[i], perm[k]
+		}
+	}
+	rec(0, 0)
+	return best, !math.IsInf(best, 1)
+}
+
+func TestSolveTrivial(t *testing.T) {
+	got, total, err := Solve([][]float64{{7}})
+	if err != nil || total != 7 || got[0] != 0 {
+		t.Fatalf("Solve 1x1 = %v %v %v", got, total, err)
+	}
+	if r, total, err := Solve(nil); err != nil || total != 0 || r != nil {
+		t.Fatalf("Solve empty = %v %v %v", r, total, err)
+	}
+}
+
+func TestSolveKnown(t *testing.T) {
+	// Classic example: optimal value 5 (0->1:1, 1->0:2, 2->2:2).
+	cost := [][]float64{
+		{4, 1, 3},
+		{2, 0, 5},
+		{3, 2, 2},
+	}
+	rc, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if total != 5 {
+		t.Fatalf("total = %v, want 5 (assignment %v)", total, rc)
+	}
+	seen := map[int]bool{}
+	for _, c := range rc {
+		if seen[c] {
+			t.Fatalf("column %d assigned twice", c)
+		}
+		seen[c] = true
+	}
+}
+
+func TestSolveNonSquare(t *testing.T) {
+	if _, _, err := Solve([][]float64{{1, 2}, {3}}); err == nil {
+		t.Fatal("want error for ragged matrix")
+	}
+}
+
+func TestSolveForbiddenDiagonal(t *testing.T) {
+	// Successor-matrix shape: diagonal forbidden.
+	n := 5
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = Forbidden
+			} else {
+				cost[i][j] = float64((i*7+j*3)%11) + 1
+			}
+		}
+	}
+	rc, total, err := Solve(cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, j := range rc {
+		if i == j {
+			t.Fatalf("diagonal cell chosen at %d", i)
+		}
+	}
+	want, _ := bruteForce(cost)
+	if math.Abs(total-want) > 1e-9 {
+		t.Fatalf("total = %v, want %v", total, want)
+	}
+}
+
+func TestSolveInfeasible(t *testing.T) {
+	cost := [][]float64{
+		{Forbidden, Forbidden},
+		{1, Forbidden},
+	}
+	if _, _, err := Solve(cost); err != ErrInfeasible {
+		t.Fatalf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestSolveMatchesBruteForceRandom(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 200; trial++ {
+		n := 2 + rng.Intn(6) // up to 7x7
+		cost := make([][]float64, n)
+		for i := range cost {
+			cost[i] = make([]float64, n)
+			for j := range cost[i] {
+				if rng.Float64() < 0.15 {
+					cost[i][j] = Forbidden
+				} else {
+					cost[i][j] = float64(rng.Intn(50))
+				}
+			}
+		}
+		want, feasible := bruteForce(cost)
+		rc, total, err := Solve(cost)
+		if !feasible {
+			if err == nil {
+				t.Fatalf("trial %d: expected infeasible, got assignment %v cost %v", trial, rc, total)
+			}
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d: unexpected error %v (brute force found %v)", trial, err, want)
+		}
+		if math.Abs(total-want) > 1e-9 {
+			t.Fatalf("trial %d: total %v != brute force %v", trial, total, want)
+		}
+		// Validate the assignment is a permutation avoiding forbidden cells.
+		seen := make([]bool, n)
+		sum := 0.0
+		for i, j := range rc {
+			if seen[j] {
+				t.Fatalf("trial %d: duplicate column %d", trial, j)
+			}
+			seen[j] = true
+			if cost[i][j] == Forbidden {
+				t.Fatalf("trial %d: forbidden cell (%d,%d) used", trial, i, j)
+			}
+			sum += cost[i][j]
+		}
+		if math.Abs(sum-total) > 1e-9 {
+			t.Fatalf("trial %d: reported total %v != recomputed %v", trial, total, sum)
+		}
+	}
+}
+
+func TestLowerBound(t *testing.T) {
+	cost := [][]float64{{1, 9}, {9, 1}}
+	if lb := LowerBound(cost); lb != 2 {
+		t.Fatalf("LowerBound = %v, want 2", lb)
+	}
+	bad := [][]float64{{Forbidden, Forbidden}, {Forbidden, Forbidden}}
+	if lb := LowerBound(bad); !math.IsInf(lb, 1) {
+		t.Fatalf("LowerBound infeasible = %v, want +Inf", lb)
+	}
+}
+
+func TestClone(t *testing.T) {
+	orig := [][]float64{{1, 2}, {3, 4}}
+	cp := Clone(orig)
+	cp[0][0] = 99
+	if orig[0][0] != 1 {
+		t.Fatal("Clone did not deep-copy")
+	}
+}
+
+func BenchmarkSolve32(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n := 32
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = Forbidden
+			} else {
+				cost[i][j] = rng.Float64() * 100
+			}
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := Solve(cost); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

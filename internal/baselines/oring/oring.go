@@ -1,0 +1,66 @@
+// Package oring implements the ORing baseline [17] used in the paper's
+// Tables I and III: a well-designed manual ring router with a
+// per-waveguide wavelength budget and shortest-direction mapping with
+// wavelength reuse, but without XRing's shortcuts or ring openings. Its
+// PDN is the comb design whose feeds must cross ring waveguides to
+// reach the senders — the property that costs ORing crossing loss and
+// first-order crosstalk in Table III.
+package oring
+
+import (
+	"xring/internal/mapping"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/phys"
+	"xring/internal/ring"
+	"xring/internal/router"
+)
+
+// Result bundles the synthesized baseline.
+type Result struct {
+	Design   *router.Design
+	Plan     *pdn.Plan // nil without a PDN
+	Ring     *ring.Result
+	MapStats *mapping.Stats
+}
+
+// Synthesize builds the ORing baseline for a network with the given
+// per-ring wavelength budget. withPDN attaches the comb PDN
+// (Table III); without it the router matches the Table I configuration.
+func Synthesize(net *noc.Network, par phys.Params, maxWL int, withPDN bool) (*Result, error) {
+	rres, err := ring.Construct(net, ring.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeOnRing(net, par, rres, maxWL, withPDN)
+}
+
+// SynthesizeOnRing is Synthesize with a precomputed Step-1 result, so
+// sweeps over #wl share the ring construction.
+func SynthesizeOnRing(net *noc.Network, par phys.Params, rres *ring.Result, maxWL int, withPDN bool) (*Result, error) {
+	d, err := router.NewDesign(net, par, rres.Tour, rres.Orders)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := mapping.Run(d, mapping.Options{
+		MaxWL:         maxWL,
+		NoOpenings:    true,
+		MaxWaveguides: mapping.WaveguideCap(net, par),
+		PreferSharing: true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Design: d, Ring: rres, MapStats: stats}
+	if withPDN {
+		plan, err := pdn.BuildComb(d)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = plan
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,68 @@
+// Package ornoc implements the ORNoC baseline [10] used in the paper's
+// Tables I and II. As in the paper's own evaluation (Sec. IV-B), ORNoC
+// contributes its wavelength-assignment algorithm — aggressive
+// wavelength reuse on as few ring waveguides as possible, detouring
+// signals through the longer ring direction rather than adding
+// waveguides — while the ring construction comes from XRing's Step 1
+// (ORNoC never proposed one) and the PDN is the comb design of ORing
+// [17], whose feeds cross the ring waveguides.
+package ornoc
+
+import (
+	"xring/internal/mapping"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/phys"
+	"xring/internal/ring"
+	"xring/internal/router"
+)
+
+// Result bundles the synthesized baseline.
+type Result struct {
+	Design   *router.Design
+	Plan     *pdn.Plan // nil without a PDN
+	Ring     *ring.Result
+	MapStats *mapping.Stats
+}
+
+// Synthesize builds the ORNoC baseline for a network with the given
+// per-ring wavelength budget. withPDN attaches the comb PDN (Table II);
+// without it the router matches the Table I configuration.
+func Synthesize(net *noc.Network, par phys.Params, maxWL int, withPDN bool) (*Result, error) {
+	rres, err := ring.Construct(net, ring.Options{})
+	if err != nil {
+		return nil, err
+	}
+	return SynthesizeOnRing(net, par, rres, maxWL, withPDN)
+}
+
+// SynthesizeOnRing is Synthesize with a precomputed Step-1 result, so
+// sweeps over #wl share the ring construction.
+func SynthesizeOnRing(net *noc.Network, par phys.Params, rres *ring.Result, maxWL int, withPDN bool) (*Result, error) {
+	d, err := router.NewDesign(net, par, rres.Tour, rres.Orders)
+	if err != nil {
+		return nil, err
+	}
+	stats, err := mapping.Run(d, mapping.Options{
+		MaxWL:         maxWL,
+		NoOpenings:    true,
+		MaxWaveguides: mapping.WaveguideCap(net, par),
+		PreferSharing: true,
+		AllowDetour:   true,
+	})
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Design: d, Ring: rres, MapStats: stats}
+	if withPDN {
+		plan, err := pdn.BuildComb(d)
+		if err != nil {
+			return nil, err
+		}
+		res.Plan = plan
+	}
+	if err := d.Validate(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}

@@ -1,0 +1,257 @@
+// Package core orchestrates the complete XRing synthesis flow
+// (Sec. III): Step 1 ring waveguide construction, Step 2 shortcut
+// construction, Step 3 signal mapping and ring opening, Step 4 PDN
+// design, followed by the insertion-loss and crosstalk analyses. It
+// also provides the #wl sweep the paper's evaluation uses ("we vary the
+// settings of #wl and pick the one with the minimum power and maximum
+// SNR").
+package core
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"xring/internal/loss"
+	"xring/internal/mapping"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/phys"
+	"xring/internal/ring"
+	"xring/internal/router"
+	"xring/internal/shortcut"
+	"xring/internal/xtalk"
+)
+
+// Options configures a synthesis run.
+type Options struct {
+	// Par supplies the technology parameters; the zero value selects
+	// phys.Default().
+	Par *phys.Params
+	// MaxWL is the per-ring wavelength budget #wl. Zero selects N.
+	MaxWL int
+	// WithPDN synthesizes the Step-4 tree PDN and enables the power and
+	// crosstalk analyses to include it (Tables II/III configuration).
+	// Without it the router matches Table I ("we do not perform PDN
+	// design for XRing" there).
+	WithPDN bool
+
+	// Traffic restricts the signals the router must support; nil means
+	// all-to-all (the paper's evaluation pattern). Application-specific
+	// communication graphs go here.
+	Traffic []noc.Signal
+
+	// ShareWavelengths maps signals with ORing-style wavelength reuse
+	// (Sec. III-C inherits the method of [17]): fewer ring waveguides at
+	// the price of drop-leakage noise along reuse chains. The default
+	// policy gives every signal a fresh (waveguide, wavelength) slot.
+	// Sweep explores both.
+	ShareWavelengths bool
+
+	// Ablation switches.
+	DisableShortcuts bool // skip Step 2 entirely
+	NoCSE            bool // Step 2 without CSE merging of crossing shortcuts
+	NoOpenings       bool // Step 3 without ring openings (implies no tree PDN)
+	DisableConflicts bool // Step 1 without the Eq. (3) conflict constraints
+
+	// RingMaxNodes caps the Step-1 branch and bound (0 = default).
+	RingMaxNodes int
+}
+
+// Result is a fully synthesized and analyzed XRing router.
+type Result struct {
+	Design   *router.Design
+	Ring     *ring.Result
+	MapStats *mapping.Stats
+	Plan     *pdn.Plan // nil without PDN
+	Loss     *loss.Report
+	Xtalk    *xtalk.Report
+	// Opt records the options the design was synthesized with (sweeps
+	// vary MaxWL and ShareWavelengths).
+	Opt Options
+	// SynthTime covers synthesis only (Steps 1-4), excluding analyses,
+	// matching the paper's T column.
+	SynthTime time.Duration
+}
+
+// Synthesize runs the full flow on a network.
+func Synthesize(net *noc.Network, opt Options) (*Result, error) {
+	t0 := time.Now()
+	rres, err := ring.Construct(net, ring.Options{
+		MaxNodes:         opt.RingMaxNodes,
+		DisableConflicts: opt.DisableConflicts,
+	})
+	ringTime := time.Since(t0)
+	if err != nil {
+		return nil, err
+	}
+	res, err := SynthesizeOnRing(net, rres, opt)
+	if err != nil {
+		return nil, err
+	}
+	res.SynthTime += ringTime
+	return res, nil
+}
+
+// SynthesizeOnRing runs Steps 2-4 and the analyses on a precomputed
+// Step-1 result, so #wl sweeps share the ring construction.
+func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
+	par := phys.Default()
+	if opt.Par != nil {
+		par = *opt.Par
+	}
+	maxWL := opt.MaxWL
+	if maxWL == 0 {
+		maxWL = net.N()
+	}
+	start := time.Now()
+
+	d, err := router.NewDesign(net, par, rres.Tour, rres.Orders)
+	if err != nil {
+		return nil, err
+	}
+	if err := shortcut.Construct(d, shortcut.Options{
+		Disable: opt.DisableShortcuts,
+		NoCSE:   opt.NoCSE,
+		Traffic: opt.Traffic,
+	}); err != nil {
+		return nil, err
+	}
+	noOpenings := opt.NoOpenings || !opt.WithPDN
+	stats, err := mapping.Run(d, mapping.Options{
+		MaxWL:         maxWL,
+		NoOpenings:    noOpenings,
+		AlignOpenings: true,
+		PreferSharing: opt.ShareWavelengths,
+		MaxWaveguides: mapping.WaveguideCap(net, par),
+		Traffic:       opt.Traffic,
+	})
+	if err != nil {
+		return nil, err
+	}
+	var plan *pdn.Plan
+	if opt.WithPDN {
+		if opt.NoOpenings {
+			// Ablation: XRing mapping but a comb PDN (no openings to
+			// thread a tree through).
+			plan, err = pdn.BuildComb(d)
+		} else {
+			plan, err = pdn.BuildTree(d)
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	synthTime := time.Since(start)
+
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("core: synthesized design invalid: %w", err)
+	}
+	lrep, err := loss.Analyze(d, plan)
+	if err != nil {
+		return nil, err
+	}
+	xrep, err := xtalk.Analyze(d, plan, lrep)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Design:    d,
+		Ring:      rres,
+		MapStats:  stats,
+		Plan:      plan,
+		Loss:      lrep,
+		Xtalk:     xrep,
+		Opt:       opt,
+		SynthTime: synthTime,
+	}, nil
+}
+
+// Objective selects what a #wl sweep optimizes.
+type Objective int
+
+// Sweep objectives, matching the paper's selection rules.
+const (
+	// MinWorstIL picks the setting with the minimum worst-case
+	// insertion loss (Table I).
+	MinWorstIL Objective = iota
+	// MinPower picks the setting with the minimum total laser power
+	// (Tables II/III "setting for min. power").
+	MinPower
+	// MaxSNR picks the setting with the maximum worst-case SNR, breaking
+	// ties toward lower power (Tables II/III "setting for max. SNR").
+	MaxSNR
+)
+
+func (o Objective) String() string {
+	switch o {
+	case MinWorstIL:
+		return "min-il"
+	case MinPower:
+		return "min-power"
+	default:
+		return "max-snr"
+	}
+}
+
+// Score returns the value the objective minimizes for a result.
+func (o Objective) Score(r *Result) float64 {
+	switch o {
+	case MinWorstIL:
+		return r.Loss.WorstIL
+	case MinPower:
+		return r.Loss.TotalPowerMW
+	default:
+		// Maximize worst SNR: minimize its negation. Noise-free designs
+		// (SNR = +Inf) score best; ties resolved by power below.
+		return -r.Xtalk.WorstSNR
+	}
+}
+
+// Sweep synthesizes the network once per #wl candidate and returns the
+// best result under the objective (ties broken by lower laser power,
+// then lower #wl). Candidates may be nil, selecting 1..N.
+func Sweep(net *noc.Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
+	if candidates == nil {
+		for wl := 1; wl <= net.N(); wl++ {
+			candidates = append(candidates, wl)
+		}
+	}
+	rres, err := ring.Construct(net, ring.Options{
+		MaxNodes:         opt.RingMaxNodes,
+		DisableConflicts: opt.DisableConflicts,
+	})
+	if err != nil {
+		return nil, 0, err
+	}
+	var best *Result
+	bestWL := 0
+	bestScore := math.Inf(1)
+	for _, wl := range candidates {
+		for _, share := range [2]bool{false, true} {
+			o := opt
+			o.MaxWL = wl
+			o.ShareWavelengths = share
+			r, err := SynthesizeOnRing(net, rres, o)
+			if err != nil {
+				continue // a setting may be infeasible; skip it
+			}
+			s := objective.Score(r)
+			better := s < bestScore-1e-12
+			if !better && best != nil && math.Abs(s-bestScore) <= 1e-12 {
+				if r.Loss.TotalPowerMW < best.Loss.TotalPowerMW-1e-15 {
+					better = true
+				}
+			}
+			if best == nil || better {
+				best = r
+				bestWL = wl
+				bestScore = s
+			}
+		}
+	}
+	if best == nil {
+		return nil, 0, fmt.Errorf("core: no feasible #wl setting among %v", candidates)
+	}
+	return best, bestWL, nil
+}

@@ -1,0 +1,319 @@
+// Package crossbar implements the crossbar-router baselines of the
+// paper's Table I: the λ-router [6], GWOR [7] and Light [9] logical
+// topologies, each realized on the physical plane by one of three
+// mappers that emulate the characteristic trade-offs of the design
+// tools the paper compares against:
+//
+//   - MapperMatrix (Proton+-like): ports in index order, direct
+//     L-shaped access routing — the shortest wires and the most
+//     waveguide crossings;
+//   - MapperPlanar (PlanarONoC-like): crossing-minimized — ports in
+//     geometric order, per-path orientation chosen greedily, and any
+//     remaining access-access crossing resolved by detouring one path
+//     around the router block (long wires, few crossings);
+//   - MapperProjection (ToPro-like): ports in geometric order with
+//     direct routing — the balanced middle ground.
+//
+// The router core is modelled per topology by its wavelength count and
+// per-signal element counts (through MRRs, drops, internal crossings,
+// internal path length); the access network (node to router port) is
+// routed geometrically and its crossings are counted exactly with the
+// geometry engine. DESIGN.md documents this substitution for the three
+// closed-source physical-design tools.
+package crossbar
+
+import (
+	"fmt"
+	"math"
+
+	"xring/internal/geom"
+	"xring/internal/noc"
+	"xring/internal/phys"
+)
+
+// Kind selects the crossbar router topology.
+type Kind int
+
+// Supported topologies.
+const (
+	LambdaRouter Kind = iota
+	GWOR
+	Light
+)
+
+func (k Kind) String() string {
+	switch k {
+	case LambdaRouter:
+		return "lambda-router"
+	case GWOR:
+		return "gwor"
+	default:
+		return "light"
+	}
+}
+
+// Mapper selects the physical mapping strategy.
+type Mapper int
+
+// Supported mappers.
+const (
+	MapperMatrix Mapper = iota
+	MapperPlanar
+	MapperProjection
+)
+
+func (m Mapper) String() string {
+	switch m {
+	case MapperMatrix:
+		return "matrix"
+	case MapperPlanar:
+		return "planar"
+	default:
+		return "projection"
+	}
+}
+
+// ElementPitchMM is the spacing between adjacent optical switching
+// elements inside the router core.
+const ElementPitchMM = 0.1
+
+// PortPitchMM is the spacing between adjacent access ports on the
+// router block boundary.
+const PortPitchMM = 0.2
+
+// PathMetrics describes one signal's realized path.
+type PathMetrics struct {
+	Sig noc.Signal
+	// Length is the total waveguide length (access + core) in mm.
+	Length float64
+	// Crossings = core crossings + access crossings passed.
+	Crossings int
+	Throughs  int
+	Drops     int
+	Bends     int
+	// IL is the total insertion loss in dB.
+	IL float64
+}
+
+// Result is a synthesized crossbar router with its analysis.
+type Result struct {
+	Kind   Kind
+	Mapper Mapper
+	N      int
+	// Wavelengths is the #wl column.
+	Wavelengths int
+	Signals     map[noc.Signal]*PathMetrics
+	// WorstIL, Worst, WorstLen, WorstCrossings are the il_w, L and C
+	// columns.
+	WorstIL        float64
+	Worst          noc.Signal
+	WorstLen       float64
+	WorstCrossings int
+}
+
+// core returns the topology-dependent element counts for signal i->j.
+func core(kind Kind, n, i, j int) (throughs, crossings int, lengthMM float64) {
+	fwd := ((j - i) + n) % n
+	switch kind {
+	case LambdaRouter:
+		// Diamond of N stages: a signal traverses every stage, passing
+		// one element per stage (N-1 off resonance); inter-stage wiring
+		// shifts the signal |i-j| rows, each shift crossing one lane.
+		d := i - j
+		if d < 0 {
+			d = -d
+		}
+		return n - 1, d, float64(n+d) * ElementPitchMM
+	case GWOR:
+		// Dimension-ordered 4x4 blocks: roughly half the matrix hops.
+		return n/2 - 1, (fwd + 1) / 2, float64(fwd+n/2) * ElementPitchMM
+	default: // Light
+		// Light minimizes MRR passes (one off-resonance MRR per path)
+		// at the cost of some internal crossings.
+		return 1, fwd/4 + 1, float64(fwd+2) * ElementPitchMM
+	}
+}
+
+// wavelengths returns the #wl requirement per topology.
+func wavelengths(kind Kind, n int) int {
+	if kind == LambdaRouter {
+		return n
+	}
+	return n - 1
+}
+
+// access is one node-to-port waveguide.
+type access struct {
+	node int
+	path geom.Polyline
+	// extra is detour length added by the planar mapper.
+	extra float64
+	// crossings with other access waveguides.
+	crossings int
+}
+
+// Synthesize builds and analyzes a crossbar router for the network.
+func Synthesize(net *noc.Network, kind Kind, mapper Mapper, par phys.Params) (*Result, error) {
+	n := net.N()
+	if n < 2 {
+		return nil, fmt.Errorf("crossbar: need at least 2 nodes, have %d", n)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+
+	// Router block centered on the die.
+	cx, cy := net.DieW/2, net.DieH/2
+	side := float64(n) * PortPitchMM
+	top := cy + side/2
+	right := cx + side/2
+
+	// Port assignment: index order for the matrix mapper, geometric
+	// order otherwise.
+	inOrder := portOrder(net, mapper, true)
+	outOrder := portOrder(net, mapper, false)
+
+	ins := buildAccess(net, inOrder, func(k int) geom.Point {
+		return geom.Point{X: cx - side/2 + (float64(k)+0.5)*PortPitchMM, Y: top}
+	}, true)
+	outs := buildAccess(net, outOrder, func(k int) geom.Point {
+		return geom.Point{X: right, Y: cy - side/2 + (float64(k)+0.5)*PortPitchMM}
+	}, false)
+
+	all := append(append([]*access{}, ins...), outs...)
+	if mapper == MapperPlanar {
+		planarize(all, side)
+	}
+	countAccessCrossings(all)
+
+	inByNode := map[int]*access{}
+	outByNode := map[int]*access{}
+	for _, a := range ins {
+		inByNode[a.node] = a
+	}
+	for _, a := range outs {
+		outByNode[a.node] = a
+	}
+
+	res := &Result{
+		Kind:        kind,
+		Mapper:      mapper,
+		N:           n,
+		Wavelengths: wavelengths(kind, n),
+		Signals:     map[noc.Signal]*PathMetrics{},
+		WorstIL:     math.Inf(-1),
+	}
+	for _, sig := range noc.AllToAll(n) {
+		thr, cross, coreLen := core(kind, n, sig.Src, sig.Dst)
+		in := inByNode[sig.Src]
+		out := outByNode[sig.Dst]
+		pm := &PathMetrics{
+			Sig:       sig,
+			Length:    in.path.Length() + in.extra + coreLen + out.path.Length() + out.extra,
+			Crossings: cross + in.crossings + out.crossings,
+			Throughs:  thr,
+			Drops:     1,
+			Bends:     in.path.Bends() + out.path.Bends() + 2,
+		}
+		pm.IL = pm.Length*par.PropagationDBPerMM +
+			float64(pm.Crossings)*par.CrossingDB +
+			float64(pm.Throughs)*par.ThroughDB +
+			float64(pm.Drops)*par.DropDB +
+			float64(pm.Bends)*par.BendDB +
+			par.PhotodetectorDB
+		res.Signals[sig] = pm
+		if pm.IL > res.WorstIL {
+			res.WorstIL = pm.IL
+			res.Worst = sig
+			res.WorstLen = pm.Length
+			res.WorstCrossings = pm.Crossings
+		}
+	}
+	return res, nil
+}
+
+// portOrder returns node IDs in the order their ports appear along the
+// block edge.
+func portOrder(net *noc.Network, mapper Mapper, input bool) []int {
+	n := net.N()
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	if mapper == MapperMatrix {
+		return order
+	}
+	// Geometric ordering: inputs (top edge) by node X, outputs (right
+	// edge) by node Y, so access waveguides mostly nest instead of
+	// crossing.
+	key := func(id int) float64 {
+		if input {
+			return net.Nodes[id].Pos.X*1000 + net.Nodes[id].Pos.Y
+		}
+		return net.Nodes[id].Pos.Y*1000 + net.Nodes[id].Pos.X
+	}
+	for a := 0; a < n; a++ {
+		for b := a + 1; b < n; b++ {
+			if key(order[b]) < key(order[a]) {
+				order[a], order[b] = order[b], order[a]
+			}
+		}
+	}
+	return order
+}
+
+// buildAccess routes one access waveguide per node to its port.
+// Inputs approach the top edge vertically last; outputs approach the
+// right edge horizontally last.
+func buildAccess(net *noc.Network, order []int, portAt func(k int) geom.Point, input bool) []*access {
+	out := make([]*access, len(order))
+	for k, node := range order {
+		p := portAt(k)
+		var path geom.Polyline
+		if input {
+			path = geom.LPath(net.Nodes[node].Pos, p, geom.HV)
+		} else {
+			path = geom.LPath(net.Nodes[node].Pos, p, geom.VH)
+		}
+		out[k] = &access{node: node, path: path}
+	}
+	return out
+}
+
+// planarize resolves access-access crossings the way a planar embedder
+// would: the later path of each crossing pair detours around the router
+// block, trading length for crossings.
+func planarize(all []*access, side float64) {
+	detoured := map[int]bool{}
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			if detoured[i] || detoured[j] {
+				continue
+			}
+			if geom.PathsCross(all[i].path, all[j].path) {
+				detoured[j] = true
+			}
+		}
+	}
+	for j := range detoured {
+		a := all[j]
+		// The detour keeps the direct length and adds a loop around the
+		// router block.
+		a.extra = a.path.Length() + 2*side
+		// A detoured path leaves the congested region; drop its
+		// geometric footprint so it no longer crosses others.
+		a.path = geom.Polyline{a.path.Start(), a.path.Start()}
+	}
+}
+
+// countAccessCrossings counts, per access waveguide, its crossings with
+// every other access waveguide.
+func countAccessCrossings(all []*access) {
+	for i := 0; i < len(all); i++ {
+		for j := i + 1; j < len(all); j++ {
+			c := geom.CrossingsBetween(all[i].path, all[j].path)
+			all[i].crossings += c
+			all[j].crossings += c
+		}
+	}
+}

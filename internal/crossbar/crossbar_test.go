@@ -1,0 +1,113 @@
+package crossbar
+
+import (
+	"testing"
+
+	"xring/internal/noc"
+	"xring/internal/phys"
+)
+
+func TestSynthesizeAllCombos(t *testing.T) {
+	net := noc.Floorplan8()
+	par := phys.TableI()
+	for _, kind := range []Kind{LambdaRouter, GWOR, Light} {
+		for _, mapper := range []Mapper{MapperMatrix, MapperPlanar, MapperProjection} {
+			res, err := Synthesize(net, kind, mapper, par)
+			if err != nil {
+				t.Fatalf("%v/%v: %v", kind, mapper, err)
+			}
+			if len(res.Signals) != 56 {
+				t.Fatalf("%v/%v: %d signals", kind, mapper, len(res.Signals))
+			}
+			if res.WorstIL <= 0 {
+				t.Fatalf("%v/%v: worst IL %v", kind, mapper, res.WorstIL)
+			}
+			for sig, pm := range res.Signals {
+				if pm.Length <= 0 || pm.IL <= 0 || pm.Drops != 1 {
+					t.Fatalf("%v/%v %v: bad metrics %+v", kind, mapper, sig, pm)
+				}
+				if pm.Crossings < 0 || pm.Throughs < 0 {
+					t.Fatalf("%v/%v %v: negative counts", kind, mapper, sig)
+				}
+			}
+		}
+	}
+}
+
+func TestWavelengthCounts(t *testing.T) {
+	net := noc.Floorplan8()
+	par := phys.TableI()
+	lr, _ := Synthesize(net, LambdaRouter, MapperMatrix, par)
+	gw, _ := Synthesize(net, GWOR, MapperMatrix, par)
+	li, _ := Synthesize(net, Light, MapperMatrix, par)
+	// Table I: λ-router uses N wavelengths, GWOR and Light N-1.
+	if lr.Wavelengths != 8 || gw.Wavelengths != 7 || li.Wavelengths != 7 {
+		t.Fatalf("#wl = %d/%d/%d, want 8/7/7", lr.Wavelengths, gw.Wavelengths, li.Wavelengths)
+	}
+}
+
+func TestMapperTradeoffs(t *testing.T) {
+	// The defining shape of Table I's tool rows: the matrix mapper has
+	// the most crossings; the planar mapper trades them for length.
+	net := noc.Floorplan16()
+	par := phys.TableI()
+	matrix, err := Synthesize(net, LambdaRouter, MapperMatrix, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	planar, err := Synthesize(net, LambdaRouter, MapperPlanar, par)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if planar.WorstCrossings >= matrix.WorstCrossings {
+		t.Fatalf("planar crossings %d should be below matrix %d",
+			planar.WorstCrossings, matrix.WorstCrossings)
+	}
+	if planar.WorstLen <= matrix.WorstLen {
+		t.Fatalf("planar length %v should exceed matrix %v",
+			planar.WorstLen, matrix.WorstLen)
+	}
+}
+
+func TestLightBeatsLambdaRouterOnThroughs(t *testing.T) {
+	net := noc.Floorplan16()
+	par := phys.TableI()
+	lr, _ := Synthesize(net, LambdaRouter, MapperProjection, par)
+	li, _ := Synthesize(net, Light, MapperProjection, par)
+	for sig := range lr.Signals {
+		if li.Signals[sig].Throughs >= lr.Signals[sig].Throughs {
+			t.Fatalf("Light should pass fewer MRRs than λ-router for %v", sig)
+		}
+	}
+	if li.WorstIL >= lr.WorstIL {
+		t.Fatalf("Light worst IL %v should beat λ-router %v", li.WorstIL, lr.WorstIL)
+	}
+}
+
+func TestWorstColumnsConsistent(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := Synthesize(net, GWOR, MapperProjection, phys.TableI())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pm := res.Signals[res.Worst]
+	if pm.IL != res.WorstIL || pm.Length != res.WorstLen || pm.Crossings != res.WorstCrossings {
+		t.Fatal("worst columns do not match the worst signal")
+	}
+}
+
+func TestSynthesizeErrors(t *testing.T) {
+	small := noc.Grid(1, 1, 2, 1)
+	if _, err := Synthesize(small, GWOR, MapperMatrix, phys.TableI()); err == nil {
+		t.Fatal("want error for 1-node network")
+	}
+}
+
+func TestStringers(t *testing.T) {
+	if LambdaRouter.String() != "lambda-router" || GWOR.String() != "gwor" || Light.String() != "light" {
+		t.Fatal("Kind.String")
+	}
+	if MapperMatrix.String() != "matrix" || MapperPlanar.String() != "planar" || MapperProjection.String() != "projection" {
+		t.Fatal("Mapper.String")
+	}
+}

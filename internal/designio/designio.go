@@ -1,0 +1,200 @@
+// Package designio serializes synthesized designs to a stable JSON
+// format and loads them back, so routers can be stored, diffed,
+// re-analyzed and exchanged with other tools. The PDN plan is not
+// stored: it derives deterministically from the design (pdn.BuildTree /
+// BuildComb), so loaders re-run Step 4 as needed.
+package designio
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"xring/internal/geom"
+	"xring/internal/noc"
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+// FormatVersion identifies the on-disk schema.
+const FormatVersion = 1
+
+type fileNode struct {
+	ID   int     `json:"id"`
+	Name string  `json:"name"`
+	X    float64 `json:"x"`
+	Y    float64 `json:"y"`
+}
+
+type fileChannel struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+	WL  int `json:"wl"`
+}
+
+type fileCrossing struct {
+	Pos    float64 `json:"pos"`
+	AtNode int     `json:"atNode"`
+	FedWG  int     `json:"fedWG"`
+	Source string  `json:"source"`
+}
+
+type fileWaveguide struct {
+	ID        int            `json:"id"`
+	Dir       string         `json:"dir"`
+	Radial    int            `json:"radial"`
+	Opening   int            `json:"opening"`
+	Channels  []fileChannel  `json:"channels"`
+	Crossings []fileCrossing `json:"crossings,omitempty"`
+}
+
+type fileShortcutChannel struct {
+	Src    int  `json:"src"`
+	Dst    int  `json:"dst"`
+	WL     int  `json:"wl"`
+	ViaCSE bool `json:"viaCSE,omitempty"`
+}
+
+type fileShortcut struct {
+	A        int                   `json:"a"`
+	B        int                   `json:"b"`
+	Path     [][2]float64          `json:"path"`
+	Partner  int                   `json:"partner"`
+	Channels []fileShortcutChannel `json:"channels"`
+}
+
+type fileRoute struct {
+	Src    int  `json:"src"`
+	Dst    int  `json:"dst"`
+	Kind   int  `json:"kind"`
+	WG     int  `json:"wg,omitempty"`
+	SC     int  `json:"sc,omitempty"`
+	ViaCSE bool `json:"viaCSE,omitempty"`
+	WL     int  `json:"wl"`
+}
+
+type file struct {
+	Version    int             `json:"version"`
+	DieW       float64         `json:"dieW"`
+	DieH       float64         `json:"dieH"`
+	Nodes      []fileNode      `json:"nodes"`
+	Par        phys.Params     `json:"params"`
+	Tour       []int           `json:"tour"`
+	Orders     []int           `json:"orders"`
+	MaxWL      int             `json:"maxWL"`
+	Waveguides []fileWaveguide `json:"waveguides"`
+	Shortcuts  []fileShortcut  `json:"shortcuts"`
+	Routes     []fileRoute     `json:"routes"`
+}
+
+// Save serializes a design.
+func Save(d *router.Design) ([]byte, error) {
+	f := file{
+		Version: FormatVersion,
+		DieW:    d.Net.DieW,
+		DieH:    d.Net.DieH,
+		Par:     d.Par,
+		Tour:    d.Tour,
+		MaxWL:   d.MaxWL,
+	}
+	for _, n := range d.Net.Nodes {
+		f.Nodes = append(f.Nodes, fileNode{ID: n.ID, Name: n.Name, X: n.Pos.X, Y: n.Pos.Y})
+	}
+	for _, o := range d.EdgeOrders {
+		f.Orders = append(f.Orders, int(o))
+	}
+	for _, w := range d.Waveguides {
+		fw := fileWaveguide{ID: w.ID, Dir: w.Dir.String(), Radial: w.Radial, Opening: w.Opening}
+		for _, c := range w.Channels {
+			fw.Channels = append(fw.Channels, fileChannel{Src: c.Sig.Src, Dst: c.Sig.Dst, WL: c.WL})
+		}
+		for _, x := range w.Crossings {
+			fw.Crossings = append(fw.Crossings, fileCrossing{Pos: x.Pos, AtNode: x.AtNode, FedWG: x.FedWG, Source: x.Source})
+		}
+		f.Waveguides = append(f.Waveguides, fw)
+	}
+	for _, s := range d.Shortcuts {
+		fs := fileShortcut{A: s.A, B: s.B, Partner: s.Partner}
+		for _, p := range s.PathAB {
+			fs.Path = append(fs.Path, [2]float64{p.X, p.Y})
+		}
+		for _, c := range s.Channels {
+			fs.Channels = append(fs.Channels, fileShortcutChannel{
+				Src: c.Sig.Src, Dst: c.Sig.Dst, WL: c.WL, ViaCSE: c.ViaCSE})
+		}
+		f.Shortcuts = append(f.Shortcuts, fs)
+	}
+	for _, r := range d.Routes {
+		f.Routes = append(f.Routes, fileRoute{
+			Src: r.Sig.Src, Dst: r.Sig.Dst, Kind: int(r.Kind),
+			WG: r.WG, SC: r.SC, ViaCSE: r.ViaCSE, WL: r.WL,
+		})
+	}
+	return json.MarshalIndent(f, "", " ")
+}
+
+// Load rebuilds a design from its serialized form and validates it.
+func Load(data []byte) (*router.Design, error) {
+	var f file
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	if f.Version != FormatVersion {
+		return nil, fmt.Errorf("designio: unsupported format version %d (want %d)", f.Version, FormatVersion)
+	}
+	net := &noc.Network{DieW: f.DieW, DieH: f.DieH}
+	for _, n := range f.Nodes {
+		net.Nodes = append(net.Nodes, noc.Node{ID: n.ID, Name: n.Name, Pos: geom.Point{X: n.X, Y: n.Y}})
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	orders := make([]geom.LOrder, len(f.Orders))
+	for i, o := range f.Orders {
+		orders[i] = geom.LOrder(o)
+	}
+	d, err := router.NewDesign(net, f.Par, f.Tour, orders)
+	if err != nil {
+		return nil, fmt.Errorf("designio: %w", err)
+	}
+	d.MaxWL = f.MaxWL
+	for _, fw := range f.Waveguides {
+		dir := router.CW
+		if fw.Dir == router.CCW.String() {
+			dir = router.CCW
+		} else if fw.Dir != router.CW.String() {
+			return nil, fmt.Errorf("designio: unknown direction %q", fw.Dir)
+		}
+		w := &router.Waveguide{ID: fw.ID, Dir: dir, Radial: fw.Radial, Opening: fw.Opening}
+		for _, c := range fw.Channels {
+			w.Channels = append(w.Channels, router.Channel{
+				Sig: noc.Signal{Src: c.Src, Dst: c.Dst}, WL: c.WL})
+		}
+		for _, x := range fw.Crossings {
+			w.Crossings = append(w.Crossings, router.Crossing{
+				Pos: x.Pos, AtNode: x.AtNode, FedWG: x.FedWG, Source: x.Source})
+		}
+		d.Waveguides = append(d.Waveguides, w)
+	}
+	for _, fs := range f.Shortcuts {
+		s := &router.Shortcut{A: fs.A, B: fs.B, Partner: fs.Partner}
+		for _, p := range fs.Path {
+			s.PathAB = append(s.PathAB, geom.Point{X: p[0], Y: p[1]})
+		}
+		for _, c := range fs.Channels {
+			s.Channels = append(s.Channels, router.ShortcutChannel{
+				Sig: noc.Signal{Src: c.Src, Dst: c.Dst}, WL: c.WL, ViaCSE: c.ViaCSE})
+		}
+		d.Shortcuts = append(d.Shortcuts, s)
+	}
+	for _, fr := range f.Routes {
+		sig := noc.Signal{Src: fr.Src, Dst: fr.Dst}
+		d.Routes[sig] = &router.Route{
+			Sig: sig, Kind: router.RouteKind(fr.Kind),
+			WG: fr.WG, SC: fr.SC, ViaCSE: fr.ViaCSE, WL: fr.WL,
+		}
+	}
+	if err := d.Validate(); err != nil {
+		return nil, fmt.Errorf("designio: loaded design invalid: %w", err)
+	}
+	return d, nil
+}

@@ -1,0 +1,35 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+// FuzzCrosses checks that the crossing predicate never panics and stays
+// symmetric for arbitrary (finite) axis-aligned segments.
+func FuzzCrosses(f *testing.F) {
+	f.Add(0.0, 0.0, 4.0, 0.0, 2.0, -1.0, 2.0, 1.0)
+	f.Add(0.0, 0.0, 0.0, 4.0, 0.0, 2.0, 0.0, 6.0)
+	f.Fuzz(func(t *testing.T, ax, ay, bx, by, cx, cy, dx, dy float64) {
+		clampF := func(v float64) float64 {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return 0
+			}
+			return math.Mod(v, 1000)
+		}
+		a := Point{clampF(ax), clampF(ay)}
+		b := Point{clampF(bx), clampF(by)}
+		c := Point{clampF(cx), clampF(cy)}
+		d := Point{clampF(dx), clampF(dy)}
+		// Snap to axis alignment: force one shared coordinate each.
+		s1 := Segment{a, Point{b.X, a.Y}}
+		s2 := Segment{c, Point{c.X, d.Y}}
+		if Crosses(s1, s2) != Crosses(s2, s1) {
+			t.Fatalf("asymmetric: %v vs %v", s1, s2)
+		}
+		// L-paths from the same endpoints never cross their own twin.
+		p := LPath(a, b, VH)
+		q := LPath(a, b, HV)
+		_ = PathsCross(p, q) // must not panic
+	})
+}

@@ -1,0 +1,417 @@
+package geom
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func pt(x, y float64) Point { return Point{x, y} }
+
+func TestManhattan(t *testing.T) {
+	cases := []struct {
+		a, b Point
+		want float64
+	}{
+		{pt(0, 0), pt(0, 0), 0},
+		{pt(0, 0), pt(3, 4), 7},
+		{pt(-1, -1), pt(1, 1), 4},
+		{pt(2.5, 0), pt(0, 2.5), 5},
+	}
+	for _, c := range cases {
+		if got := Manhattan(c.a, c.b); math.Abs(got-c.want) > Eps {
+			t.Errorf("Manhattan(%v,%v) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+// clamp maps an arbitrary float into a well-behaved coordinate range so
+// that property tests do not overflow to Inf/NaN.
+func clamp(v float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 0
+	}
+	return math.Mod(v, 100)
+}
+
+func TestManhattanSymmetric(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := pt(clamp(ax), clamp(ay))
+		b := pt(clamp(bx), clamp(by))
+		return math.Abs(Manhattan(a, b)-Manhattan(b, a)) <= Eps
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestManhattanTriangleInequality(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		a := pt(rng.Float64()*10, rng.Float64()*10)
+		b := pt(rng.Float64()*10, rng.Float64()*10)
+		c := pt(rng.Float64()*10, rng.Float64()*10)
+		if Manhattan(a, c) > Manhattan(a, b)+Manhattan(b, c)+Eps {
+			t.Fatalf("triangle inequality violated for %v %v %v", a, b, c)
+		}
+	}
+}
+
+func TestSegmentOrientation(t *testing.T) {
+	h := Segment{pt(0, 1), pt(5, 1)}
+	v := Segment{pt(2, 0), pt(2, 9)}
+	if !h.Horizontal() || h.Vertical() {
+		t.Errorf("h misclassified")
+	}
+	if !v.Vertical() || v.Horizontal() {
+		t.Errorf("v misclassified")
+	}
+	d := Segment{pt(1, 1), pt(1, 1)}
+	if !d.Degenerate() {
+		t.Errorf("degenerate segment not detected")
+	}
+	if !d.Horizontal() || !d.Vertical() {
+		t.Errorf("degenerate segment should be both horizontal and vertical")
+	}
+}
+
+func TestSegmentContainsPoint(t *testing.T) {
+	s := Segment{pt(0, 0), pt(10, 0)}
+	for _, p := range []Point{pt(0, 0), pt(5, 0), pt(10, 0)} {
+		if !s.ContainsPoint(p) {
+			t.Errorf("%v should contain %v", s, p)
+		}
+	}
+	for _, p := range []Point{pt(-1, 0), pt(11, 0), pt(5, 1)} {
+		if s.ContainsPoint(p) {
+			t.Errorf("%v should not contain %v", s, p)
+		}
+	}
+}
+
+func TestCrossesPerpendicular(t *testing.T) {
+	h := Segment{pt(0, 0), pt(10, 0)}
+	cases := []struct {
+		v    Segment
+		want bool
+		name string
+	}{
+		{Segment{pt(5, -5), pt(5, 5)}, true, "interior crossing"},
+		{Segment{pt(5, 0), pt(5, 5)}, true, "T-junction from above"},
+		{Segment{pt(5, -5), pt(5, 0)}, true, "T-junction from below"},
+		{Segment{pt(0, 0), pt(0, 5)}, false, "shared endpoint (joint)"},
+		{Segment{pt(10, -3), pt(10, 3)}, true, "T at right endpoint"},
+		{Segment{pt(10, 0), pt(10, 4)}, false, "corner at right endpoint"},
+		{Segment{pt(15, -5), pt(15, 5)}, false, "beyond segment"},
+		{Segment{pt(5, 1), pt(5, 5)}, false, "above, no touch"},
+	}
+	for _, c := range cases {
+		if got := Crosses(h, c.v); got != c.want {
+			t.Errorf("%s: Crosses = %v, want %v", c.name, got, c.want)
+		}
+		if got := Crosses(c.v, h); got != c.want {
+			t.Errorf("%s (swapped): Crosses = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestCrossesParallel(t *testing.T) {
+	a := Segment{pt(0, 0), pt(10, 0)}
+	cases := []struct {
+		b    Segment
+		want bool
+		name string
+	}{
+		{Segment{pt(2, 0), pt(8, 0)}, true, "contained overlap"},
+		{Segment{pt(5, 0), pt(15, 0)}, true, "partial overlap"},
+		{Segment{pt(10, 0), pt(20, 0)}, false, "touching at endpoint only"},
+		{Segment{pt(11, 0), pt(20, 0)}, false, "disjoint collinear"},
+		{Segment{pt(0, 1), pt(10, 1)}, false, "parallel different Y"},
+	}
+	for _, c := range cases {
+		if got := Crosses(a, c.b); got != c.want {
+			t.Errorf("%s: Crosses = %v, want %v", c.name, got, c.want)
+		}
+	}
+	v1 := Segment{pt(0, 0), pt(0, 10)}
+	v2 := Segment{pt(0, 5), pt(0, 15)}
+	if !Crosses(v1, v2) {
+		t.Errorf("overlapping vertical segments should cross")
+	}
+}
+
+func TestCrossesDegenerate(t *testing.T) {
+	d := Segment{pt(5, 0), pt(5, 0)}
+	s := Segment{pt(0, 0), pt(10, 0)}
+	if Crosses(d, s) || Crosses(s, d) {
+		t.Errorf("degenerate segment should never cross")
+	}
+}
+
+func TestCrossingPoint(t *testing.T) {
+	h := Segment{pt(0, 0), pt(10, 0)}
+	v := Segment{pt(4, -2), pt(4, 2)}
+	p, ok := CrossingPoint(h, v)
+	if !ok || !p.Eq(pt(4, 0)) {
+		t.Errorf("CrossingPoint = %v,%v; want (4,0),true", p, ok)
+	}
+	// Collinear overlap: crossing but no single point.
+	a := Segment{pt(0, 0), pt(10, 0)}
+	b := Segment{pt(5, 0), pt(15, 0)}
+	if _, ok := CrossingPoint(a, b); ok {
+		t.Errorf("collinear overlap should have no crossing point")
+	}
+}
+
+func TestCrossesSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	grid := func() float64 { return float64(rng.Intn(8)) }
+	mkseg := func() Segment {
+		a := pt(grid(), grid())
+		if rng.Intn(2) == 0 {
+			return Segment{a, pt(grid(), a.Y)} // horizontal
+		}
+		return Segment{a, pt(a.X, grid())} // vertical
+	}
+	for i := 0; i < 5000; i++ {
+		s, u := mkseg(), mkseg()
+		if Crosses(s, u) != Crosses(u, s) {
+			t.Fatalf("Crosses not symmetric for %v %v", s, u)
+		}
+	}
+}
+
+func TestLPath(t *testing.T) {
+	a, b := pt(0, 0), pt(3, 4)
+	vh := LPath(a, b, VH)
+	if len(vh) != 3 || !vh[1].Eq(pt(0, 4)) {
+		t.Errorf("VH path corner = %v, want (0,4)", vh[1])
+	}
+	hv := LPath(a, b, HV)
+	if len(hv) != 3 || !hv[1].Eq(pt(3, 0)) {
+		t.Errorf("HV path corner = %v, want (3,0)", hv[1])
+	}
+	if math.Abs(vh.Length()-7) > Eps || math.Abs(hv.Length()-7) > Eps {
+		t.Errorf("L-path length should equal Manhattan distance")
+	}
+	// Straight path: single segment both ways.
+	straight := LPath(pt(0, 0), pt(5, 0), VH)
+	if len(straight) != 2 {
+		t.Errorf("straight LPath should have 2 points, got %d", len(straight))
+	}
+}
+
+func TestLPathLengthEqualsManhattan(t *testing.T) {
+	f := func(ax, ay, bx, by float64) bool {
+		a := pt(clamp(ax), clamp(ay))
+		b := pt(clamp(bx), clamp(by))
+		return math.Abs(LPath(a, b, VH).Length()-Manhattan(a, b)) <= 1e-6 &&
+			math.Abs(LPath(a, b, HV).Length()-Manhattan(a, b)) <= 1e-6
+	}
+	cfg := &quick.Config{MaxCount: 500, Rand: rand.New(rand.NewSource(3)), Values: nil}
+	if err := quick.Check(f, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPolylineBends(t *testing.T) {
+	p := Polyline{pt(0, 0), pt(0, 5), pt(5, 5), pt(5, 0)}
+	if got := p.Bends(); got != 2 {
+		t.Errorf("Bends = %d, want 2", got)
+	}
+	straight := Polyline{pt(0, 0), pt(5, 0), pt(9, 0)}
+	if got := straight.Bends(); got != 0 {
+		t.Errorf("straight Bends = %d, want 0", got)
+	}
+}
+
+func TestPathsCross(t *testing.T) {
+	// Two L-paths that must cross.
+	p := LPath(pt(0, 0), pt(4, 4), VH) // up then right
+	q := LPath(pt(0, 4), pt(4, 0), VH) // down then right
+	if !PathsCross(p, q) {
+		t.Errorf("expected crossing between %v and %v", p, q)
+	}
+	// The X-configuration also overlaps under the opposite option.
+	q1 := LPath(pt(0, 4), pt(4, 0), HV)
+	if !PathsCross(p, q1) {
+		t.Errorf("expected overlap between %v and %v", p, q1)
+	}
+	// A genuinely compatible pair: VH up-then-right versus an HV path
+	// tucked inside the corner.
+	q2 := LPath(pt(1, 0), pt(4, 3), HV)
+	if PathsCross(p, q2) {
+		t.Errorf("expected no crossing between %v and %v", p, q2)
+	}
+	// Paths sharing a terminal node: joint, not a crossing.
+	r1 := LPath(pt(0, 0), pt(4, 4), VH)
+	r2 := LPath(pt(4, 4), pt(8, 0), VH)
+	if PathsCross(r1, r2) {
+		t.Errorf("paths sharing a terminal should not cross")
+	}
+}
+
+func TestEdgesConflictParallelAligned(t *testing.T) {
+	// Fig. 6(c): nested edges on a line can be routed without crossing
+	// only if their L-options separate them... two horizontally-aligned
+	// overlapping edges conflict (any routing overlaps on the line).
+	if !EdgesConflict(pt(0, 0), pt(10, 0), pt(5, 0), pt(15, 0)) {
+		t.Errorf("overlapping collinear edges must conflict")
+	}
+	// Disjoint collinear edges don't conflict.
+	if EdgesConflict(pt(0, 0), pt(4, 0), pt(5, 0), pt(9, 0)) {
+		t.Errorf("disjoint collinear edges must not conflict")
+	}
+}
+
+func TestEdgesConflictCrossingPair(t *testing.T) {
+	// Fig. 6(d): an X configuration where all four L-option pairs cross.
+	// Edge1: (0,0)->(4,4); Edge2: (0,4)->(4,0). Check exhaustively.
+	a1, b1 := pt(0, 0), pt(4, 4)
+	a2, b2 := pt(0, 4), pt(4, 0)
+	if !EdgesConflict(a1, b1, a2, b2) {
+		t.Errorf("X-configuration edges must conflict")
+	}
+	// Fig. 6(c): edges that have at least one compatible option pair.
+	c1, d1 := pt(0, 0), pt(2, 2)
+	c2, d2 := pt(3, 0), pt(5, 2)
+	if EdgesConflict(c1, d1, c2, d2) {
+		t.Errorf("side-by-side edges must not conflict")
+	}
+}
+
+func TestEdgesConflictSharedEndpoint(t *testing.T) {
+	// Consecutive ring edges share a node and never conflict.
+	if EdgesConflict(pt(0, 0), pt(4, 4), pt(4, 4), pt(8, 0)) {
+		t.Errorf("edges sharing an endpoint must not conflict")
+	}
+}
+
+func TestEdgesConflictSymmetric(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	g := func() Point { return pt(float64(rng.Intn(6)), float64(rng.Intn(6))) }
+	for i := 0; i < 2000; i++ {
+		a1, b1, a2, b2 := g(), g(), g(), g()
+		if a1.Eq(b1) || a2.Eq(b2) {
+			continue
+		}
+		if EdgesConflict(a1, b1, a2, b2) != EdgesConflict(a2, b2, a1, b1) {
+			t.Fatalf("EdgesConflict not symmetric: %v-%v vs %v-%v", a1, b1, a2, b2)
+		}
+	}
+}
+
+func TestCompatibleOptionsMatchesConflict(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	g := func() Point { return pt(float64(rng.Intn(5)), float64(rng.Intn(5))) }
+	for i := 0; i < 2000; i++ {
+		a1, b1, a2, b2 := g(), g(), g(), g()
+		if a1.Eq(b1) || a2.Eq(b2) {
+			continue
+		}
+		opts := CompatibleOptions(a1, b1, a2, b2)
+		conflict := EdgesConflict(a1, b1, a2, b2)
+		if conflict && len(opts) != 0 {
+			t.Fatalf("conflicting edges with compatible options: %v-%v %v-%v", a1, b1, a2, b2)
+		}
+		if !conflict && len(opts) == 0 {
+			t.Fatalf("conflict-free edges without compatible options: %v-%v %v-%v", a1, b1, a2, b2)
+		}
+	}
+}
+
+func TestCrossingsBetween(t *testing.T) {
+	// A path crossing another twice.
+	p := Polyline{pt(0, 1), pt(10, 1)}
+	q := Polyline{pt(2, 0), pt(2, 2), pt(4, 2), pt(4, 0)}
+	if got := CrossingsBetween(p, q); got != 2 {
+		t.Errorf("CrossingsBetween = %d, want 2", got)
+	}
+	if got := CrossingsBetween(q, p); got != 2 {
+		t.Errorf("CrossingsBetween swapped = %d, want 2", got)
+	}
+}
+
+func TestBoundingBox(t *testing.T) {
+	lo, hi := BoundingBox([]Point{pt(3, 1), pt(-2, 5), pt(0, 0)})
+	if !lo.Eq(pt(-2, 0)) || !hi.Eq(pt(3, 5)) {
+		t.Errorf("BoundingBox = %v %v", lo, hi)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Errorf("BoundingBox on empty set should panic")
+		}
+	}()
+	BoundingBox(nil)
+}
+
+func TestPolylineEndpoints(t *testing.T) {
+	p := Polyline{pt(1, 2), pt(1, 5), pt(4, 5)}
+	if !p.Start().Eq(pt(1, 2)) || !p.End().Eq(pt(4, 5)) {
+		t.Errorf("Start/End wrong: %v %v", p.Start(), p.End())
+	}
+	if p.Segments()[0].Length() != 3 {
+		t.Errorf("first segment length = %v", p.Segments()[0].Length())
+	}
+}
+
+func TestPointHelpers(t *testing.T) {
+	a := pt(1, 2)
+	b := pt(3, 5)
+	if !a.Add(b).Eq(pt(4, 7)) || !b.Sub(a).Eq(pt(2, 3)) {
+		t.Fatal("Add/Sub broken")
+	}
+	if math.Abs(Euclid(pt(0, 0), pt(3, 4))-5) > Eps {
+		t.Fatal("Euclid broken")
+	}
+	if a.String() != "(1.000, 2.000)" {
+		t.Fatalf("String = %q", a.String())
+	}
+	if VH.String() != "VH" || HV.String() != "HV" {
+		t.Fatal("LOrder.String broken")
+	}
+	s := Segment{pt(0, 0), pt(2, 0)}
+	if !s.AxisAligned() {
+		t.Fatal("AxisAligned broken")
+	}
+	diag := Segment{pt(0, 0), pt(1, 1)}
+	if diag.AxisAligned() {
+		t.Fatal("diagonal should not be axis aligned")
+	}
+	if s.String() == "" {
+		t.Fatal("Segment.String empty")
+	}
+}
+
+func TestDistAlongAndCrossingPointHelpers(t *testing.T) {
+	p := Polyline{pt(0, 0), pt(0, 3), pt(4, 3)}
+	if got := DistAlong(p, pt(0, 1), pt(2, 3)); math.Abs(got-4) > Eps {
+		t.Fatalf("DistAlong = %v", got)
+	}
+	q := Polyline{pt(-1, 2), pt(5, 2)}
+	if pnt, ok := PolylineCrossingPoint(p, q); !ok || !pnt.Eq(pt(0, 2)) {
+		t.Fatalf("PolylineCrossingPoint = %v %v", pnt, ok)
+	}
+	// Two crossings of p's vertical leg: no unique point.
+	r := Polyline{pt(-1, 1), pt(5, 1), pt(5, 2), pt(-1, 2)}
+	if _, ok := PolylineCrossingPoint(p, r); ok {
+		t.Fatal("expected no unique crossing point")
+	}
+}
+
+func TestCompactRectilinear(t *testing.T) {
+	// A square with redundant mid-edge points.
+	poly := []Point{{0, 0}, {2, 0}, {4, 0}, {4, 4}, {0, 4}, {0, 2}}
+	out := CompactRectilinear(poly)
+	if len(out) != 4 {
+		t.Fatalf("compacted to %d vertices, want 4: %v", len(out), out)
+	}
+	if got := PolygonPerimeter(out); math.Abs(got-16) > Eps {
+		t.Fatalf("perimeter = %v", got)
+	}
+	// Tiny inputs pass through.
+	if len(CompactRectilinear([]Point{{0, 0}, {1, 0}})) != 2 {
+		t.Fatal("short input should pass through")
+	}
+}

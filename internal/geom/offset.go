@@ -1,0 +1,148 @@
+package geom
+
+import (
+	"errors"
+	"math"
+)
+
+// SignedArea returns the signed area of a closed rectilinear polygon
+// given as its vertex cycle (no repeated last point). Positive means
+// counter-clockwise orientation.
+func SignedArea(poly []Point) float64 {
+	a := 0.0
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		p, q := poly[i], poly[(i+1)%n]
+		a += p.X*q.Y - q.X*p.Y
+	}
+	return a / 2
+}
+
+// OffsetRectilinear offsets a simple closed rectilinear polygon outward
+// by d (or inward for negative d). The polygon is given as its vertex
+// cycle without a repeated closing point; consecutive vertices must
+// differ in exactly one coordinate.
+//
+// Each edge is translated along its outward normal and consecutive
+// (perpendicular) offset edges are reconnected at their line
+// intersection. For any simple rectilinear polygon the convex corners
+// outnumber the reflex ones by exactly four, so an outward offset grows
+// the perimeter by exactly 8d — the identity behind
+// router.Design.RadialScale. The function reports an error when the
+// offset collapses an edge (the notch-width limit for inward offsets or
+// deeply notched outlines).
+func OffsetRectilinear(poly []Point, d float64) ([]Point, error) {
+	n := len(poly)
+	if n < 4 {
+		return nil, errors.New("geom: polygon needs at least 4 vertices")
+	}
+	// Normalize: drop repeated/collinear points.
+	clean := make([]Point, 0, n)
+	for i := 0; i < n; i++ {
+		p := poly[i]
+		if len(clean) > 0 && p.Eq(clean[len(clean)-1]) {
+			continue
+		}
+		clean = append(clean, p)
+	}
+	if len(clean) > 1 && clean[0].Eq(clean[len(clean)-1]) {
+		clean = clean[:len(clean)-1]
+	}
+	n = len(clean)
+	if n < 4 {
+		return nil, errors.New("geom: degenerate polygon")
+	}
+
+	ccw := SignedArea(clean) > 0
+	// Outward normal of each edge: rotate the direction by -90° for CCW
+	// polygons (pointing away from the interior), +90° for CW.
+	type line struct {
+		horizontal bool
+		c          float64 // y for horizontal, x for vertical
+	}
+	lines := make([]line, n)
+	for i := 0; i < n; i++ {
+		a, b := clean[i], clean[(i+1)%n]
+		dx, dy := b.X-a.X, b.Y-a.Y
+		if math.Abs(dx) > Eps && math.Abs(dy) > Eps {
+			return nil, errors.New("geom: polygon is not rectilinear")
+		}
+		var nx, ny float64
+		if ccw {
+			nx, ny = dy, -dx // right-hand normal
+		} else {
+			nx, ny = -dy, dx
+		}
+		norm := math.Hypot(nx, ny)
+		nx, ny = nx/norm, ny/norm
+		if math.Abs(dy) <= Eps { // horizontal edge
+			lines[i] = line{horizontal: true, c: a.Y + ny*d}
+		} else {
+			lines[i] = line{horizontal: false, c: a.X + nx*d}
+		}
+	}
+	// Reconnect consecutive offset lines.
+	out := make([]Point, n)
+	for i := 0; i < n; i++ {
+		prev := lines[(i-1+n)%n]
+		cur := lines[i]
+		if prev.horizontal == cur.horizontal {
+			return nil, errors.New("geom: consecutive parallel edges (collinear run)")
+		}
+		if prev.horizontal {
+			out[i] = Point{X: cur.c, Y: prev.c}
+		} else {
+			out[i] = Point{X: prev.c, Y: cur.c}
+		}
+	}
+	// Reject collapses: every edge must keep its original direction.
+	for i := 0; i < n; i++ {
+		a0, b0 := clean[i], clean[(i+1)%n]
+		a1, b1 := out[i], out[(i+1)%n]
+		d0 := math.Copysign(1, (b0.X-a0.X)+(b0.Y-a0.Y))
+		d1x, d1y := b1.X-a1.X, b1.Y-a1.Y
+		l1 := math.Abs(d1x) + math.Abs(d1y)
+		if l1 <= Eps {
+			return nil, errors.New("geom: offset collapses an edge")
+		}
+		d1 := math.Copysign(1, d1x+d1y)
+		if d0 != d1 {
+			return nil, errors.New("geom: offset reverses an edge (notch too deep)")
+		}
+	}
+	return out, nil
+}
+
+// CompactRectilinear merges collinear runs in a closed vertex cycle so
+// that consecutive edges alternate orientation — the normal form
+// OffsetRectilinear requires. Tours produced by the ring constructor
+// routinely run straight through several nodes.
+func CompactRectilinear(poly []Point) []Point {
+	n := len(poly)
+	if n < 3 {
+		return append([]Point(nil), poly...)
+	}
+	var out []Point
+	for i := 0; i < n; i++ {
+		prev := poly[(i-1+n)%n]
+		cur := poly[i]
+		next := poly[(i+1)%n]
+		sameX := math.Abs(prev.X-cur.X) <= Eps && math.Abs(cur.X-next.X) <= Eps
+		sameY := math.Abs(prev.Y-cur.Y) <= Eps && math.Abs(cur.Y-next.Y) <= Eps
+		if sameX || sameY {
+			continue // collinear: drop the middle point
+		}
+		out = append(out, cur)
+	}
+	return out
+}
+
+// PolygonPerimeter returns the perimeter of a closed vertex cycle.
+func PolygonPerimeter(poly []Point) float64 {
+	p := 0.0
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		p += Manhattan(poly[i], poly[(i+1)%n])
+	}
+	return p
+}

@@ -1,0 +1,107 @@
+package geom
+
+import (
+	"math"
+	"testing"
+)
+
+func square(s float64) []Point {
+	return []Point{{0, 0}, {s, 0}, {s, s}, {0, s}}
+}
+
+func TestSignedArea(t *testing.T) {
+	if a := SignedArea(square(4)); math.Abs(a-16) > 1e-12 {
+		t.Fatalf("CCW square area = %v, want 16", a)
+	}
+	cw := []Point{{0, 0}, {0, 4}, {4, 4}, {4, 0}}
+	if a := SignedArea(cw); math.Abs(a+16) > 1e-12 {
+		t.Fatalf("CW square area = %v, want -16", a)
+	}
+}
+
+func TestOffsetSquareOutward(t *testing.T) {
+	out, err := OffsetRectilinear(square(4), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perimeter grows by exactly 8d.
+	if p := PolygonPerimeter(out); math.Abs(p-24) > 1e-9 {
+		t.Fatalf("offset perimeter = %v, want 24", p)
+	}
+	// Every vertex moved outward by (±1, ±1).
+	for _, v := range out {
+		if v.X != -1 && v.X != 5 {
+			t.Fatalf("unexpected vertex %v", v)
+		}
+	}
+	// Inward shrink: perimeter loses 8d.
+	in, err := OffsetRectilinear(square(4), -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PolygonPerimeter(in); math.Abs(p-8) > 1e-9 {
+		t.Fatalf("inset perimeter = %v, want 8", p)
+	}
+}
+
+func TestOffsetCWOrientation(t *testing.T) {
+	cw := []Point{{0, 0}, {0, 4}, {4, 4}, {4, 0}}
+	out, err := OffsetRectilinear(cw, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PolygonPerimeter(out); math.Abs(p-24) > 1e-9 {
+		t.Fatalf("CW offset perimeter = %v, want 24", p)
+	}
+}
+
+func TestOffsetNotchedPolygonKeeps8d(t *testing.T) {
+	// U-shaped polygon (one notch): convex-reflex = 4 still, so the
+	// outward offset perimeter is P + 8d.
+	u := []Point{
+		{0, 0}, {6, 0}, {6, 4}, {4, 4}, {4, 2}, {2, 2}, {2, 4}, {0, 4},
+	}
+	p0 := PolygonPerimeter(u)
+	out, err := OffsetRectilinear(u, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := PolygonPerimeter(out); math.Abs(p-(p0+4)) > 1e-9 {
+		t.Fatalf("notched offset perimeter = %v, want %v", p, p0+4)
+	}
+	// Shrinking by more than half the notch width must fail.
+	if _, err := OffsetRectilinear(u, 1.5); err == nil {
+		t.Fatal("want collapse error for a too-deep outward offset of the notch")
+	}
+}
+
+func TestOffsetValidatesRadialScaleIdentity(t *testing.T) {
+	// The +8d-per-offset identity used by router.Design.RadialScale,
+	// checked on a staircase polygon with several reflex corners.
+	stair := []Point{
+		{0, 0}, {8, 0}, {8, 6}, {6, 6}, {6, 4}, {4, 4}, {4, 6}, {2, 6}, {2, 2}, {0, 2},
+	}
+	p0 := PolygonPerimeter(stair)
+	for _, d := range []float64{0.1, 0.25, 0.4} {
+		out, err := OffsetRectilinear(stair, d)
+		if err != nil {
+			t.Fatalf("d=%v: %v", d, err)
+		}
+		if p := PolygonPerimeter(out); math.Abs(p-(p0+8*d)) > 1e-9 {
+			t.Fatalf("d=%v: perimeter %v, want %v", d, p, p0+8*d)
+		}
+	}
+}
+
+func TestOffsetRejectsBadInput(t *testing.T) {
+	if _, err := OffsetRectilinear([]Point{{0, 0}, {1, 0}}, 1); err == nil {
+		t.Fatal("want error for too-few vertices")
+	}
+	diag := []Point{{0, 0}, {2, 2}, {0, 4}, {-2, 2}}
+	if _, err := OffsetRectilinear(diag, 1); err == nil {
+		t.Fatal("want error for non-rectilinear polygon")
+	}
+	if _, err := OffsetRectilinear(square(1), -0.6); err == nil {
+		t.Fatal("want collapse error for excessive inset")
+	}
+}

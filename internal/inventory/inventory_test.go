@@ -1,0 +1,107 @@
+package inventory
+
+import (
+	"math"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/noc"
+)
+
+func TestTakeFullDesign(t *testing.T) {
+	net := noc.Floorplan16()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Take(res.Design, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// One modulator and one receiver per signal.
+	if c.Modulators != 240 || c.ReceiverMRRs != 240 {
+		t.Fatalf("modulators/receivers = %d/%d, want 240/240", c.Modulators, c.ReceiverMRRs)
+	}
+	if c.TerminatorMRRs != c.ReceiverMRRs {
+		t.Fatal("one terminator per receiver")
+	}
+	if c.TotalMRRs != c.Modulators+c.ReceiverMRRs+c.TerminatorMRRs+c.CSEMRRs {
+		t.Fatal("MRR total inconsistent")
+	}
+	if c.Splitters <= 0 {
+		t.Fatal("PDN splitters missing")
+	}
+	// Waveguide accounting.
+	if c.RingWaveguideMM < res.Design.Perimeter()*float64(len(res.Design.Waveguides)) {
+		t.Fatal("ring waveguide length below unscaled total")
+	}
+	if math.Abs(c.TotalWaveguideMM-(c.RingWaveguideMM+c.ShortcutMM+c.PDNWireMM)) > 1e-9 {
+		t.Fatal("waveguide total inconsistent")
+	}
+	// XRing: zero crossings (tree PDN, no CSE pairs on the grid).
+	if c.Crossings != res.Design.TotalCrossings() {
+		t.Fatalf("crossings = %d, want %d", c.Crossings, res.Design.TotalCrossings())
+	}
+	// Tuning power = rings x per-ring power.
+	want := float64(c.TotalMRRs) * res.Design.Par.TuningMWPerMRR
+	if math.Abs(c.TuningPowerMW-want) > 1e-12 {
+		t.Fatalf("tuning power %v, want %v", c.TuningPowerMW, want)
+	}
+}
+
+func TestTakeWithoutPlan(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Take(res.Design, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Splitters != 0 || c.PDNWireMM != 0 {
+		t.Fatal("no-PDN inventory should have no splitters/PDN wire")
+	}
+	if _, err := Take(nil, nil); err == nil {
+		t.Fatal("want error for nil design")
+	}
+}
+
+func TestCSECounted(t *testing.T) {
+	net := noc.Irregular(10, 30, 30, 3, 8) // known CSE pair
+	res, err := core.Synthesize(net, core.Options{MaxWL: 10, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c, err := Take(res.Design, res.Plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.CSEMRRs < 2 {
+		t.Fatalf("CSE MRRs = %d, want >= 2", c.CSEMRRs)
+	}
+	if c.Crossings < 1 {
+		t.Fatal("CSE crossing not counted")
+	}
+}
+
+func TestCrossbarMRRComparison(t *testing.T) {
+	// The paper's Sec. I claim: ring routers avoid the crossbar
+	// switching fabric. For 16 nodes the λ-router fabric alone is 240
+	// extra rings.
+	lr, err := CrossbarMRRs("lambda-router", 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lr != 240 {
+		t.Fatalf("λ-router fabric = %d rings, want 240", lr)
+	}
+	gw, _ := CrossbarMRRs("gwor", 16)
+	li, _ := CrossbarMRRs("light", 16)
+	if !(li < gw && li < lr) {
+		t.Fatalf("Light should have the leanest fabric: %d %d %d", lr, gw, li)
+	}
+	if _, err := CrossbarMRRs("bogus", 16); err == nil {
+		t.Fatal("want error for unknown kind")
+	}
+}

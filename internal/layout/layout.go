@@ -1,0 +1,271 @@
+// Package layout produces the physical realization of a synthesized
+// design: every ring waveguide as a concrete rectilinear path at its
+// radial offset — with the Step-3 opening cut out of it — plus the tap
+// point where each node's sender/receiver bank couples to each
+// waveguide, and the shortcut paths. The result can be rendered
+// (detailed SVG) or exported as a simple text netlist for downstream
+// mask tooling.
+//
+// Geometry: waveguide pair k sits at outward offset k·s from the base
+// tour (s = the Sec. III-D corridor spacing), the two pair members
+// separated by a small intra-pair pitch. Rectilinear outward offsets
+// grow the perimeter by exactly 8·offset (convex minus reflex corners
+// is always 4), which is the identity the analytical model
+// (router.Design.RadialScale) relies on — Build asserts it.
+package layout
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"xring/internal/geom"
+	"xring/internal/router"
+)
+
+// IntraPairPitchMM separates the two waveguides of a radial pair.
+const IntraPairPitchMM = 0.01
+
+// Waveguide is one physically realized ring waveguide.
+type Waveguide struct {
+	ID     int
+	Dir    router.Direction
+	Radial int
+	// Path is the realized waveguide: an open polyline when an opening
+	// gap was cut, a closed one (first point repeated) otherwise.
+	Path geom.Polyline
+	// Open reports whether the path has an opening gap.
+	Open bool
+	// Length is the realized waveguide length (excluding the gap).
+	Length float64
+}
+
+// Tap is a node's coupling point on a waveguide.
+type Tap struct {
+	Node int
+	WG   int
+	Pos  geom.Point
+}
+
+// Layout is the physical realization of a design.
+type Layout struct {
+	Waveguides []*Waveguide
+	Taps       []Tap
+	Shortcuts  []geom.Polyline
+	// GapMM is the opening gap width used.
+	GapMM float64
+}
+
+// Build realizes the design. It fails when a radial offset is not
+// constructible (deeply notched tours limit the stack) — the same
+// physical limit the waveguide cap models.
+func Build(d *router.Design) (*Layout, error) {
+	ringPl := d.RingPolyline()
+	base := geom.CompactRectilinear(ringPl[:len(ringPl)-1])
+	if len(base) < 4 {
+		return nil, fmt.Errorf("layout: degenerate base ring")
+	}
+	spacing := d.Par.RingSpacingMM(d.N())
+	gap := 2 * d.Par.ModulatorWidthMM
+	out := &Layout{GapMM: gap}
+
+	for _, w := range d.Waveguides {
+		off := spacing*float64(w.Radial/2) + IntraPairPitchMM*float64(w.Radial%2)
+		poly := base
+		if off > 0 {
+			var err error
+			poly, err = geom.OffsetRectilinear(base, off)
+			if err != nil {
+				return nil, fmt.Errorf("layout: waveguide %d (radial %d): %w", w.ID, w.Radial, err)
+			}
+		}
+		// Identity check against the analytical model (the intra-pair
+		// pitch is a modelling epsilon).
+		wantLen := d.Perimeter() + 8*off
+		if math.Abs(geom.PolygonPerimeter(poly)-wantLen) > 1e-6 {
+			return nil, fmt.Errorf("layout: waveguide %d perimeter %.6f != identity %.6f",
+				w.ID, geom.PolygonPerimeter(poly), wantLen)
+		}
+
+		lw := &Waveguide{ID: w.ID, Dir: w.Dir, Radial: w.Radial}
+		if w.Opening >= 0 {
+			tap := nearestOnPolygon(poly, d.Net.Nodes[w.Opening].Pos)
+			path, err := cutGap(poly, tap, gap)
+			if err != nil {
+				return nil, fmt.Errorf("layout: waveguide %d: %w", w.ID, err)
+			}
+			lw.Path = path
+			lw.Open = true
+			lw.Length = path.Length()
+		} else {
+			closed := append(geom.Polyline{}, poly...)
+			closed = append(closed, poly[0])
+			lw.Path = closed
+			lw.Length = closed.Length()
+		}
+		out.Waveguides = append(out.Waveguides, lw)
+
+		// Taps: every node with a sender or receiver on this waveguide.
+		touched := map[int]bool{}
+		for _, c := range w.Channels {
+			touched[c.Sig.Src] = true
+			touched[c.Sig.Dst] = true
+		}
+		for _, node := range d.Tour {
+			if touched[node] {
+				out.Taps = append(out.Taps, Tap{
+					Node: node, WG: w.ID,
+					Pos: nearestOnPolygon(poly, d.Net.Nodes[node].Pos),
+				})
+			}
+		}
+	}
+	for _, s := range d.Shortcuts {
+		out.Shortcuts = append(out.Shortcuts, s.PathAB)
+	}
+	return out, nil
+}
+
+// nearestOnPolygon projects a point onto the closest point of the
+// polygon boundary.
+func nearestOnPolygon(poly []geom.Point, p geom.Point) geom.Point {
+	best := poly[0]
+	bestD := math.Inf(1)
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		a, b := poly[i], poly[(i+1)%n]
+		q := projectOnSegment(a, b, p)
+		if d := geom.Euclid(p, q); d < bestD {
+			bestD = d
+			best = q
+		}
+	}
+	return best
+}
+
+// projectOnSegment clamps the perpendicular projection of p onto the
+// axis-aligned segment a-b.
+func projectOnSegment(a, b, p geom.Point) geom.Point {
+	if math.Abs(a.Y-b.Y) <= geom.Eps { // horizontal
+		x := math.Max(math.Min(a.X, b.X), math.Min(math.Max(a.X, b.X), p.X))
+		return geom.Point{X: x, Y: a.Y}
+	}
+	y := math.Max(math.Min(a.Y, b.Y), math.Min(math.Max(a.Y, b.Y), p.Y))
+	return geom.Point{X: a.X, Y: y}
+}
+
+// cutGap removes a gap of the given width centred at the tap point and
+// returns the remaining open polyline, walked from one gap edge around
+// to the other.
+func cutGap(poly []geom.Point, tap geom.Point, gapMM float64) (geom.Polyline, error) {
+	per := geom.PolygonPerimeter(poly)
+	if gapMM >= per {
+		return nil, fmt.Errorf("gap %.3f mm exceeds the ring perimeter %.3f mm", gapMM, per)
+	}
+	// Cumulative walk coordinates.
+	n := len(poly)
+	cum := make([]float64, n+1)
+	for i := 0; i < n; i++ {
+		cum[i+1] = cum[i] + geom.Manhattan(poly[i], poly[(i+1)%n])
+	}
+	tapC := coordOf(poly, cum, tap)
+	start := math.Mod(tapC+gapMM/2, per)
+	end := math.Mod(tapC-gapMM/2+per, per)
+
+	span := end - start
+	if span <= 0 {
+		span += per
+	}
+	// Collect the polygon vertices strictly inside (start, start+span),
+	// ordered by their walk offset from start.
+	type vtx struct {
+		off float64
+		p   geom.Point
+	}
+	var inside []vtx
+	for j := 0; j < n; j++ {
+		off := math.Mod(cum[j]-start+per, per)
+		if off > geom.Eps && off < span-geom.Eps {
+			inside = append(inside, vtx{off, poly[j]})
+		}
+	}
+	sort.Slice(inside, func(a, b int) bool { return inside[a].off < inside[b].off })
+
+	var path geom.Polyline
+	path = append(path, pointAt(poly, cum, start))
+	for _, v := range inside {
+		path = append(path, v.p)
+	}
+	path = append(path, pointAt(poly, cum, end))
+	return path, nil
+}
+
+// coordOf returns the walk coordinate of a point on the polygon.
+func coordOf(poly []geom.Point, cum []float64, p geom.Point) float64 {
+	n := len(poly)
+	for i := 0; i < n; i++ {
+		s := geom.Segment{A: poly[i], B: poly[(i+1)%n]}
+		if s.ContainsPoint(p) {
+			return cum[i] + geom.Manhattan(poly[i], p)
+		}
+	}
+	return 0
+}
+
+// pointAt returns the point at walk coordinate c.
+func pointAt(poly []geom.Point, cum []float64, c float64) geom.Point {
+	n := len(poly)
+	per := cum[n]
+	c = math.Mod(c+per, per)
+	for i := 0; i < n; i++ {
+		if c <= cum[i+1]+geom.Eps {
+			rem := c - cum[i]
+			a, b := poly[i], poly[(i+1)%n]
+			if math.Abs(a.Y-b.Y) <= geom.Eps { // horizontal
+				dir := 1.0
+				if b.X < a.X {
+					dir = -1
+				}
+				return geom.Point{X: a.X + dir*rem, Y: a.Y}
+			}
+			dir := 1.0
+			if b.Y < a.Y {
+				dir = -1
+			}
+			return geom.Point{X: a.X, Y: a.Y + dir*rem}
+		}
+	}
+	return poly[0]
+}
+
+// Netlist exports the layout in a simple line-oriented text format:
+//
+//	WAVEGUIDE <id> <dir> <open|closed> <len-mm> x1,y1 x2,y2 ...
+//	TAP <node> <wg> x,y
+//	SHORTCUT x1,y1 x2,y2 ...
+func (l *Layout) Netlist() string {
+	var b strings.Builder
+	for _, w := range l.Waveguides {
+		state := "closed"
+		if w.Open {
+			state = "open"
+		}
+		fmt.Fprintf(&b, "WAVEGUIDE %d %s %s %.4f", w.ID, w.Dir, state, w.Length)
+		for _, p := range w.Path {
+			fmt.Fprintf(&b, " %.4f,%.4f", p.X, p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	for _, t := range l.Taps {
+		fmt.Fprintf(&b, "TAP %d %d %.4f,%.4f\n", t.Node, t.WG, t.Pos.X, t.Pos.Y)
+	}
+	for _, s := range l.Shortcuts {
+		b.WriteString("SHORTCUT")
+		for _, p := range s {
+			fmt.Fprintf(&b, " %.4f,%.4f", p.X, p.Y)
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,160 @@
+package layout
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/geom"
+	"xring/internal/noc"
+)
+
+func build(t *testing.T, opt core.Options) (*core.Result, *Layout) {
+	t.Helper()
+	res, err := core.Synthesize(noc.Floorplan8(), opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := Build(res.Design)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res, l
+}
+
+func TestBuildTreeDesign(t *testing.T) {
+	res, l := build(t, core.Options{MaxWL: 8, WithPDN: true})
+	if len(l.Waveguides) != len(res.Design.Waveguides) {
+		t.Fatalf("realized %d of %d waveguides", len(l.Waveguides), len(res.Design.Waveguides))
+	}
+	for i, w := range l.Waveguides {
+		dw := res.Design.Waveguides[i]
+		if w.ID != dw.ID || w.Radial != dw.Radial {
+			t.Fatalf("waveguide %d metadata mismatch", i)
+		}
+		// Tree designs have openings: every path is open and shorter
+		// than the full (scaled) ring by exactly the gap.
+		if !w.Open {
+			t.Fatalf("waveguide %d should carry an opening gap", w.ID)
+		}
+		off := res.Design.Par.RingSpacingMM(8)*float64(w.Radial/2) +
+			IntraPairPitchMM*float64(w.Radial%2)
+		full := res.Design.Perimeter() + 8*off
+		if math.Abs(w.Length-(full-l.GapMM)) > 1e-6 {
+			t.Fatalf("waveguide %d length %.6f, want %.6f", w.ID, w.Length, full-l.GapMM)
+		}
+		// The path is rectilinear.
+		for _, s := range w.Path.Segments() {
+			if !s.AxisAligned() {
+				t.Fatalf("waveguide %d has a diagonal segment %v", w.ID, s)
+			}
+		}
+	}
+	if len(l.Shortcuts) != len(res.Design.Shortcuts) {
+		t.Fatal("shortcut count mismatch")
+	}
+	if len(l.Taps) == 0 {
+		t.Fatal("no taps realized")
+	}
+	// Every tap sits on (or extremely near) its waveguide's path.
+	byID := map[int]*Waveguide{}
+	for _, w := range l.Waveguides {
+		byID[w.ID] = w
+	}
+	for _, tap := range l.Taps {
+		w := byID[tap.WG]
+		on := false
+		for _, s := range w.Path.Segments() {
+			if s.ContainsPoint(tap.Pos) {
+				on = true
+				break
+			}
+		}
+		if !on {
+			// The tap may fall inside the opening gap; allow proximity
+			// to either gap endpoint then.
+			if geom.Euclid(tap.Pos, w.Path.Start()) > l.GapMM &&
+				geom.Euclid(tap.Pos, w.Path.End()) > l.GapMM {
+				t.Fatalf("tap %+v not on waveguide %d", tap, tap.WG)
+			}
+		}
+	}
+}
+
+func TestBuildClosedWithoutOpenings(t *testing.T) {
+	res, l := build(t, core.Options{MaxWL: 8}) // no PDN: no openings
+	for _, w := range l.Waveguides {
+		if w.Open {
+			t.Fatalf("waveguide %d unexpectedly open", w.ID)
+		}
+		if !w.Path.Start().Eq(w.Path.End()) {
+			t.Fatalf("closed waveguide %d does not close", w.ID)
+		}
+		// Exact identity with the analytical model.
+		want := res.Design.Perimeter()*res.Design.RadialScale(res.Design.Waveguides[w.ID]) +
+			8*IntraPairPitchMM*float64(w.Radial%2)
+		if math.Abs(w.Length-want) > 1e-6 {
+			t.Fatalf("waveguide %d length %.6f, want %.6f", w.ID, w.Length, want)
+		}
+	}
+}
+
+func TestNetlistFormat(t *testing.T) {
+	_, l := build(t, core.Options{MaxWL: 8, WithPDN: true})
+	nl := l.Netlist()
+	if strings.Count(nl, "WAVEGUIDE ") != len(l.Waveguides) {
+		t.Fatal("WAVEGUIDE lines mismatch")
+	}
+	if strings.Count(nl, "TAP ") != len(l.Taps) {
+		t.Fatal("TAP lines mismatch")
+	}
+	if strings.Count(nl, "SHORTCUT") != len(l.Shortcuts) {
+		t.Fatal("SHORTCUT lines mismatch")
+	}
+	if !strings.Contains(nl, " open ") {
+		t.Fatal("open waveguides not marked")
+	}
+}
+
+func TestCutGapGeometry(t *testing.T) {
+	square := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}}
+	// Gap centred mid-bottom.
+	path, err := cutGap(square, geom.Point{X: 2, Y: 0}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(path.Length()-15) > 1e-9 {
+		t.Fatalf("gapped length %.6f, want 15", path.Length())
+	}
+	if !path.Start().Eq(geom.Point{X: 2.5, Y: 0}) || !path.End().Eq(geom.Point{X: 1.5, Y: 0}) {
+		t.Fatalf("gap edges %v .. %v", path.Start(), path.End())
+	}
+	// Gap spanning a corner.
+	path, err = cutGap(square, geom.Point{X: 4, Y: 0}, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(path.Length()-14) > 1e-9 {
+		t.Fatalf("corner-gapped length %.6f, want 14", path.Length())
+	}
+	// Oversized gap fails.
+	if _, err := cutGap(square, geom.Point{X: 2, Y: 0}, 99); err == nil {
+		t.Fatal("want error for oversized gap")
+	}
+}
+
+func TestNearestOnPolygon(t *testing.T) {
+	square := []geom.Point{{X: 0, Y: 0}, {X: 4, Y: 0}, {X: 4, Y: 4}, {X: 0, Y: 4}}
+	if p := nearestOnPolygon(square, geom.Point{X: 2, Y: -1}); !p.Eq(geom.Point{X: 2, Y: 0}) {
+		t.Fatalf("projection = %v", p)
+	}
+	if p := nearestOnPolygon(square, geom.Point{X: 5, Y: 5}); !p.Eq(geom.Point{X: 4, Y: 4}) {
+		t.Fatalf("corner projection = %v", p)
+	}
+	// Interior points project to the boundary.
+	p := nearestOnPolygon(square, geom.Point{X: 1, Y: 2})
+	if !p.Eq(geom.Point{X: 0, Y: 2}) {
+		t.Fatalf("interior projection = %v", p)
+	}
+}

@@ -1,0 +1,257 @@
+// Package loss implements the insertion-loss and laser-power analysis
+// (Sec. II-B). For every signal it walks the physical route and sums
+// propagation loss, through loss at every off-resonance MRR passed,
+// drop loss at the destination MRR, crossing loss, bend loss and the
+// photodetector loss. Laser power follows the paper's model
+// P^λ = 10^((il_w^λ + S)/10) — one off-chip laser per wavelength, sized
+// by the worst-case requirement among the wavelength's signals — with
+// PDN losses (splits, excess, feed crossings, PDN propagation) added on
+// top when a PDN plan is supplied.
+//
+// MRR inventory convention: along a ring waveguide, every node site
+// carries one receiver MRR per channel terminating there and one
+// modulator per channel originating there, ordered
+// [receiver bank | sender-receiver gap | sender bank] in the travel
+// direction. A passing signal traverses both banks of every
+// intermediate node; at its source it passes the other modulators of
+// its own bank, and at its destination the other receiver MRRs, both
+// counted worst-case.
+package loss
+
+import (
+	"fmt"
+	"math"
+
+	"xring/internal/geom"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+// A laser group is one wavelength: following the paper's power model
+// (Sec. II-B), each wavelength has one off-chip laser whose power is set
+// by the worst-case total loss among the signals modulated on it,
+// P^λ = 10^((il_w^λ + S)/10); the PDN distributes that wavelength to
+// every sender.
+
+// SignalLoss is the per-signal breakdown.
+type SignalLoss struct {
+	Sig noc.Signal
+	// IL is the total signal-path insertion loss in dB, excluding PDN
+	// losses (the paper's il and il_w* columns).
+	IL float64
+	// ILBeforeDrop excludes the final drop and photodetector terms; the
+	// crosstalk engine uses it to size drop-leakage noise.
+	ILBeforeDrop float64
+	// PDNLoss is the laser-to-sender loss in dB (0 without a PDN).
+	PDNLoss float64
+	// PathLen is the travelled waveguide length in mm (the L column).
+	PathLen float64
+	// Crossings, Throughs, Drops, Bends are element counts on the path.
+	Crossings int
+	Throughs  int
+	Drops     int
+	Bends     int
+	// WL is the wavelength carrying this signal.
+	WL int
+}
+
+// Report is the analysis result for a design.
+type Report struct {
+	Signals map[noc.Signal]*SignalLoss
+	// WorstIL is il_w (dB) and Worst identifies the worst signal.
+	WorstIL float64
+	Worst   noc.Signal
+	// WorstLen and WorstCrossings are the L and C columns: path length
+	// and crossing count of the worst-loss signal.
+	WorstLen       float64
+	WorstCrossings int
+	// WavelengthPower is the required laser power per wavelength in mW.
+	WavelengthPower map[int]float64
+	// TotalPowerMW is the summed laser power (the P column, mW).
+	TotalPowerMW float64
+	// WavelengthCount is the #wl column: distinct wavelengths used.
+	WavelengthCount int
+}
+
+// Analyze computes the loss report. plan may be nil for the no-PDN
+// comparisons (Table I); PDN losses are then zero.
+func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
+	if len(d.Routes) == 0 {
+		return nil, fmt.Errorf("loss: design has no routed signals; run the mapping step first")
+	}
+	par := d.Par
+	rep := &Report{
+		Signals:         map[noc.Signal]*SignalLoss{},
+		WavelengthPower: map[int]float64{},
+		WorstIL:         math.Inf(-1),
+		WavelengthCount: d.WavelengthsUsed(),
+	}
+
+	// Per-waveguide MRR inventory.
+	type bank struct{ senders, receivers map[int]int }
+	banks := make([]bank, len(d.Waveguides))
+	for i, w := range d.Waveguides {
+		banks[i] = bank{senders: map[int]int{}, receivers: map[int]int{}}
+		for _, c := range w.Channels {
+			banks[i].senders[c.Sig.Src]++
+			banks[i].receivers[c.Sig.Dst]++
+		}
+	}
+
+	for sig, r := range d.Routes {
+		var sl *SignalLoss
+		switch r.Kind {
+		case router.OnRing:
+			sl = ringSignalLoss(d, par, banks[r.WG].senders, banks[r.WG].receivers, sig, r)
+		case router.OnShortcut:
+			sl = shortcutSignalLoss(d, par, sig, r)
+		default:
+			return nil, fmt.Errorf("loss: unknown route kind for %v", sig)
+		}
+		if plan != nil {
+			key := pdn.FeedKey{OnShortcut: r.Kind == router.OnShortcut, Node: sig.Src}
+			if r.Kind == router.OnShortcut {
+				key.Index = r.SC
+			} else {
+				key.Index = r.WG
+			}
+			pl, err := plan.SenderLossDB(par, key)
+			if err != nil {
+				return nil, err
+			}
+			sl.PDNLoss = pl
+		}
+		rep.Signals[sig] = sl
+		if sl.IL > rep.WorstIL {
+			rep.WorstIL = sl.IL
+			rep.Worst = sig
+			rep.WorstLen = sl.PathLen
+			rep.WorstCrossings = sl.Crossings
+		}
+	}
+
+	// Laser power per wavelength: the worst total requirement among the
+	// wavelength's signals sets its laser.
+	for _, sl := range rep.Signals {
+		req := sl.IL + sl.PDNLoss
+		power := phys.LaserPowerMW(req, par.ReceiverSensitivityDBm)
+		if power > rep.WavelengthPower[sl.WL] {
+			rep.WavelengthPower[sl.WL] = power
+		}
+	}
+	for _, p := range rep.WavelengthPower {
+		rep.TotalPowerMW += p
+	}
+	return rep, nil
+}
+
+func ringSignalLoss(d *router.Design, par phys.Params, senders, receivers map[int]int, sig noc.Signal, r *router.Route) *SignalLoss {
+	w := d.Waveguides[r.WG]
+	sl := &SignalLoss{Sig: sig, WL: r.WL}
+	sl.PathLen = d.ArcLen(sig.Src, sig.Dst, w.Dir) * d.RadialScale(w)
+	sl.Bends = d.BendsOnArc(sig.Src, sig.Dst, w.Dir)
+	sl.Crossings = d.CrossingsOnArc(w, sig.Src, sig.Dst)
+	sl.Drops = 1
+
+	throughs := senders[sig.Src] - 1 // other modulators of the source bank
+	for _, k := range d.GapNodes(sig.Src, sig.Dst, w.Dir) {
+		throughs += senders[k] + receivers[k]
+	}
+	throughs += receivers[sig.Dst] - 1 // other receivers at the destination
+	sl.Throughs = throughs
+
+	sl.ILBeforeDrop = sl.PathLen*par.PropagationDBPerMM +
+		float64(sl.Throughs)*par.ThroughDB +
+		float64(sl.Crossings)*par.CrossingDB +
+		float64(sl.Bends)*par.BendDB
+	sl.IL = sl.ILBeforeDrop + par.DropDB + par.PhotodetectorDB
+	return sl
+}
+
+func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *router.Route) *SignalLoss {
+	sc := d.Shortcuts[r.SC]
+	sl := &SignalLoss{Sig: sig, WL: r.WL}
+
+	// Entry-bank through losses: other channels entering at the same
+	// node of this shortcut.
+	entryBank := 0
+	for _, c := range sc.Channels {
+		if c.Sig.Src == sig.Src {
+			entryBank++
+		}
+	}
+	throughs := entryBank - 1
+
+	if r.ViaCSE {
+		p := d.Shortcuts[sc.Partner]
+		// Length was computed by the shortcut package at mapping time;
+		// recompute from the channel record: walk both halves.
+		sl.PathLen = cseLength(d, sc, p, sig)
+		sl.Bends = sc.PathAB.Bends() + p.PathAB.Bends() + 1
+		sl.Drops = 2 // CSE MRR + receiver MRR
+		// Exit bank at the partner's receiver end.
+		exitBank := 0
+		for _, c := range p.Channels {
+			if c.Sig.Dst == sig.Dst {
+				exitBank++
+			}
+		}
+		for _, c := range sc.Channels {
+			if c.Sig.Dst == sig.Dst {
+				exitBank++
+			}
+		}
+		throughs += maxInt(exitBank-1, 0)
+	} else {
+		sl.PathLen = sc.Length()
+		sl.Bends = sc.PathAB.Bends()
+		sl.Drops = 1
+		if sc.Partner != -1 {
+			sl.Crossings = 1 // passes the CSE crossing straight through
+			throughs += 2    // the two CSE MRRs sit at the crossing
+		}
+		exitBank := 0
+		for _, c := range sc.Channels {
+			if c.Sig.Dst == sig.Dst {
+				exitBank++
+			}
+		}
+		throughs += maxInt(exitBank-1, 0)
+	}
+	sl.Throughs = maxInt(throughs, 0)
+
+	sl.ILBeforeDrop = sl.PathLen*par.PropagationDBPerMM +
+		float64(sl.Throughs)*par.ThroughDB +
+		float64(sl.Crossings)*par.CrossingDB +
+		float64(sl.Bends)*par.BendDB
+	// The CSE drop happens before the receiver drop; both are DropDB.
+	sl.IL = sl.ILBeforeDrop + float64(sl.Drops)*par.DropDB + par.PhotodetectorDB
+	// ILBeforeDrop must include the CSE drop for leakage accounting.
+	if r.ViaCSE {
+		sl.ILBeforeDrop += par.DropDB
+	}
+	return sl
+}
+
+// cseLength computes the travelled length of a CSE-routed signal:
+// entry shortcut from the source to the crossing, then the partner from
+// the crossing to the destination.
+func cseLength(d *router.Design, entry, exit *router.Shortcut, sig noc.Signal) float64 {
+	x, ok := geom.PolylineCrossingPoint(entry.PathAB, exit.PathAB)
+	if !ok {
+		// Partners always cross exactly once (validated); fall back to
+		// half lengths defensively.
+		return entry.Length()/2 + exit.Length()/2
+	}
+	return geom.DistAlong(entry.PathAB, d.Net.Nodes[sig.Src].Pos, x) +
+		geom.DistAlong(exit.PathAB, x, d.Net.Nodes[sig.Dst].Pos)
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

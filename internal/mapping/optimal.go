@@ -1,0 +1,132 @@
+package mapping
+
+import (
+	"fmt"
+
+	"xring/internal/milp"
+	"xring/internal/noc"
+	"xring/internal/router"
+)
+
+// OptimalWavelengths computes, by exact 0/1 ILP, the minimum number of
+// wavelengths that can carry a set of same-direction arcs on ONE ring
+// waveguide — the per-waveguide optimum of the Step-3 packing problem.
+// Two arcs need different wavelengths when they collide under the
+// wavelength-routing rule (router.Design.ChannelsCollide); the problem
+// is a graph coloring of the collision graph, solved by iterating a
+// feasibility ILP over increasing color counts.
+//
+// It is exponential in the worst case and intended for small designs
+// (≲ 40 arcs): cross-checking the greedy mapper's #wl against the true
+// optimum bounds the heuristic's optimality gap.
+func OptimalWavelengths(d *router.Design, dir router.Direction, arcs []noc.Signal, maxColors int) (int, error) {
+	if len(arcs) == 0 {
+		return 0, nil
+	}
+	if len(arcs) > 40 {
+		return 0, fmt.Errorf("mapping: OptimalWavelengths limited to 40 arcs, got %d", len(arcs))
+	}
+	// Collision graph.
+	n := len(arcs)
+	conflict := make([][]bool, n)
+	for i := range conflict {
+		conflict[i] = make([]bool, n)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			c1 := router.Channel{Sig: arcs[i], WL: 0}
+			c2 := router.Channel{Sig: arcs[j], WL: 0}
+			if d.ChannelsCollide(dir, c1, c2) {
+				conflict[i][j] = true
+				conflict[j][i] = true
+			}
+		}
+	}
+	// Clique-ish lower bound: max collision degree neighborhood is
+	// crude; start from 1 and climb.
+	for k := 1; k <= maxColors; k++ {
+		ok, err := colorable(conflict, k)
+		if err != nil {
+			return 0, err
+		}
+		if ok {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("mapping: arcs not colorable within %d wavelengths", maxColors)
+}
+
+// colorable checks k-colorability of the collision graph with the exact
+// ILP solver (feasibility problem: zero objective).
+func colorable(conflict [][]bool, k int) (bool, error) {
+	n := len(conflict)
+	m := milp.NewModel()
+	vars := make([][]milp.Var, n)
+	for i := 0; i < n; i++ {
+		vars[i] = make([]milp.Var, k)
+		for c := 0; c < k; c++ {
+			vars[i][c] = m.Binary(fmt.Sprintf("x_%d_%d", i, c))
+		}
+		m.ExactlyOne(fmt.Sprintf("arc_%d", i), vars[i]...)
+	}
+	// Symmetry breaking: arc 0 takes color 0; arc i uses colors <= i.
+	m.AddConstraint("sym0", []milp.Term{{Var: vars[0][0], Coef: 1}}, milp.GE, 1)
+	for i := 1; i < n && i < k; i++ {
+		for c := i + 1; c < k; c++ {
+			m.AddConstraint(fmt.Sprintf("sym_%d_%d", i, c),
+				[]milp.Term{{Var: vars[i][c], Coef: 1}}, milp.LE, 0)
+		}
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if !conflict[i][j] {
+				continue
+			}
+			for c := 0; c < k; c++ {
+				m.AtMostOne(fmt.Sprintf("conf_%d_%d_%d", i, j, c), vars[i][c], vars[j][c])
+			}
+		}
+	}
+	_, err := milp.Solve(m, milp.Options{MaxNodes: 2_000_000})
+	if err == milp.ErrInfeasible {
+		return false, nil
+	}
+	if err != nil {
+		return false, err
+	}
+	return true, nil
+}
+
+// GreedyGap measures, per waveguide of a mapped design, the greedy
+// packing's wavelength count against the exact optimum. It returns the
+// worst ratio (1.0 = the greedy result is optimal everywhere).
+func GreedyGap(d *router.Design, maxColors int) (float64, error) {
+	worst := 1.0
+	for _, w := range d.Waveguides {
+		if len(w.Channels) == 0 {
+			continue
+		}
+		used := map[int]bool{}
+		var arcs []noc.Signal
+		for _, c := range w.Channels {
+			used[c.WL] = true
+			arcs = append(arcs, c.Sig)
+		}
+		opt, err := OptimalWavelengths(d, w.Dir, arcs, maxColors)
+		if err != nil {
+			return 0, fmt.Errorf("waveguide %d: %w", w.ID, err)
+		}
+		if opt == 0 {
+			continue
+		}
+		ratio := float64(len(used)) / float64(opt)
+		if ratio < 1 {
+			return 0, fmt.Errorf("waveguide %d: greedy used %d < optimum %d (impossible)",
+				w.ID, len(used), opt)
+		}
+		if ratio > worst {
+			worst = ratio
+		}
+	}
+	return worst, nil
+}

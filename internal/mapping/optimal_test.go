@@ -1,0 +1,93 @@
+package mapping
+
+import (
+	"testing"
+
+	"xring/internal/noc"
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+func grid8Bare(t *testing.T) *router.Design {
+	t.Helper()
+	net := noc.Floorplan8()
+	d, err := router.NewDesign(net, phys.Default(), []int{0, 1, 2, 3, 7, 6, 5, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestOptimalWavelengthsSimpleCases(t *testing.T) {
+	d := grid8Bare(t)
+	// Disjoint arcs: one wavelength suffices.
+	arcs := []noc.Signal{{Src: 0, Dst: 2}, {Src: 3, Dst: 6}}
+	k, err := OptimalWavelengths(d, router.CW, arcs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("disjoint arcs need %d wavelengths, want 1", k)
+	}
+	// Three mutually overlapping arcs (all spanning node 2): three
+	// wavelengths. 0->3 passes 1,2; 1->7 passes 2,3; 2->6 ends at 6.
+	arcs = []noc.Signal{{Src: 0, Dst: 3}, {Src: 1, Dst: 7}, {Src: 2, Dst: 6}}
+	k, err = OptimalWavelengths(d, router.CW, arcs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 0->3 and 1->7 overlap; 1->7 passes 2's... verify the exact value
+	// by brute reasoning: 0->3 passes {1,2}; 1->7 passes {2,3}; 2->6
+	// passes {3,7}... wait CW order is 0,1,2,3,7,6: 2->6 passes {3,7}.
+	// Collisions: (0->3, 1->7): dst 3 passed by 1->7 -> collide.
+	// (1->7, 2->6): dst 7 passed by 2->6 -> collide.
+	// (0->3, 2->6): 0->3 ends at 3 which 2->6 passes? 2->6 passes 3 ->
+	// collide. So a triangle: 3 colors.
+	if k != 3 {
+		t.Fatalf("overlapping triple needs %d wavelengths, want 3", k)
+	}
+	// Head-to-tail chain: one wavelength.
+	arcs = []noc.Signal{{Src: 0, Dst: 2}, {Src: 2, Dst: 5}, {Src: 5, Dst: 0}}
+	k, err = OptimalWavelengths(d, router.CW, arcs, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if k != 1 {
+		t.Fatalf("head-to-tail chain needs %d wavelengths, want 1", k)
+	}
+	// Empty input.
+	if k, err := OptimalWavelengths(d, router.CW, nil, 4); err != nil || k != 0 {
+		t.Fatalf("empty arcs: %d %v", k, err)
+	}
+	// Infeasible budget.
+	arcs = []noc.Signal{{Src: 0, Dst: 3}, {Src: 1, Dst: 7}, {Src: 2, Dst: 6}}
+	if _, err := OptimalWavelengths(d, router.CW, arcs, 2); err == nil {
+		t.Fatal("want error when maxColors is too small")
+	}
+}
+
+func TestGreedyGapOnSharedDesign(t *testing.T) {
+	// An ORNoC-style shared mapping on the 8-node grid: the greedy
+	// first-fit must stay close to the exact per-waveguide optimum.
+	net := noc.Floorplan8()
+	d, err := router.NewDesign(net, phys.Default(), []int{0, 1, 2, 3, 7, 6, 5, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Run(d, Options{MaxWL: 8, NoOpenings: true, PreferSharing: true}); err != nil {
+		t.Fatal(err)
+	}
+	gap, err := GreedyGap(d, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gap < 1 {
+		t.Fatalf("gap %v below 1", gap)
+	}
+	// First-fit interval-style coloring stays within 2x of optimal on
+	// these instances; in practice it is nearly always 1.0-1.3.
+	if gap > 2 {
+		t.Fatalf("greedy gap %v implausibly large", gap)
+	}
+	t.Logf("greedy-vs-optimal per-waveguide wavelength gap: %.2f", gap)
+}

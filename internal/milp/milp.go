@@ -1,0 +1,577 @@
+// Package milp provides a small mixed-integer-linear-programming layer
+// for 0/1 decision models, replacing the Gurobi dependency of the paper
+// (Sec. IV implements the Sec. III-A model with Gurobi).
+//
+// The package has two halves:
+//
+//   - a modelling API (binary variables, linear constraints, a linear
+//     minimization objective) mirroring how the paper states Eq. (1)-(4);
+//   - exact solvers: a depth-first branch-and-bound with unit
+//     propagation and partition lower bounds (Solve), and an exhaustive
+//     reference solver for cross-validation in tests (SolveBrute).
+//
+// The branch-and-bound is exact: when it returns without hitting the
+// node budget, the solution is optimal. The paper's ring-construction
+// model — an assignment structure plus pairwise conflict constraints —
+// is well inside its comfort zone for the network sizes evaluated
+// (N ≤ 32).
+package milp
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Var identifies a binary decision variable within a Model.
+type Var int
+
+// Sense is the comparison direction of a linear constraint.
+type Sense int
+
+// Constraint senses.
+const (
+	LE Sense = iota // less-than-or-equal
+	GE              // greater-than-or-equal
+	EQ              // equal
+)
+
+func (s Sense) String() string {
+	switch s {
+	case LE:
+		return "<="
+	case GE:
+		return ">="
+	default:
+		return "="
+	}
+}
+
+// Term is a coefficient applied to a variable inside a linear expression.
+type Term struct {
+	Var  Var
+	Coef float64
+}
+
+// Constraint is a linear constraint sum(Terms) Sense RHS.
+type Constraint struct {
+	Name  string
+	Terms []Term
+	Sense Sense
+	RHS   float64
+}
+
+// Model is a 0/1 integer linear program: minimize c^T x subject to
+// linear constraints, x binary.
+type Model struct {
+	names []string
+	obj   []float64
+	cons  []Constraint
+}
+
+// NewModel returns an empty model.
+func NewModel() *Model { return &Model{} }
+
+// Binary adds a binary decision variable and returns its handle.
+func (m *Model) Binary(name string) Var {
+	m.names = append(m.names, name)
+	m.obj = append(m.obj, 0)
+	return Var(len(m.names) - 1)
+}
+
+// NumVars returns the number of variables in the model.
+func (m *Model) NumVars() int { return len(m.names) }
+
+// NumConstraints returns the number of constraints in the model.
+func (m *Model) NumConstraints() int { return len(m.cons) }
+
+// Name returns the name given to v when it was created.
+func (m *Model) Name(v Var) string { return m.names[v] }
+
+// SetObjectiveCoef sets the minimization coefficient of v.
+func (m *Model) SetObjectiveCoef(v Var, c float64) { m.obj[v] = c }
+
+// AddConstraint appends a linear constraint to the model. Terms with a
+// zero coefficient are dropped; duplicate variables are merged.
+func (m *Model) AddConstraint(name string, terms []Term, sense Sense, rhs float64) {
+	merged := map[Var]float64{}
+	for _, t := range terms {
+		merged[t.Var] += t.Coef
+	}
+	clean := make([]Term, 0, len(merged))
+	for v, c := range merged {
+		if c != 0 {
+			clean = append(clean, Term{v, c})
+		}
+	}
+	sort.Slice(clean, func(i, j int) bool { return clean[i].Var < clean[j].Var })
+	m.cons = append(m.cons, Constraint{Name: name, Terms: clean, Sense: sense, RHS: rhs})
+}
+
+// AtMostOne adds the constraint sum(vars) <= 1.
+func (m *Model) AtMostOne(name string, vars ...Var) {
+	terms := make([]Term, len(vars))
+	for i, v := range vars {
+		terms[i] = Term{v, 1}
+	}
+	m.AddConstraint(name, terms, LE, 1)
+}
+
+// ExactlyOne adds the constraint sum(vars) == 1.
+func (m *Model) ExactlyOne(name string, vars ...Var) {
+	terms := make([]Term, len(vars))
+	for i, v := range vars {
+		terms[i] = Term{v, 1}
+	}
+	m.AddConstraint(name, terms, EQ, 1)
+}
+
+// Solution holds variable values and the objective of a solve.
+type Solution struct {
+	Values    []bool
+	Objective float64
+	// Optimal reports whether the solver proved optimality (it did not
+	// stop early on the node budget).
+	Optimal bool
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+}
+
+// Value reports the value assigned to v.
+func (s *Solution) Value(v Var) bool { return s.Values[v] }
+
+// ErrInfeasible is returned when the model has no feasible assignment.
+var ErrInfeasible = errors.New("milp: model is infeasible")
+
+// ErrBudget is returned when the node budget was exhausted before any
+// feasible solution was found.
+var ErrBudget = errors.New("milp: node budget exhausted without a feasible solution")
+
+// Options tunes the branch-and-bound solver.
+type Options struct {
+	// MaxNodes bounds the number of explored nodes; 0 means a generous
+	// default (10 million).
+	MaxNodes int
+	// IncumbentHint, when non-nil, primes the upper bound with a known
+	// feasible solution (e.g. from a heuristic warm start).
+	IncumbentHint []bool
+}
+
+const (
+	unset int8 = iota
+	zero
+	one
+)
+
+type solver struct {
+	m        *Model
+	opt      Options
+	fixed    []int8
+	obj      []float64
+	best     float64
+	bestVals []bool
+	haveBest bool
+	nodes    int
+	maxNodes int
+	// partitions: disjoint exactly-one variable groups used for bounding.
+	partitions [][]Var
+	inPart     []bool
+	// occur[v] = indices of constraints containing v.
+	occur [][]int
+}
+
+// Solve minimizes the model exactly via branch and bound.
+func Solve(m *Model, opt Options) (*Solution, error) {
+	s := &solver{
+		m:        m,
+		opt:      opt,
+		fixed:    make([]int8, m.NumVars()),
+		obj:      m.obj,
+		best:     math.Inf(1),
+		maxNodes: opt.MaxNodes,
+	}
+	if s.maxNodes == 0 {
+		s.maxNodes = 10_000_000
+	}
+	s.buildIndexes()
+	if opt.IncumbentHint != nil {
+		if len(opt.IncumbentHint) != m.NumVars() {
+			return nil, fmt.Errorf("milp: incumbent hint has %d values, model has %d vars",
+				len(opt.IncumbentHint), m.NumVars())
+		}
+		if obj, ok := m.Check(opt.IncumbentHint); ok {
+			s.best = obj
+			s.bestVals = append([]bool(nil), opt.IncumbentHint...)
+			s.haveBest = true
+		}
+	}
+
+	feasible := s.search()
+	sol := &Solution{Nodes: s.nodes, Optimal: s.nodes < s.maxNodes}
+	if !s.haveBest {
+		if !feasible && sol.Optimal {
+			return nil, ErrInfeasible
+		}
+		return nil, ErrBudget
+	}
+	sol.Values = s.bestVals
+	sol.Objective = s.best
+	return sol, nil
+}
+
+// Check evaluates an assignment against all constraints, returning the
+// objective and whether every constraint is satisfied.
+func (m *Model) Check(values []bool) (obj float64, ok bool) {
+	for i, v := range values {
+		if v {
+			obj += m.obj[i]
+		}
+	}
+	for _, c := range m.cons {
+		lhs := 0.0
+		for _, t := range c.Terms {
+			if values[t.Var] {
+				lhs += t.Coef
+			}
+		}
+		switch c.Sense {
+		case LE:
+			if lhs > c.RHS+1e-9 {
+				return obj, false
+			}
+		case GE:
+			if lhs < c.RHS-1e-9 {
+				return obj, false
+			}
+		case EQ:
+			if math.Abs(lhs-c.RHS) > 1e-9 {
+				return obj, false
+			}
+		}
+	}
+	return obj, true
+}
+
+func (s *solver) buildIndexes() {
+	m := s.m
+	s.occur = make([][]int, m.NumVars())
+	for ci, c := range m.cons {
+		for _, t := range c.Terms {
+			s.occur[t.Var] = append(s.occur[t.Var], ci)
+		}
+	}
+	// Collect disjoint exactly-one groups greedily (largest first) for
+	// the lower bound.
+	s.inPart = make([]bool, m.NumVars())
+	type group struct{ vars []Var }
+	var groups []group
+	for _, c := range m.cons {
+		if c.Sense != EQ || c.RHS != 1 {
+			continue
+		}
+		allUnit := true
+		for _, t := range c.Terms {
+			if t.Coef != 1 {
+				allUnit = false
+				break
+			}
+		}
+		if !allUnit {
+			continue
+		}
+		vars := make([]Var, len(c.Terms))
+		for i, t := range c.Terms {
+			vars[i] = t.Var
+		}
+		groups = append(groups, group{vars})
+	}
+	sort.Slice(groups, func(i, j int) bool { return len(groups[i].vars) > len(groups[j].vars) })
+	for _, g := range groups {
+		overlap := false
+		for _, v := range g.vars {
+			if s.inPart[v] {
+				overlap = true
+				break
+			}
+		}
+		if overlap {
+			continue
+		}
+		for _, v := range g.vars {
+			s.inPart[v] = true
+		}
+		s.partitions = append(s.partitions, g.vars)
+	}
+}
+
+// propagate applies unit propagation until fixpoint. It records every
+// variable it fixes in trail and reports false on contradiction.
+func (s *solver) propagate(trail *[]Var) bool {
+	changed := true
+	for changed {
+		changed = false
+		for ci := range s.m.cons {
+			c := &s.m.cons[ci]
+			fixedSum, minFree, maxFree := 0.0, 0.0, 0.0
+			freeCount := 0
+			for _, t := range c.Terms {
+				switch s.fixed[t.Var] {
+				case one:
+					fixedSum += t.Coef
+				case unset:
+					freeCount++
+					if t.Coef > 0 {
+						maxFree += t.Coef
+					} else {
+						minFree += t.Coef
+					}
+				}
+			}
+			// Feasibility windows.
+			if c.Sense == LE || c.Sense == EQ {
+				if fixedSum+minFree > c.RHS+1e-9 {
+					return false
+				}
+			}
+			if c.Sense == GE || c.Sense == EQ {
+				if fixedSum+maxFree < c.RHS-1e-9 {
+					return false
+				}
+			}
+			if freeCount == 0 {
+				continue
+			}
+			// Forcing: examine each free var.
+			for _, t := range c.Terms {
+				if s.fixed[t.Var] != unset {
+					continue
+				}
+				// Setting t.Var = 1.
+				if c.Sense == LE || c.Sense == EQ {
+					base := minFree
+					if t.Coef < 0 {
+						base -= t.Coef // exclude t from the min
+					}
+					if fixedSum+base+t.Coef > c.RHS+1e-9 {
+						if !s.fix(t.Var, zero, trail) {
+							return false
+						}
+						changed = true
+						continue
+					}
+				}
+				if c.Sense == GE || c.Sense == EQ {
+					base := maxFree
+					if t.Coef > 0 {
+						base -= t.Coef // exclude t from the max
+					}
+					if fixedSum+base+t.Coef < c.RHS-1e-9 {
+						if !s.fix(t.Var, zero, trail) {
+							return false
+						}
+						changed = true
+						continue
+					}
+					// Setting t.Var = 0: remaining max without t.
+					if fixedSum+base < c.RHS-1e-9 {
+						if !s.fix(t.Var, one, trail) {
+							return false
+						}
+						changed = true
+						continue
+					}
+				}
+			}
+		}
+	}
+	return true
+}
+
+func (s *solver) fix(v Var, val int8, trail *[]Var) bool {
+	if s.fixed[v] != unset {
+		return s.fixed[v] == val
+	}
+	s.fixed[v] = val
+	*trail = append(*trail, v)
+	return true
+}
+
+func (s *solver) undo(trail []Var, from int) {
+	for i := from; i < len(trail); i++ {
+		s.fixed[trail[i]] = unset
+	}
+}
+
+// lowerBound computes an admissible bound on the best completion of the
+// current partial assignment.
+func (s *solver) lowerBound() float64 {
+	lb := 0.0
+	for v, f := range s.fixed {
+		if f == one {
+			lb += s.obj[v]
+		}
+	}
+	for _, part := range s.partitions {
+		satisfied := false
+		minCoef := math.Inf(1)
+		anyFree := false
+		for _, v := range part {
+			switch s.fixed[v] {
+			case one:
+				satisfied = true
+			case unset:
+				anyFree = true
+				if s.obj[v] < minCoef {
+					minCoef = s.obj[v]
+				}
+			}
+		}
+		if satisfied {
+			continue
+		}
+		if anyFree {
+			lb += minCoef
+		}
+		// If no free var and none fixed to one the node is infeasible;
+		// propagation catches that, so the bound need not.
+	}
+	// Free variables outside partitions can only lower the objective if
+	// their coefficient is negative.
+	for v, f := range s.fixed {
+		if f == unset && !s.inPart[v] && s.obj[v] < 0 {
+			lb += s.obj[v]
+		}
+	}
+	return lb
+}
+
+// pickBranchVar chooses the next variable to branch on: the cheapest
+// free variable of the unsatisfied partition with the fewest free
+// variables; or, failing that, any free variable with the largest
+// absolute objective coefficient.
+func (s *solver) pickBranchVar() (Var, bool) {
+	bestPart := -1
+	bestFree := math.MaxInt
+	for pi, part := range s.partitions {
+		satisfied := false
+		free := 0
+		for _, v := range part {
+			switch s.fixed[v] {
+			case one:
+				satisfied = true
+			case unset:
+				free++
+			}
+		}
+		if satisfied || free == 0 {
+			continue
+		}
+		if free < bestFree {
+			bestFree = free
+			bestPart = pi
+		}
+	}
+	if bestPart >= 0 {
+		var bv Var = -1
+		bc := math.Inf(1)
+		for _, v := range s.partitions[bestPart] {
+			if s.fixed[v] == unset && s.obj[v] < bc {
+				bc = s.obj[v]
+				bv = v
+			}
+		}
+		return bv, true
+	}
+	var bv Var = -1
+	bc := -1.0
+	for v, f := range s.fixed {
+		if f != unset {
+			continue
+		}
+		if a := math.Abs(s.obj[v]); a > bc {
+			bc = a
+			bv = Var(v)
+		}
+	}
+	if bv < 0 {
+		return 0, false
+	}
+	return bv, true
+}
+
+func (s *solver) search() bool {
+	s.nodes++
+	if s.nodes >= s.maxNodes {
+		return false
+	}
+	var trail []Var
+	if !s.propagate(&trail) {
+		s.undo(trail, 0)
+		return false
+	}
+	lb := s.lowerBound()
+	if lb >= s.best-1e-9 && s.haveBest {
+		s.undo(trail, 0)
+		return false
+	}
+	v, any := s.pickBranchVar()
+	if !any {
+		// Complete assignment: validate and record.
+		vals := make([]bool, len(s.fixed))
+		for i, f := range s.fixed {
+			vals[i] = f == one
+		}
+		obj, ok := s.m.Check(vals)
+		s.undo(trail, 0)
+		if !ok {
+			return false
+		}
+		if obj < s.best {
+			s.best = obj
+			s.bestVals = vals
+			s.haveBest = true
+		}
+		return true
+	}
+
+	found := false
+	// Branch v=1 first (partition-driven models satisfy groups faster).
+	for _, val := range [2]int8{one, zero} {
+		mark := len(trail)
+		if s.fix(v, val, &trail) {
+			if s.search() {
+				found = true
+			}
+		}
+		s.undo(trail, mark)
+		trail = trail[:mark]
+	}
+	s.undo(trail, 0)
+	return found
+}
+
+// SolveBrute exhaustively enumerates all assignments. It is exponential
+// and intended only for cross-validating Solve on tiny models in tests.
+func SolveBrute(m *Model) (*Solution, error) {
+	n := m.NumVars()
+	if n > 24 {
+		return nil, fmt.Errorf("milp: SolveBrute limited to 24 vars, model has %d", n)
+	}
+	best := math.Inf(1)
+	var bestVals []bool
+	vals := make([]bool, n)
+	for mask := 0; mask < 1<<n; mask++ {
+		for i := 0; i < n; i++ {
+			vals[i] = mask&(1<<i) != 0
+		}
+		if obj, ok := m.Check(vals); ok && obj < best {
+			best = obj
+			bestVals = append([]bool(nil), vals...)
+		}
+	}
+	if bestVals == nil {
+		return nil, ErrInfeasible
+	}
+	return &Solution{Values: bestVals, Objective: best, Optimal: true}, nil
+}

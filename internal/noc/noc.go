@@ -1,0 +1,188 @@
+// Package noc models the network under synthesis: the nodes (processing
+// elements with optical network interfaces), their floorplan positions,
+// and the traffic (signals) the router must support.
+//
+// The paper evaluates 8-, 16- and 32-node networks with all-to-all
+// traffic, using the node locations of PROTON+ [15] / PSION+ [20] (8 and
+// 16 nodes) and an extension of the 16-node floorplan (32 nodes). Those
+// floorplans are regular multi-core grids; since the exact coordinates
+// are not printed in the paper, this package provides equivalent regular
+// grids with a 2 mm core pitch (documented in DESIGN.md).
+package noc
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"xring/internal/geom"
+)
+
+// Node is a network node: one processing element with an optical sender
+// (modulator bank) and receiver (MRR/photodetector bank).
+type Node struct {
+	ID   int
+	Name string
+	Pos  geom.Point
+}
+
+// Network is a set of nodes on a die.
+type Network struct {
+	Nodes []Node
+	// DieW, DieH are the die dimensions in millimetres (informational;
+	// used by the renderer and the PDN laser entry point).
+	DieW, DieH float64
+}
+
+// N returns the number of nodes.
+func (nw *Network) N() int { return len(nw.Nodes) }
+
+// Positions returns the node positions indexed by node ID.
+func (nw *Network) Positions() []geom.Point {
+	pts := make([]geom.Point, len(nw.Nodes))
+	for i, n := range nw.Nodes {
+		pts[i] = n.Pos
+	}
+	return pts
+}
+
+// Validate checks structural sanity: IDs are 0..N-1 and positions are
+// pairwise distinct.
+func (nw *Network) Validate() error {
+	for i, n := range nw.Nodes {
+		if n.ID != i {
+			return fmt.Errorf("noc: node %d has ID %d; IDs must be 0..N-1 in order", i, n.ID)
+		}
+	}
+	for i := range nw.Nodes {
+		for j := i + 1; j < len(nw.Nodes); j++ {
+			if nw.Nodes[i].Pos.Eq(nw.Nodes[j].Pos) {
+				return fmt.Errorf("noc: nodes %d and %d share position %v", i, j, nw.Nodes[i].Pos)
+			}
+		}
+	}
+	return nil
+}
+
+// Grid builds an nx-by-ny grid of nodes with the given pitch, origin at
+// (margin, margin). Node IDs run row-major from the bottom-left.
+func Grid(nx, ny int, pitch, margin float64) *Network {
+	nw := &Network{
+		DieW: margin*2 + pitch*float64(nx-1),
+		DieH: margin*2 + pitch*float64(ny-1),
+	}
+	id := 0
+	for y := 0; y < ny; y++ {
+		for x := 0; x < nx; x++ {
+			nw.Nodes = append(nw.Nodes, Node{
+				ID:   id,
+				Name: fmt.Sprintf("n%d", id),
+				Pos:  geom.Point{X: margin + float64(x)*pitch, Y: margin + float64(y)*pitch},
+			})
+			id++
+		}
+	}
+	return nw
+}
+
+// CorePitchMM is the processing-element pitch of the standard
+// floorplans (a 2 mm tile, typical for the 3D-stacked multicore targets
+// of [15]/[20]).
+const CorePitchMM = 2.0
+
+// Floorplan8 returns the standard 8-node floorplan: a 4x2 core grid.
+func Floorplan8() *Network { return Grid(4, 2, CorePitchMM, 1) }
+
+// Floorplan16 returns the standard 16-node floorplan: a 4x4 core grid.
+func Floorplan16() *Network { return Grid(4, 4, CorePitchMM, 1) }
+
+// Floorplan32 returns the 32-node floorplan: the 16-node grid extended
+// to 8x4 on a widened die, as the paper extends the 16-node case.
+func Floorplan32() *Network { return Grid(8, 4, CorePitchMM, 1) }
+
+// FloorplanFor returns the standard floorplan for the given node count,
+// or an error for unsupported sizes.
+func FloorplanFor(n int) (*Network, error) {
+	switch n {
+	case 8:
+		return Floorplan8(), nil
+	case 16:
+		return Floorplan16(), nil
+	case 32:
+		return Floorplan32(), nil
+	default:
+		return nil, fmt.Errorf("noc: no standard floorplan for %d nodes (have 8, 16, 32)", n)
+	}
+}
+
+// Irregular returns a deterministic pseudo-random placement of n nodes
+// on a w-by-h die with a minimum pairwise spacing, exercising the
+// "nodes not regularly aligned" case of Sec. I.
+func Irregular(n int, w, h, minSpacing float64, seed int64) *Network {
+	rng := rand.New(rand.NewSource(seed))
+	nw := &Network{DieW: w, DieH: h}
+	const maxTries = 10000
+	for id := 0; id < n; id++ {
+		placed := false
+		for try := 0; try < maxTries && !placed; try++ {
+			p := geom.Point{
+				X: 0.5 + rng.Float64()*(w-1),
+				Y: 0.5 + rng.Float64()*(h-1),
+			}
+			ok := true
+			for _, m := range nw.Nodes {
+				if geom.Manhattan(p, m.Pos) < minSpacing {
+					ok = false
+					break
+				}
+			}
+			if ok {
+				nw.Nodes = append(nw.Nodes, Node{ID: id, Name: fmt.Sprintf("n%d", id), Pos: p})
+				placed = true
+			}
+		}
+		if !placed {
+			// Fall back to a grid slot to guarantee progress.
+			nw.Nodes = append(nw.Nodes, Node{
+				ID:   id,
+				Name: fmt.Sprintf("n%d", id),
+				Pos:  geom.Point{X: 0.5 + float64(id%8)*minSpacing, Y: 0.5 + float64(id/8)*minSpacing},
+			})
+		}
+	}
+	return nw
+}
+
+// Signal is one communication demand: Src sends to Dst. WRONoCs reserve
+// a collision-free path for every signal at design time.
+type Signal struct {
+	Src, Dst int
+}
+
+func (s Signal) String() string { return fmt.Sprintf("s%d->%d", s.Src, s.Dst) }
+
+// AllToAll returns the full traffic pattern of the evaluation: every
+// node sends to every other node (N*(N-1) signals), ordered by source
+// then destination.
+func AllToAll(n int) []Signal {
+	sigs := make([]Signal, 0, n*(n-1))
+	for s := 0; s < n; s++ {
+		for d := 0; d < n; d++ {
+			if s != d {
+				sigs = append(sigs, Signal{s, d})
+			}
+		}
+	}
+	return sigs
+}
+
+// SortSignals orders signals deterministically (by source, then
+// destination); helpful for reproducible mapping results.
+func SortSignals(sigs []Signal) {
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Src != sigs[j].Src {
+			return sigs[i].Src < sigs[j].Src
+		}
+		return sigs[i].Dst < sigs[j].Dst
+	})
+}

@@ -1,0 +1,136 @@
+package noc
+
+import (
+	"testing"
+
+	"xring/internal/geom"
+)
+
+func TestGrid(t *testing.T) {
+	nw := Grid(4, 2, 2, 1)
+	if nw.N() != 8 {
+		t.Fatalf("N = %d, want 8", nw.N())
+	}
+	if err := nw.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Row-major from bottom-left.
+	if !nw.Nodes[0].Pos.Eq(geom.Point{X: 1, Y: 1}) {
+		t.Fatalf("node 0 at %v", nw.Nodes[0].Pos)
+	}
+	if !nw.Nodes[5].Pos.Eq(geom.Point{X: 3, Y: 3}) {
+		t.Fatalf("node 5 at %v", nw.Nodes[5].Pos)
+	}
+	if nw.DieW != 8 || nw.DieH != 4 {
+		t.Fatalf("die = %v x %v", nw.DieW, nw.DieH)
+	}
+}
+
+func TestStandardFloorplans(t *testing.T) {
+	for _, tc := range []struct {
+		n    int
+		want int
+	}{{8, 8}, {16, 16}, {32, 32}} {
+		nw, err := FloorplanFor(tc.n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if nw.N() != tc.want {
+			t.Fatalf("FloorplanFor(%d).N = %d", tc.n, nw.N())
+		}
+		if err := nw.Validate(); err != nil {
+			t.Fatalf("floorplan %d: %v", tc.n, err)
+		}
+	}
+	if _, err := FloorplanFor(10); err == nil {
+		t.Fatal("want error for unsupported size")
+	}
+}
+
+func TestValidateRejectsBadIDs(t *testing.T) {
+	nw := &Network{Nodes: []Node{{ID: 1, Pos: geom.Point{}}}}
+	if err := nw.Validate(); err == nil {
+		t.Fatal("want error for non-sequential IDs")
+	}
+	dup := &Network{Nodes: []Node{
+		{ID: 0, Pos: geom.Point{X: 1, Y: 1}},
+		{ID: 1, Pos: geom.Point{X: 1, Y: 1}},
+	}}
+	if err := dup.Validate(); err == nil {
+		t.Fatal("want error for duplicate positions")
+	}
+}
+
+func TestIrregularDeterministicAndSpaced(t *testing.T) {
+	a := Irregular(12, 10, 10, 1.0, 7)
+	b := Irregular(12, 10, 10, 1.0, 7)
+	if a.N() != 12 || b.N() != 12 {
+		t.Fatal("wrong node count")
+	}
+	for i := range a.Nodes {
+		if !a.Nodes[i].Pos.Eq(b.Nodes[i].Pos) {
+			t.Fatal("Irregular is not deterministic for a fixed seed")
+		}
+	}
+	if err := a.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := range a.Nodes {
+		for j := i + 1; j < len(a.Nodes); j++ {
+			if geom.Manhattan(a.Nodes[i].Pos, a.Nodes[j].Pos) < 0.999 {
+				t.Fatalf("nodes %d,%d too close", i, j)
+			}
+		}
+	}
+	// A different seed gives a different placement.
+	c := Irregular(12, 10, 10, 1.0, 8)
+	same := true
+	for i := range a.Nodes {
+		if !a.Nodes[i].Pos.Eq(c.Nodes[i].Pos) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds should give different placements")
+	}
+}
+
+func TestAllToAll(t *testing.T) {
+	sigs := AllToAll(4)
+	if len(sigs) != 12 {
+		t.Fatalf("len = %d, want 12", len(sigs))
+	}
+	seen := map[Signal]bool{}
+	for _, s := range sigs {
+		if s.Src == s.Dst {
+			t.Fatalf("self signal %v", s)
+		}
+		if seen[s] {
+			t.Fatalf("duplicate signal %v", s)
+		}
+		seen[s] = true
+	}
+	if AllToAll(1) != nil && len(AllToAll(1)) != 0 {
+		t.Fatal("AllToAll(1) should be empty")
+	}
+}
+
+func TestSortSignals(t *testing.T) {
+	sigs := []Signal{{2, 1}, {0, 3}, {0, 1}, {2, 0}}
+	SortSignals(sigs)
+	want := []Signal{{0, 1}, {0, 3}, {2, 0}, {2, 1}}
+	for i := range want {
+		if sigs[i] != want[i] {
+			t.Fatalf("sorted[%d] = %v, want %v", i, sigs[i], want[i])
+		}
+	}
+}
+
+func TestPositions(t *testing.T) {
+	nw := Floorplan8()
+	pts := nw.Positions()
+	if len(pts) != 8 || !pts[3].Eq(nw.Nodes[3].Pos) {
+		t.Fatal("Positions mismatch")
+	}
+}

@@ -1,0 +1,91 @@
+package noc
+
+import "math/bits"
+
+// Synthetic traffic patterns, the standard NoC evaluation suite. All
+// generators skip self-signals and return deterministic, duplicate-free
+// slices suitable for Options.Traffic.
+
+// Transpose returns the matrix-transpose pattern for n = k*k nodes laid
+// out row-major: node (r,c) sends to node (c,r). Off-diagonal nodes
+// pair up; diagonal nodes stay silent.
+func Transpose(n int) []Signal {
+	k := 1
+	for k*k < n {
+		k++
+	}
+	if k*k != n {
+		return nil
+	}
+	var out []Signal
+	for r := 0; r < k; r++ {
+		for c := 0; c < k; c++ {
+			src := r*k + c
+			dst := c*k + r
+			if src != dst {
+				out = append(out, Signal{Src: src, Dst: dst})
+			}
+		}
+	}
+	return out
+}
+
+// BitReversal returns the bit-reversal pattern for n a power of two:
+// node i sends to the node whose index is i's bit-reversed value.
+func BitReversal(n int) []Signal {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil
+	}
+	w := bits.Len(uint(n)) - 1
+	var out []Signal
+	for i := 0; i < n; i++ {
+		j := int(bits.Reverse(uint(i)) >> (bits.UintSize - w))
+		if i != j {
+			out = append(out, Signal{Src: i, Dst: j})
+		}
+	}
+	return out
+}
+
+// Hotspot returns the pattern where every node exchanges traffic with
+// one hot node (gather + scatter).
+func Hotspot(n, hot int) []Signal {
+	var out []Signal
+	for i := 0; i < n; i++ {
+		if i == hot {
+			continue
+		}
+		out = append(out, Signal{Src: i, Dst: hot}, Signal{Src: hot, Dst: i})
+	}
+	return out
+}
+
+// NeighborRing returns the pattern where node i sends to node
+// (i+1) mod n — nearest-neighbour pipeline traffic in ID space.
+func NeighborRing(n int) []Signal {
+	if n < 2 {
+		return nil
+	}
+	out := make([]Signal, 0, n)
+	for i := 0; i < n; i++ {
+		out = append(out, Signal{Src: i, Dst: (i + 1) % n})
+	}
+	return out
+}
+
+// Shuffle returns the perfect-shuffle pattern for n a power of two:
+// node i sends to (2i mod n-1)-style left-rotate of its index bits.
+func Shuffle(n int) []Signal {
+	if n <= 0 || n&(n-1) != 0 {
+		return nil
+	}
+	w := bits.Len(uint(n)) - 1
+	var out []Signal
+	for i := 0; i < n; i++ {
+		j := ((i << 1) | (i >> (w - 1))) & (n - 1)
+		if i != j {
+			out = append(out, Signal{Src: i, Dst: j})
+		}
+	}
+	return out
+}

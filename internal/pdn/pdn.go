@@ -1,0 +1,342 @@
+// Package pdn implements Step 4 of the XRing flow (Sec. III-D): the
+// power distribution network that feeds every sender (modulator) with
+// laser light, plus the baseline "comb" PDN used by the ORNoC/ORing
+// comparisons.
+//
+// XRing's PDN is a complete binary splitter tree per ring waveguide,
+// routed in the spacing corridor between paired ring waveguides
+// (corridor width A1 + ceil(log2 N)*A2) and entered through the ring
+// openings, so it crosses no ring waveguide. Following Fig. 9, the
+// sender at the opening node is paired first with its closest
+// neighbouring sender in the signal direction; remaining senders are
+// paired sequentially, a splitter sits at the midpoint of each
+// connecting waveguide, and levels are repeated until a single top
+// splitter remains.
+//
+// The comb PDN models what ring routers did before XRing: a trunk
+// outside the outermost ring with per-sender feeds that must cross every
+// ring waveguide radially outward of the sender's waveguide. Those
+// crossings cost insertion loss on both the feed and the crossed ring,
+// and they inject broadband laser leakage noise into the crossed rings
+// (the effect that dominates the paper's Table II/III crosstalk
+// results). BuildComb registers each crossing on the crossed waveguide
+// so the loss and crosstalk engines see them.
+package pdn
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+// Kind distinguishes the two PDN designs.
+type Kind int
+
+const (
+	// Tree is XRing's crossing-free binary-tree PDN.
+	Tree Kind = iota
+	// Comb is the baseline PDN whose feeds cross ring waveguides.
+	Comb
+)
+
+func (k Kind) String() string {
+	if k == Tree {
+		return "tree"
+	}
+	return "comb"
+}
+
+// FeedKey identifies one sender: a (waveguide, node) pair for ring
+// senders, or a (shortcut, node) pair for shortcut senders.
+type FeedKey struct {
+	OnShortcut bool
+	Index      int // waveguide ID or shortcut index
+	Node       int
+}
+
+// Feed is the laser path to one sender.
+type Feed struct {
+	Key FeedKey
+	// Splitters is the number of splitter stages between laser and
+	// sender (each costs the 3 dB split plus excess loss).
+	Splitters int
+	// PathLen is the PDN waveguide length from the laser entry to the
+	// sender, in mm.
+	PathLen float64
+	// Crossings is the number of ring waveguides the feed crosses
+	// (always 0 for the tree PDN).
+	Crossings int
+}
+
+// Plan is a synthesized PDN.
+type Plan struct {
+	Kind  Kind
+	Feeds map[FeedKey]*Feed
+	// WireLength is the total PDN waveguide length in mm.
+	WireLength float64
+	// CrossingsAdded is the total number of PDN-ring crossings created
+	// (zero for the tree PDN).
+	CrossingsAdded int
+	// Splitters is the total splitter count: leaves-1 per subtree plus
+	// the joins of the global trunk.
+	Splitters int
+}
+
+// SenderLossDB returns the insertion loss (dB) from the laser to the
+// given sender, including splitter division, splitter excess loss,
+// propagation along PDN waveguides and feed crossings.
+func (p *Plan) SenderLossDB(par phys.Params, key FeedKey) (float64, error) {
+	f, ok := p.Feeds[key]
+	if !ok {
+		return 0, fmt.Errorf("pdn: no feed for %+v", key)
+	}
+	return float64(f.Splitters)*(par.SplitterSplitDB+par.SplitterExcessDB) +
+		f.PathLen*par.PropagationDBPerMM +
+		float64(f.Crossings)*par.CrossingDB, nil
+}
+
+// BuildTree synthesizes the XRing tree PDN for a design whose
+// waveguides all have openings (Step 3 must have run with openings
+// enabled). It is crossing-free and does not modify the design.
+func BuildTree(d *router.Design) (*Plan, error) {
+	p := &Plan{Kind: Tree, Feeds: map[FeedKey]*Feed{}}
+	for _, w := range d.Waveguides {
+		senders := d.SendersOn(w)
+		if len(senders) == 0 {
+			continue
+		}
+		if w.Opening < 0 {
+			return nil, fmt.Errorf("pdn: waveguide %d has no opening; run Step 3 with openings", w.ID)
+		}
+		coords := corridorCoords(d, w, senders)
+		feeds, wire := buildSplitterTree(coords)
+		for node, f := range feeds {
+			key := FeedKey{Index: w.ID, Node: node}
+			f.Key = key
+			p.Feeds[key] = f
+		}
+		p.Splitters += len(coords) - 1
+		p.WireLength += wire
+	}
+	if err := addShortcutFeeds(d, p); err != nil {
+		return nil, err
+	}
+	addGlobalTrunk(d, p)
+	return p, nil
+}
+
+// BuildComb synthesizes the baseline comb PDN: a trunk outside the
+// outermost ring with per-sender feeds crossing all outer waveguides.
+// It registers every crossing on the crossed waveguide (mutating the
+// design) so the analyses account for crossing loss and noise.
+func BuildComb(d *router.Design) (*Plan, error) {
+	p := &Plan{Kind: Comb, Feeds: map[FeedKey]*Feed{}}
+	// Idempotence: drop crossings from a previous comb build (e.g. on a
+	// design reloaded from disk) before registering fresh ones.
+	for _, w := range d.Waveguides {
+		kept := w.Crossings[:0]
+		for _, x := range w.Crossings {
+			if x.Source != "pdn" {
+				kept = append(kept, x)
+			}
+		}
+		w.Crossings = kept
+	}
+	maxRadial := -1
+	for _, w := range d.Waveguides {
+		if w.Radial > maxRadial {
+			maxRadial = w.Radial
+		}
+	}
+	radialAbove := func(r int) int { return maxRadial - r }
+
+	spacing := d.Par.RingSpacingMM(d.N()) / 2 // radial gap per waveguide (approx)
+	for _, w := range d.Waveguides {
+		senders := d.SendersOn(w)
+		if len(senders) == 0 {
+			continue
+		}
+		coords := corridorCoords(d, w, senders)
+		feeds, wire := buildSplitterTree(coords)
+		p.Splitters += len(coords) - 1
+		nCross := radialAbove(w.Radial)
+		for node, f := range feeds {
+			f.Crossings = nCross
+			f.PathLen += float64(nCross) * spacing // radial feed segment
+			key := FeedKey{Index: w.ID, Node: node}
+			f.Key = key
+			p.Feeds[key] = f
+			p.CrossingsAdded += nCross
+			// Register the crossing on every waveguide radially outward.
+			for _, ow := range d.Waveguides {
+				if ow.Radial > w.Radial {
+					ow.Crossings = append(ow.Crossings, router.Crossing{
+						Pos:    d.NodeCoord(node),
+						AtNode: node,
+						FedWG:  w.ID,
+						Source: "pdn",
+					})
+				}
+			}
+		}
+		p.WireLength += wire
+	}
+	if err := addShortcutFeeds(d, p); err != nil {
+		return nil, err
+	}
+	addGlobalTrunk(d, p)
+	return p, nil
+}
+
+// addGlobalTrunk accounts for the distribution stages that join the
+// per-waveguide top splitters to the single off-chip laser of each
+// wavelength ("we connect the top splitters of all ring waveguides
+// through their opening nodes", Sec. III-D), and for the power division
+// across the modulators sharing one feed bank. Every signal has its own
+// modulator, so a laser ultimately feeds one leaf per channel: any
+// distribution arrangement splits each path at least ceil(log2 M)
+// times, M being the total modulator count. Each feed's splitter count
+// is raised to that balanced-tree ideal (feeds already deeper inside
+// their own waveguide tree keep their real depth).
+func addGlobalTrunk(d *router.Design, p *Plan) {
+	mods := 0
+	for _, w := range d.Waveguides {
+		mods += len(w.Channels)
+	}
+	for _, s := range d.Shortcuts {
+		mods += len(s.Channels)
+	}
+	if mods <= 1 {
+		return
+	}
+	target := int(math.Ceil(math.Log2(float64(mods))))
+	for _, f := range p.Feeds {
+		if f.Splitters < target {
+			f.Splitters = target
+		}
+	}
+	// Joining T top-level subtrees to one laser costs T-1 combiner
+	// splitters.
+	trees := map[FeedKey]bool{}
+	for key := range p.Feeds {
+		trees[FeedKey{OnShortcut: key.OnShortcut, Index: key.Index}] = true
+	}
+	if len(trees) > 1 {
+		p.Splitters += len(trees) - 1
+	}
+}
+
+// addShortcutFeeds powers the senders dedicated to shortcuts. Shortcut
+// senders sit at node positions, so the corridor PDN reaches them like
+// ring senders; each shortcut pair forms a two-leaf subtree.
+func addShortcutFeeds(d *router.Design, p *Plan) error {
+	for si, s := range d.Shortcuts {
+		// A sender exists at an endpoint if any channel enters there.
+		entries := map[int]bool{}
+		for _, c := range s.Channels {
+			entries[c.Sig.Src] = true
+		}
+		if len(entries) == 0 {
+			continue
+		}
+		nodes := make([]int, 0, len(entries))
+		for n := range entries {
+			nodes = append(nodes, n)
+		}
+		sort.Ints(nodes)
+		p.Splitters++ // pairs the two endpoint senders
+		for _, n := range nodes {
+			// One splitter pairs the two endpoint senders; the feed runs
+			// half the shortcut length from the splitter at its midpoint,
+			// plus one stage joining the ring-level tree.
+			f := &Feed{
+				Key:       FeedKey{OnShortcut: true, Index: si, Node: n},
+				Splitters: 2,
+				PathLen:   s.Length() / 2,
+			}
+			p.Feeds[f.Key] = f
+			p.WireLength += s.Length() / 2
+		}
+	}
+	return nil
+}
+
+// corridorCoords linearizes sender positions along the PDN corridor of
+// a waveguide: arc coordinates measured from the opening (or from the
+// tour origin when the waveguide has none) in the waveguide's travel
+// direction, sorted ascending. The first sender after the opening is
+// thereby paired first, as Sec. III-D prescribes.
+func corridorCoords(d *router.Design, w *router.Waveguide, senders []int) map[int]float64 {
+	origin := 0.0
+	if w.Opening >= 0 {
+		origin = d.NodeCoord(w.Opening)
+	}
+	per := d.Perimeter()
+	coords := make(map[int]float64, len(senders))
+	for _, s := range senders {
+		x := d.NodeCoord(s) - origin
+		if w.Dir == router.CCW {
+			x = -x
+		}
+		x = math.Mod(x+2*per, per)
+		coords[s] = x
+	}
+	return coords
+}
+
+// buildSplitterTree pairs senders sequentially along the corridor and
+// stacks splitter levels until one top splitter remains. It returns the
+// per-leaf feeds (splitter count and path length to the laser entry at
+// corridor coordinate 0) and the total wire length.
+func buildSplitterTree(coords map[int]float64) (map[int]*Feed, float64) {
+	type tnode struct {
+		pos    float64
+		leaves []int
+	}
+	feeds := make(map[int]*Feed, len(coords))
+	var level []tnode
+	nodes := make([]int, 0, len(coords))
+	for n := range coords {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return coords[nodes[i]] < coords[nodes[j]] })
+	for _, n := range nodes {
+		feeds[n] = &Feed{}
+		level = append(level, tnode{pos: coords[n], leaves: []int{n}})
+	}
+	wire := 0.0
+	for len(level) > 1 {
+		var next []tnode
+		for i := 0; i+1 < len(level); i += 2 {
+			a, b := level[i], level[i+1]
+			span := math.Abs(a.pos - b.pos)
+			mid := (a.pos + b.pos) / 2
+			wire += span
+			for _, leaf := range a.leaves {
+				feeds[leaf].Splitters++
+				feeds[leaf].PathLen += math.Abs(a.pos - mid)
+			}
+			for _, leaf := range b.leaves {
+				feeds[leaf].Splitters++
+				feeds[leaf].PathLen += math.Abs(b.pos - mid)
+			}
+			next = append(next, tnode{pos: mid, leaves: append(append([]int{}, a.leaves...), b.leaves...)})
+		}
+		if len(level)%2 == 1 {
+			next = append(next, level[len(level)-1])
+		}
+		level = next
+	}
+	// Trunk from the laser entry (corridor coordinate 0, at the opening)
+	// to the top splitter.
+	top := level[0]
+	trunk := top.pos
+	wire += trunk
+	for _, leaf := range top.leaves {
+		feeds[leaf].PathLen += trunk
+	}
+	return feeds, wire
+}

@@ -1,0 +1,108 @@
+package phys
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultSane(t *testing.T) {
+	p := Default()
+	if p.PropagationDBPerMM <= 0 || p.CrossingDB <= 0 || p.DropDB <= 0 ||
+		p.ThroughDB <= 0 || p.PhotodetectorDB <= 0 {
+		t.Fatal("loss terms must be positive dB")
+	}
+	if p.XtalkCrossingDB >= 0 || p.XtalkDropDB >= 0 || p.XtalkThroughDB >= 0 {
+		t.Fatal("crosstalk coefficients must be negative dB")
+	}
+	if p.ReceiverSensitivityDBm >= 0 {
+		t.Fatal("receiver sensitivity should be negative dBm")
+	}
+	if p.DropDB <= p.ThroughDB {
+		t.Fatal("drop loss must exceed through loss")
+	}
+}
+
+func TestRingSpacing(t *testing.T) {
+	p := Default()
+	// N=16: A1 + 4*A2.
+	want := p.ModulatorWidthMM + 4*p.SplitterWidthMM
+	if got := p.RingSpacingMM(16); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RingSpacingMM(16) = %v, want %v", got, want)
+	}
+	// N=9: ceil(log2 9)=4.
+	if got := p.RingSpacingMM(9); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RingSpacingMM(9) = %v, want %v", got, want)
+	}
+	// Spacing grows (weakly) with N.
+	prev := 0.0
+	for n := 2; n <= 64; n *= 2 {
+		s := p.RingSpacingMM(n)
+		if s < prev {
+			t.Fatalf("spacing decreased at n=%d", n)
+		}
+		prev = s
+	}
+	if p.RingSpacingMM(1) != p.ModulatorWidthMM {
+		t.Fatal("degenerate N<2 spacing")
+	}
+}
+
+func TestDBRoundTrip(t *testing.T) {
+	f := func(db float64) bool {
+		db = math.Mod(db, 60)
+		if math.IsNaN(db) {
+			db = 0
+		}
+		back := LinearToDB(DBToLinear(db))
+		return math.Abs(back-db) < 1e-9
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+	if !math.IsInf(LinearToDB(0), -1) {
+		t.Fatal("LinearToDB(0) should be -Inf")
+	}
+}
+
+func TestLaserPower(t *testing.T) {
+	// il = 0 and S = -20 dBm: 0.01 mW.
+	if got := LaserPowerMW(0, -20); math.Abs(got-0.01) > 1e-12 {
+		t.Fatalf("LaserPowerMW = %v, want 0.01", got)
+	}
+	// Monotone in insertion loss.
+	if LaserPowerMW(10, -20) <= LaserPowerMW(5, -20) {
+		t.Fatal("laser power must grow with insertion loss")
+	}
+	// +3 dB loss doubles power (within rounding).
+	r := LaserPowerMW(3.0103, -20) / LaserPowerMW(0, -20)
+	if math.Abs(r-2) > 1e-3 {
+		t.Fatalf("3 dB should double power, ratio=%v", r)
+	}
+}
+
+func TestSNR(t *testing.T) {
+	if got := SNRdB(100, 1); math.Abs(got-20) > 1e-12 {
+		t.Fatalf("SNRdB(100,1) = %v, want 20", got)
+	}
+	if !math.IsInf(SNRdB(1, 0), 1) {
+		t.Fatal("zero noise should give +Inf SNR")
+	}
+	if SNRdB(1, 2) >= 0 {
+		t.Fatal("noise above signal should give negative SNR")
+	}
+}
+
+func TestTableIParams(t *testing.T) {
+	d := Default()
+	t1 := TableI()
+	if t1.CrossingDB <= d.CrossingDB {
+		t.Fatal("Table I crossing loss should exceed the default")
+	}
+	if t1.DropDB != d.DropDB || t1.PropagationDBPerMM != d.PropagationDBPerMM {
+		t.Fatal("Table I should only raise the crossing loss")
+	}
+	if d.TuningMWPerMRR <= 0 {
+		t.Fatal("tuning power missing")
+	}
+}

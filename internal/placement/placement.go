@@ -1,0 +1,164 @@
+// Package placement closes the loop the paper's reference [20]
+// (PSION+) opens: when the floorplanner still has slack, the node
+// positions themselves are a design variable. Optimize perturbs node
+// positions inside their allowed region and re-runs the XRing flow,
+// keeping moves that improve the chosen objective — combining logical
+// topology and physical layout optimization on top of the Step 1-4
+// synthesis.
+//
+// The optimizer is a deterministic hill climber with per-node move
+// proposals: simple, reproducible, and effective at the scale of
+// WRONoC floorplans (tens of nodes). Each accepted move is recorded in
+// a trace for inspection.
+package placement
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"xring/internal/core"
+	"xring/internal/geom"
+	"xring/internal/noc"
+)
+
+// Objective selects what the optimizer minimizes.
+type Objective int
+
+const (
+	// MinWorstIL minimizes the worst-case insertion loss.
+	MinWorstIL Objective = iota
+	// MinPower minimizes the total laser power.
+	MinPower
+)
+
+func (o Objective) String() string {
+	if o == MinWorstIL {
+		return "min-il"
+	}
+	return "min-power"
+}
+
+// Options tunes the optimizer.
+type Options struct {
+	// Objective to minimize.
+	Objective Objective
+	// Synth configures the inner synthesis runs (MaxWL etc.).
+	Synth core.Options
+	// Iterations is the number of move proposals (default 100).
+	Iterations int
+	// StepMM is the maximum per-axis perturbation per move (default 1).
+	StepMM float64
+	// MinSpacingMM is the minimum pairwise node distance to respect
+	// (default 1).
+	MinSpacingMM float64
+	// MarginMM keeps nodes away from the die edge (default 0.5).
+	MarginMM float64
+	// Seed drives the proposal sequence.
+	Seed int64
+}
+
+// Move records one accepted improvement.
+type Move struct {
+	Iteration int
+	Node      int
+	From, To  geom.Point
+	Score     float64
+}
+
+// Trace is the optimization history.
+type Trace struct {
+	Initial float64
+	Final   float64
+	Moves   []Move
+	// Evaluated counts synthesis runs (accepted + rejected proposals).
+	Evaluated int
+}
+
+// Optimize hill-climbs the node placement. It returns the improved
+// network (a copy — the input is untouched), the synthesis result at
+// the final placement, and the trace.
+func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace, error) {
+	if opt.Iterations == 0 {
+		opt.Iterations = 100
+	}
+	if opt.StepMM == 0 {
+		opt.StepMM = 1
+	}
+	if opt.MinSpacingMM == 0 {
+		opt.MinSpacingMM = 1
+	}
+	if opt.MarginMM == 0 {
+		opt.MarginMM = 0.5
+	}
+	cur := cloneNetwork(net)
+	rng := rand.New(rand.NewSource(opt.Seed))
+
+	best, err := core.Synthesize(cur, opt.Synth)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("placement: initial synthesis: %w", err)
+	}
+	score := objective(best, opt.Objective)
+	trace := &Trace{Initial: score, Evaluated: 1}
+
+	for it := 0; it < opt.Iterations; it++ {
+		node := rng.Intn(cur.N())
+		dx := (rng.Float64()*2 - 1) * opt.StepMM
+		dy := (rng.Float64()*2 - 1) * opt.StepMM
+		cand := cloneNetwork(cur)
+		p := cand.Nodes[node].Pos
+		p.X = clamp(p.X+dx, opt.MarginMM, cand.DieW-opt.MarginMM)
+		p.Y = clamp(p.Y+dy, opt.MarginMM, cand.DieH-opt.MarginMM)
+		cand.Nodes[node].Pos = p
+		if !spacedEnough(cand, node, opt.MinSpacingMM) {
+			continue
+		}
+		res, err := core.Synthesize(cand, opt.Synth)
+		trace.Evaluated++
+		if err != nil {
+			continue
+		}
+		s := objective(res, opt.Objective)
+		if s < score-1e-12 {
+			trace.Moves = append(trace.Moves, Move{
+				Iteration: it, Node: node,
+				From: cur.Nodes[node].Pos, To: p, Score: s,
+			})
+			cur = cand
+			best = res
+			score = s
+		}
+	}
+	trace.Final = score
+	return cur, best, trace, nil
+}
+
+func objective(res *core.Result, o Objective) float64 {
+	if o == MinPower {
+		return res.Loss.TotalPowerMW
+	}
+	return res.Loss.WorstIL
+}
+
+func cloneNetwork(net *noc.Network) *noc.Network {
+	out := &noc.Network{DieW: net.DieW, DieH: net.DieH}
+	out.Nodes = append([]noc.Node(nil), net.Nodes...)
+	return out
+}
+
+func spacedEnough(net *noc.Network, moved int, minSpacing float64) bool {
+	p := net.Nodes[moved].Pos
+	for i, n := range net.Nodes {
+		if i == moved {
+			continue
+		}
+		if geom.Manhattan(p, n.Pos) < minSpacing {
+			return false
+		}
+	}
+	return true
+}
+
+func clamp(v, lo, hi float64) float64 {
+	return math.Max(lo, math.Min(hi, v))
+}

@@ -1,0 +1,99 @@
+package placement
+
+import (
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/geom"
+	"xring/internal/noc"
+)
+
+func TestOptimizeImprovesIrregularPlacement(t *testing.T) {
+	net := noc.Irregular(8, 12, 12, 1.5, 4)
+	opt := Options{
+		Objective:  MinWorstIL,
+		Synth:      core.Options{MaxWL: 8},
+		Iterations: 60,
+		StepMM:     1.5,
+		Seed:       1,
+	}
+	improved, res, trace, err := Optimize(net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if trace.Final > trace.Initial+1e-12 {
+		t.Fatalf("optimization worsened: %v -> %v", trace.Initial, trace.Final)
+	}
+	if len(trace.Moves) == 0 {
+		t.Fatal("expected at least one accepted move on an irregular placement")
+	}
+	if trace.Final >= trace.Initial {
+		t.Fatalf("expected strict improvement, got %v -> %v", trace.Initial, trace.Final)
+	}
+	// The final result corresponds to the improved network.
+	direct, err := core.Synthesize(improved, opt.Synth)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if direct.Loss.WorstIL != res.Loss.WorstIL {
+		t.Fatal("returned result does not match the returned network")
+	}
+	// The input network must be untouched.
+	orig := noc.Irregular(8, 12, 12, 1.5, 4)
+	for i := range net.Nodes {
+		if !net.Nodes[i].Pos.Eq(orig.Nodes[i].Pos) {
+			t.Fatal("Optimize mutated its input")
+		}
+	}
+}
+
+func TestOptimizeRespectsConstraints(t *testing.T) {
+	net := noc.Irregular(8, 10, 10, 1.5, 9)
+	opt := Options{
+		Objective:    MinPower,
+		Synth:        core.Options{MaxWL: 8, WithPDN: true},
+		Iterations:   40,
+		StepMM:       2,
+		MinSpacingMM: 1.5,
+		MarginMM:     1,
+		Seed:         2,
+	}
+	improved, _, _, err := Optimize(net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range improved.Nodes {
+		p := improved.Nodes[i].Pos
+		if p.X < 1-1e-9 || p.X > 9+1e-9 || p.Y < 1-1e-9 || p.Y > 9+1e-9 {
+			t.Fatalf("node %d outside margins: %v", i, p)
+		}
+		for j := i + 1; j < len(improved.Nodes); j++ {
+			if geom.Manhattan(p, improved.Nodes[j].Pos) < 1.5-1e-9 {
+				t.Fatalf("nodes %d,%d too close", i, j)
+			}
+		}
+	}
+}
+
+func TestOptimizeDeterministic(t *testing.T) {
+	net := noc.Irregular(6, 10, 10, 1.5, 3)
+	opt := Options{Objective: MinWorstIL, Synth: core.Options{MaxWL: 6},
+		Iterations: 30, Seed: 7}
+	_, a, ta, err := Optimize(net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, b, tb, err := Optimize(net, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Loss.WorstIL != b.Loss.WorstIL || ta.Final != tb.Final || len(ta.Moves) != len(tb.Moves) {
+		t.Fatal("same seed must reproduce the same optimization")
+	}
+}
+
+func TestObjectiveStrings(t *testing.T) {
+	if MinWorstIL.String() != "min-il" || MinPower.String() != "min-power" {
+		t.Fatal("Objective.String")
+	}
+}

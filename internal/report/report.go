@@ -1,0 +1,92 @@
+// Package report renders paper-style result tables as aligned text.
+package report
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// Table is a titled grid of cells.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// AddRow appends a row of preformatted cells.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Header))
+	for i, h := range t.Header {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.Header)
+	total := len(widths)*2 - 2
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, row := range t.Rows {
+		line(row)
+	}
+	return b.String()
+}
+
+// F formats a float with the given precision; NaN and ±Inf render as
+// the paper's "-".
+func F(v float64, prec int) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "-"
+	}
+	return fmt.Sprintf("%.*f", prec, v)
+}
+
+// D formats an integer.
+func D(v int) string { return fmt.Sprintf("%d", v) }
+
+// Pct formats a fraction as a percentage.
+func Pct(frac float64) string {
+	if math.IsNaN(frac) {
+		return "-"
+	}
+	return fmt.Sprintf("%.1f%%", frac*100)
+}
+
+// Seconds formats a duration in seconds like the paper's T column.
+func Seconds(sec float64) string {
+	switch {
+	case sec < 0.01:
+		return fmt.Sprintf("%.4f", sec)
+	case sec < 1:
+		return fmt.Sprintf("%.2f", sec)
+	default:
+		return fmt.Sprintf("%.1f", sec)
+	}
+}

@@ -1,0 +1,58 @@
+package report
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestTableAlignment(t *testing.T) {
+	tb := &Table{
+		Title:  "demo",
+		Header: []string{"name", "value"},
+	}
+	tb.AddRow("short", "1")
+	tb.AddRow("a-much-longer-name", "2.50")
+	out := tb.String()
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+	if lines[0] != "demo" {
+		t.Fatalf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "name") {
+		t.Fatalf("header = %q", lines[1])
+	}
+	// All data lines equal width alignment for first column.
+	if !strings.Contains(lines[4], "a-much-longer-name  2.50") {
+		t.Fatalf("row = %q", lines[4])
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if F(1.23456, 2) != "1.23" {
+		t.Fatal("F")
+	}
+	if F(math.Inf(1), 2) != "-" || F(math.NaN(), 1) != "-" {
+		t.Fatal("F special values")
+	}
+	if D(42) != "42" {
+		t.Fatal("D")
+	}
+	if Pct(0.987) != "98.7%" {
+		t.Fatal("Pct")
+	}
+	if Pct(math.NaN()) != "-" {
+		t.Fatal("Pct NaN")
+	}
+	if Seconds(0.0001) != "0.0001" {
+		t.Fatal("Seconds small")
+	}
+	if Seconds(0.12) != "0.12" {
+		t.Fatal("Seconds mid")
+	}
+	if Seconds(12.3) != "12.3" {
+		t.Fatal("Seconds large")
+	}
+}

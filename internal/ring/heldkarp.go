@@ -1,0 +1,78 @@
+package ring
+
+import (
+	"fmt"
+	"math"
+
+	"xring/internal/geom"
+	"xring/internal/noc"
+)
+
+// HeldKarp computes the exact minimum Hamiltonian-cycle length over the
+// network's Manhattan distances via the Held-Karp dynamic program
+// (O(2^n n^2), practical to n ≈ 18). It ignores the paper's conflict
+// constraints, so it lower-bounds the length of any crossing-free tour:
+//
+//	model objective (subtours allowed)  ≤  constrained optimum
+//	Held-Karp (no conflict constraints) ≤  constrained optimum
+//	constrained optimum                 ≤  Construct(...).Length
+//
+// It exists purely as an independent verification oracle for the
+// Step-1 machinery.
+func HeldKarp(net *noc.Network) (float64, error) {
+	n := net.N()
+	if n < 3 {
+		return 0, fmt.Errorf("ring: Held-Karp needs at least 3 nodes, have %d", n)
+	}
+	if n > 18 {
+		return 0, fmt.Errorf("ring: Held-Karp limited to 18 nodes, have %d", n)
+	}
+	pos := net.Positions()
+	dist := make([][]float64, n)
+	for i := range dist {
+		dist[i] = make([]float64, n)
+		for j := range dist[i] {
+			dist[i][j] = geom.Manhattan(pos[i], pos[j])
+		}
+	}
+
+	// dp[mask][j]: shortest path visiting exactly the set mask, starting
+	// at node 0 and ending at j (0 always in mask).
+	size := 1 << n
+	dp := make([][]float64, size)
+	for mask := range dp {
+		if mask&1 == 0 {
+			continue
+		}
+		dp[mask] = make([]float64, n)
+		for j := range dp[mask] {
+			dp[mask][j] = math.Inf(1)
+		}
+	}
+	dp[1][0] = 0
+	for mask := 1; mask < size; mask += 2 {
+		for j := 0; j < n; j++ {
+			cur := dp[mask][j]
+			if math.IsInf(cur, 1) || mask&(1<<j) == 0 {
+				continue
+			}
+			for k := 1; k < n; k++ {
+				if mask&(1<<k) != 0 {
+					continue
+				}
+				next := mask | 1<<k
+				if c := cur + dist[j][k]; c < dp[next][k] {
+					dp[next][k] = c
+				}
+			}
+		}
+	}
+	best := math.Inf(1)
+	full := size - 1
+	for j := 1; j < n; j++ {
+		if c := dp[full][j] + dist[j][0]; c < best {
+			best = c
+		}
+	}
+	return best, nil
+}

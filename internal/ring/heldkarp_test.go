@@ -1,0 +1,77 @@
+package ring
+
+import (
+	"math"
+	"testing"
+
+	"xring/internal/noc"
+)
+
+func TestHeldKarpGrid8(t *testing.T) {
+	// The 4x2 grid's optimal cycle is 16 mm; Construct achieves it.
+	net := noc.Floorplan8()
+	hk, err := HeldKarp(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hk-16) > 1e-9 {
+		t.Fatalf("Held-Karp = %v, want 16", hk)
+	}
+	res, err := Construct(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Length-hk) > 1e-9 {
+		t.Fatalf("Construct %v != Held-Karp optimum %v on the grid", res.Length, hk)
+	}
+}
+
+func TestHeldKarpGrid16(t *testing.T) {
+	net := noc.Floorplan16()
+	hk, err := HeldKarp(net)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(hk-32) > 1e-9 {
+		t.Fatalf("Held-Karp = %v, want 32", hk)
+	}
+}
+
+func TestHeldKarpBoundsConstruct(t *testing.T) {
+	// On irregular instances: model objective <= Construct length, and
+	// Held-Karp (conflict-free lower bound) <= Construct length. The
+	// gap between them brackets the true constrained optimum.
+	for _, seed := range []int64{1, 2, 3, 4, 5, 6, 7, 8} {
+		net := noc.Irregular(9, 12, 12, 1.5, seed)
+		hk, err := HeldKarp(net)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := Construct(net, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.Length < hk-1e-9 {
+			t.Fatalf("seed %d: tour %v beats the Held-Karp optimum %v (impossible)",
+				seed, res.Length, hk)
+		}
+		if res.ModelObjective > res.Length+1e-9 {
+			t.Fatalf("seed %d: model objective above tour length", seed)
+		}
+		// The heuristic merge usually stays close to optimal; alert on
+		// gross regressions.
+		if res.Length > hk*1.5 {
+			t.Fatalf("seed %d: tour %v more than 1.5x the TSP optimum %v",
+				seed, res.Length, hk)
+		}
+	}
+}
+
+func TestHeldKarpLimits(t *testing.T) {
+	if _, err := HeldKarp(noc.Grid(2, 1, 2, 1)); err == nil {
+		t.Fatal("want error below 3 nodes")
+	}
+	if _, err := HeldKarp(noc.Floorplan32()); err == nil {
+		t.Fatal("want error above 18 nodes")
+	}
+}

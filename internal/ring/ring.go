@@ -1,0 +1,732 @@
+// Package ring implements Step 1 of the XRing flow (Sec. III-A): ring
+// waveguide construction. All network nodes must be connected into a
+// single cycle of minimum total Manhattan length whose edges can be
+// implemented as L-shaped waveguides without crossings.
+//
+// The paper models this as a modified travelling-salesman problem:
+// an assignment structure (each node has exactly one incoming and one
+// outgoing selected edge, Eq. 1), no 2-cycles (Eq. 2), and pairwise
+// conflict constraints between edges whose four L-shaped implementation
+// option pairs all cross (Eq. 3, Fig. 6), minimizing total Manhattan
+// length (Eq. 4). Sub-tours are *not* excluded in the model; the
+// optimizer's sub-cycles are merged afterwards by a heuristic
+// (Fig. 6(f)).
+//
+// Two exact solvers are provided:
+//
+//   - Construct: a branch-and-bound around the Hungarian assignment
+//     relaxation (the production path, replacing Gurobi);
+//   - ConstructMILP: the literal Eq. (1)-(4) model on the generic
+//     internal/milp solver (used for cross-validation and small cases).
+package ring
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sort"
+
+	"xring/internal/assign"
+	"xring/internal/geom"
+	"xring/internal/milp"
+	"xring/internal/noc"
+)
+
+// Result is the outcome of ring construction.
+type Result struct {
+	// Tour is the synthesized cyclic node order (node IDs).
+	Tour []int
+	// Orders is the chosen L-routing option per tour edge
+	// (edge i = Tour[i] -> Tour[(i+1)%N]).
+	Orders []geom.LOrder
+	// Length is the total tour length in mm.
+	Length float64
+	// ModelObjective is the optimum of the Eq. (1)-(4) model before
+	// sub-cycle merging (equals Length when no merging was needed).
+	ModelObjective float64
+	// Subcycles is the number of independent cycles the optimizer
+	// produced before merging.
+	Subcycles int
+	// Nodes is the number of branch-and-bound nodes explored.
+	Nodes int
+	// Optimal reports whether the model was solved to proven optimality.
+	Optimal bool
+}
+
+// Options tunes the constructors.
+type Options struct {
+	// MaxNodes caps branch-and-bound nodes (default 500000).
+	MaxNodes int
+	// DisableConflicts drops Eq. (3), for ablation studies.
+	DisableConflicts bool
+}
+
+type edgeKey struct{ a, b int } // undirected, a < b
+
+func mkEdge(i, j int) edgeKey {
+	if i > j {
+		i, j = j, i
+	}
+	return edgeKey{i, j}
+}
+
+// conflictTable precomputes, for all undirected node pairs, which pairs
+// conflict per the paper's four-option test.
+type conflictTable struct {
+	n        int
+	conflict map[[2]edgeKey]bool
+}
+
+func buildConflicts(net *noc.Network) *conflictTable {
+	n := net.N()
+	ct := &conflictTable{n: n, conflict: map[[2]edgeKey]bool{}}
+	var edges []edgeKey
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			edges = append(edges, edgeKey{i, j})
+		}
+	}
+	pos := net.Positions()
+	for x := 0; x < len(edges); x++ {
+		for y := x + 1; y < len(edges); y++ {
+			e, f := edges[x], edges[y]
+			if geom.EdgesConflict(pos[e.a], pos[e.b], pos[f.a], pos[f.b]) {
+				ct.conflict[[2]edgeKey{e, f}] = true
+				ct.conflict[[2]edgeKey{f, e}] = true
+			}
+		}
+	}
+	return ct
+}
+
+func (ct *conflictTable) conflicts(e, f edgeKey) bool {
+	return ct.conflict[[2]edgeKey{e, f}]
+}
+
+// Construct synthesizes the ring for a network using the assignment
+// branch-and-bound. It returns the merged single tour, the per-edge
+// L-orders, and solve statistics.
+func Construct(net *noc.Network, opt Options) (*Result, error) {
+	n := net.N()
+	if n < 3 {
+		return nil, fmt.Errorf("ring: need at least 3 nodes, have %d", n)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	ct := buildConflicts(net)
+	if opt.DisableConflicts {
+		ct.conflict = map[[2]edgeKey]bool{}
+	}
+
+	succ, objective, nodes, optimal, err := solveAssignmentBB(net, ct, opt)
+	if err != nil {
+		return nil, err
+	}
+	cycles := extractCycles(succ)
+	tour, err := mergeCycles(net, ct, cycles)
+	if err != nil {
+		return nil, err
+	}
+	orders, err := chooseOrders(net, tour)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tour:           tour,
+		Orders:         orders,
+		Length:         tourLength(net, tour),
+		ModelObjective: objective,
+		Subcycles:      len(cycles),
+		Nodes:          nodes,
+		Optimal:        optimal,
+	}, nil
+}
+
+// ConstructMILP builds and solves the literal Eq. (1)-(4) model with the
+// generic 0/1 solver, then applies the same merging. It is exponential
+// in the worst case and intended for N ≲ 10 and cross-validation.
+func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
+	n := net.N()
+	if n < 3 {
+		return nil, fmt.Errorf("ring: need at least 3 nodes, have %d", n)
+	}
+	ct := buildConflicts(net)
+	if opt.DisableConflicts {
+		ct.conflict = map[[2]edgeKey]bool{}
+	}
+	pos := net.Positions()
+
+	m := milp.NewModel()
+	type dedge struct{ from, to int }
+	vars := map[dedge]milp.Var{}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := m.Binary(fmt.Sprintf("b_%d_%d", i, j))
+			m.SetObjectiveCoef(v, geom.Manhattan(pos[i], pos[j])) // Eq. (4)
+			vars[dedge{i, j}] = v
+		}
+	}
+	// Eq. (1): in/out degree one.
+	for i := 0; i < n; i++ {
+		var out, in []milp.Var
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			out = append(out, vars[dedge{i, j}])
+			in = append(in, vars[dedge{j, i}])
+		}
+		m.ExactlyOne(fmt.Sprintf("out_%d", i), out...)
+		m.ExactlyOne(fmt.Sprintf("in_%d", i), in...)
+	}
+	// Eq. (2): no 2-cycles.
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			m.AtMostOne(fmt.Sprintf("no2cyc_%d_%d", i, j), vars[dedge{i, j}], vars[dedge{j, i}])
+		}
+	}
+	// Eq. (3): conflicting edge pairs (undirected conflicts expanded to
+	// all four directed combinations).
+	for pair := range ct.conflict {
+		e, f := pair[0], pair[1]
+		if e.a > f.a || (e.a == f.a && e.b > f.b) {
+			continue // each unordered pair once
+		}
+		for _, de := range []dedge{{e.a, e.b}, {e.b, e.a}} {
+			for _, df := range []dedge{{f.a, f.b}, {f.b, f.a}} {
+				m.AtMostOne("conflict", vars[de], vars[df])
+			}
+		}
+	}
+
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
+	sol, err := milp.Solve(m, milp.Options{MaxNodes: maxNodes})
+	if err != nil {
+		return nil, fmt.Errorf("ring: MILP solve: %w", err)
+	}
+	succ := make([]int, n)
+	for i := range succ {
+		succ[i] = -1
+	}
+	for de, v := range vars {
+		if sol.Value(v) {
+			succ[de.from] = de.to
+		}
+	}
+	cycles := extractCycles(succ)
+	tour, err := mergeCycles(net, ct, cycles)
+	if err != nil {
+		return nil, err
+	}
+	orders, err := chooseOrders(net, tour)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{
+		Tour:           tour,
+		Orders:         orders,
+		Length:         tourLength(net, tour),
+		ModelObjective: sol.Objective,
+		Subcycles:      len(cycles),
+		Nodes:          sol.Nodes,
+		Optimal:        sol.Optimal,
+	}, nil
+}
+
+func tourLength(net *noc.Network, tour []int) float64 {
+	pos := net.Positions()
+	total := 0.0
+	for i := range tour {
+		total += geom.Manhattan(pos[tour[i]], pos[tour[(i+1)%len(tour)]])
+	}
+	return total
+}
+
+// ---------------------------------------------------------------------
+// Assignment branch-and-bound (production solver)
+// ---------------------------------------------------------------------
+
+type bbState struct {
+	net      *noc.Network
+	ct       *conflictTable
+	n        int
+	best     float64
+	bestSucc []int
+	nodes    int
+	maxNodes int
+}
+
+func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ []int, objective float64, nodes int, optimal bool, err error) {
+	n := net.N()
+	pos := net.Positions()
+	cost := make([][]float64, n)
+	for i := range cost {
+		cost[i] = make([]float64, n)
+		for j := range cost[i] {
+			if i == j {
+				cost[i][j] = assign.Forbidden
+			} else {
+				cost[i][j] = geom.Manhattan(pos[i], pos[j])
+			}
+		}
+	}
+	st := &bbState{net: net, ct: ct, n: n, best: math.Inf(1), maxNodes: opt.MaxNodes}
+	if st.maxNodes == 0 {
+		st.maxNodes = 500_000
+	}
+	// Warm start from the merge-friendly heuristic: a feasible
+	// conflict-free tour is also a feasible assignment.
+	if warm, werr := HeuristicTour(net, ct); werr == nil {
+		wsucc := make([]int, n)
+		for i := range warm {
+			wsucc[warm[i]] = warm[(i+1)%n]
+		}
+		if st.feasible(wsucc) {
+			st.best = succCost(cost, wsucc)
+			st.bestSucc = wsucc
+		}
+	}
+	st.search(cost)
+	if st.bestSucc == nil {
+		return nil, 0, st.nodes, false, errors.New("ring: no feasible assignment found (conflict constraints unsatisfiable)")
+	}
+	return st.bestSucc, st.best, st.nodes, st.nodes < st.maxNodes, nil
+}
+
+func succCost(cost [][]float64, succ []int) float64 {
+	total := 0.0
+	for i, j := range succ {
+		total += cost[i][j]
+	}
+	return total
+}
+
+// feasible checks the side constraints (2-cycles and conflicts) on a
+// complete assignment.
+func (st *bbState) feasible(succ []int) bool {
+	_, _, ok := st.firstViolation(succ)
+	return ok
+}
+
+// firstViolation returns the most useful violated constraint of an
+// assignment: a 2-cycle (kind 0, pair of node indices) or a conflicting
+// selected edge pair (kind 1). ok is true when no violation exists.
+func (st *bbState) firstViolation(succ []int) (kind int, data [4]int, ok bool) {
+	if st.n > 2 {
+		for i, j := range succ {
+			if j >= 0 && i < j && succ[j] == i {
+				return 0, [4]int{i, j}, false
+			}
+		}
+	}
+	selected := make([]edgeKey, 0, st.n)
+	for i, j := range succ {
+		if j >= 0 {
+			selected = append(selected, mkEdge(i, j))
+		}
+	}
+	for x := 0; x < len(selected); x++ {
+		for y := x + 1; y < len(selected); y++ {
+			if selected[x] != selected[y] && st.ct.conflicts(selected[x], selected[y]) {
+				return 1, [4]int{selected[x].a, selected[x].b, selected[y].a, selected[y].b}, false
+			}
+		}
+	}
+	return 0, [4]int{}, true
+}
+
+func banDirected(cost [][]float64, i, j int) { cost[i][j] = assign.Forbidden }
+
+func banUndirected(cost [][]float64, e edgeKey) {
+	cost[e.a][e.b] = assign.Forbidden
+	cost[e.b][e.a] = assign.Forbidden
+}
+
+func (st *bbState) search(cost [][]float64) {
+	st.nodes++
+	if st.nodes >= st.maxNodes {
+		return
+	}
+	succ, total, err := assign.Solve(cost)
+	if err != nil {
+		return // infeasible branch
+	}
+	if total >= st.best-1e-9 {
+		return // bound
+	}
+	kind, data, ok := st.firstViolation(succ)
+	if ok {
+		st.best = total
+		st.bestSucc = append([]int(nil), succ...)
+		return
+	}
+	switch kind {
+	case 0: // 2-cycle between data[0] and data[1]
+		i, j := data[0], data[1]
+		c1 := assign.Clone(cost)
+		banDirected(c1, i, j)
+		st.search(c1)
+		c2 := assign.Clone(cost)
+		banDirected(c2, j, i)
+		st.search(c2)
+	case 1: // conflict between undirected edges
+		e := edgeKey{data[0], data[1]}
+		f := edgeKey{data[2], data[3]}
+		c1 := assign.Clone(cost)
+		banUndirected(c1, e)
+		st.search(c1)
+		c2 := assign.Clone(cost)
+		banUndirected(c2, f)
+		st.search(c2)
+	}
+}
+
+// ---------------------------------------------------------------------
+// Sub-cycle extraction and merging (Fig. 6(e)-(f))
+// ---------------------------------------------------------------------
+
+// extractCycles decomposes a successor function into its cycles.
+func extractCycles(succ []int) [][]int {
+	n := len(succ)
+	seen := make([]bool, n)
+	var cycles [][]int
+	for s := 0; s < n; s++ {
+		if seen[s] || succ[s] < 0 {
+			continue
+		}
+		var cyc []int
+		for v := s; !seen[v]; v = succ[v] {
+			seen[v] = true
+			cyc = append(cyc, v)
+		}
+		cycles = append(cycles, cyc)
+	}
+	return cycles
+}
+
+// mergeCycles combines sub-cycles into one tour. For every pair of
+// cycles it examines every pair of edges (one per cycle) and both
+// reconnection orientations, requiring the two new edges to be
+// conflict-free with each other and with all surviving edges, and picks
+// the reconnection with the minimum added length. If no conflict-free
+// reconnection exists for the best pair, conflict checking against
+// surviving edges is relaxed (the paper's heuristic only requires the
+// pair itself to be conflict-free).
+func mergeCycles(net *noc.Network, ct *conflictTable, cycles [][]int) ([]int, error) {
+	pos := net.Positions()
+	cur := make([][]int, len(cycles))
+	copy(cur, cycles)
+
+	dist := func(i, j int) float64 { return geom.Manhattan(pos[i], pos[j]) }
+
+	for len(cur) > 1 {
+		type merge struct {
+			ci, cj   int // cycle indices
+			xi, yj   int // edge start offsets within the cycles
+			reversed bool
+			delta    float64
+		}
+		bestStrict := merge{delta: math.Inf(1)}  // conflict-free vs all surviving edges
+		bestRelaxed := merge{delta: math.Inf(1)} // only the new pair is conflict-free
+
+		// Collect all surviving undirected edges for strict checking.
+		allEdges := func(skipCi, skipXi, skipCj, skipYj int) []edgeKey {
+			var out []edgeKey
+			for c, cyc := range cur {
+				for k := range cyc {
+					if (c == skipCi && k == skipXi) || (c == skipCj && k == skipYj) {
+						continue
+					}
+					out = append(out, mkEdge(cyc[k], cyc[(k+1)%len(cyc)]))
+				}
+			}
+			return out
+		}
+
+		for ci := 0; ci < len(cur); ci++ {
+			for cj := ci + 1; cj < len(cur); cj++ {
+				a, b := cur[ci], cur[cj]
+				for xi := range a {
+					ax, axn := a[xi], a[(xi+1)%len(a)]
+					removed1 := dist(ax, axn)
+					for yj := range b {
+						by, byn := b[yj], b[(yj+1)%len(b)]
+						removed2 := dist(by, byn)
+						for _, rev := range [2]bool{false, true} {
+							var e1, e2 edgeKey
+							var added float64
+							if !rev {
+								// a: ..ax -> byn.. (b forward), ..by -> axn..
+								e1, e2 = mkEdge(ax, byn), mkEdge(by, axn)
+								added = dist(ax, byn) + dist(by, axn)
+							} else {
+								// a: ..ax -> by.. (b reversed), ..byn -> axn..
+								e1, e2 = mkEdge(ax, by), mkEdge(byn, axn)
+								added = dist(ax, by) + dist(byn, axn)
+							}
+							delta := added - removed1 - removed2
+							if ct.conflicts(e1, e2) {
+								continue
+							}
+							if delta >= bestRelaxed.delta && delta >= bestStrict.delta {
+								continue
+							}
+							strict := true
+							for _, other := range allEdges(ci, xi, cj, yj) {
+								if ct.conflicts(e1, other) || ct.conflicts(e2, other) {
+									strict = false
+									break
+								}
+							}
+							if strict && delta < bestStrict.delta {
+								bestStrict = merge{ci, cj, xi, yj, rev, delta}
+							}
+							if delta < bestRelaxed.delta {
+								bestRelaxed = merge{ci, cj, xi, yj, rev, delta}
+							}
+						}
+					}
+				}
+			}
+		}
+		best := bestStrict
+		if math.IsInf(best.delta, 1) {
+			best = bestRelaxed
+		}
+		if math.IsInf(best.delta, 1) {
+			return nil, errors.New("ring: cannot merge sub-cycles without conflicts")
+		}
+		merged := spliceCycles(cur[best.ci], cur[best.cj], best.xi, best.yj, best.reversed)
+		var next [][]int
+		for c := range cur {
+			if c != best.ci && c != best.cj {
+				next = append(next, cur[c])
+			}
+		}
+		next = append(next, merged)
+		cur = next
+	}
+	return cur[0], nil
+}
+
+// spliceCycles joins cycle b into cycle a by removing edge (a[xi],
+// a[xi+1]) and (b[yj], b[yj+1]) and reconnecting.
+func spliceCycles(a, b []int, xi, yj int, reversed bool) []int {
+	out := make([]int, 0, len(a)+len(b))
+	// Walk a from xi+1 around to xi (inclusive): ends at a[xi].
+	for k := 1; k <= len(a); k++ {
+		out = append(out, a[(xi+k)%len(a)])
+	}
+	// out ends with a[xi]; append b starting appropriately.
+	if !reversed {
+		// a[xi] -> b[yj+1] ... b[yj]
+		for k := 1; k <= len(b); k++ {
+			out = append(out, b[(yj+k)%len(b)])
+		}
+	} else {
+		// a[xi] -> b[yj] ... b[yj+1] (b reversed)
+		for k := 0; k < len(b); k++ {
+			out = append(out, b[(yj-k+len(b)*2)%len(b)])
+		}
+	}
+	return out
+}
+
+// ---------------------------------------------------------------------
+// Heuristic warm start
+// ---------------------------------------------------------------------
+
+// HeuristicTour builds a conflict-aware tour with nearest-neighbour
+// construction followed by 2-opt improvement. It is used to warm-start
+// the branch-and-bound and as a fallback for very large networks.
+func HeuristicTour(net *noc.Network, ct *conflictTable) ([]int, error) {
+	n := net.N()
+	pos := net.Positions()
+	dist := func(i, j int) float64 { return geom.Manhattan(pos[i], pos[j]) }
+
+	// Nearest neighbour from node 0.
+	tour := []int{0}
+	used := make([]bool, n)
+	used[0] = true
+	for len(tour) < n {
+		last := tour[len(tour)-1]
+		bestJ, bestD := -1, math.Inf(1)
+		for j := 0; j < n; j++ {
+			if !used[j] && dist(last, j) < bestD {
+				bestD = dist(last, j)
+				bestJ = j
+			}
+		}
+		tour = append(tour, bestJ)
+		used[bestJ] = true
+	}
+
+	// 2-opt: reverse segments while it shortens the tour or removes
+	// conflicts between tour edges.
+	improved := true
+	for iter := 0; improved && iter < 200; iter++ {
+		improved = false
+		for i := 0; i < n-1; i++ {
+			for j := i + 1; j < n; j++ {
+				a, b := tour[i], tour[(i+1)%n]
+				c, d := tour[j], tour[(j+1)%n]
+				if a == c || b == d || a == d {
+					continue
+				}
+				delta := dist(a, c) + dist(b, d) - dist(a, b) - dist(c, d)
+				conflictNow := ct != nil && ct.conflicts(mkEdge(a, b), mkEdge(c, d))
+				conflictAfter := ct != nil && ct.conflicts(mkEdge(a, c), mkEdge(b, d))
+				if delta < -1e-9 || (conflictNow && !conflictAfter && delta <= 1e-9) {
+					// Reverse tour[i+1..j].
+					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
+						tour[lo], tour[hi] = tour[hi], tour[lo]
+					}
+					improved = true
+				}
+			}
+		}
+	}
+	// Validate conflict-freedom.
+	if ct != nil {
+		for i := 0; i < n; i++ {
+			ei := mkEdge(tour[i], tour[(i+1)%n])
+			for j := i + 1; j < n; j++ {
+				ej := mkEdge(tour[j], tour[(j+1)%n])
+				if ei != ej && ct.conflicts(ei, ej) {
+					return nil, errors.New("ring: heuristic tour has conflicting edges")
+				}
+			}
+		}
+	}
+	return tour, nil
+}
+
+// ---------------------------------------------------------------------
+// L-order assignment
+// ---------------------------------------------------------------------
+
+// OrdersFor finds a crossing-free L-order assignment for an arbitrary
+// tour, or an error when no planar embedding exists. It lets callers
+// evaluate externally supplied tours (e.g. manual designs).
+func OrdersFor(net *noc.Network, tour []int) ([]geom.LOrder, error) {
+	return chooseOrders(net, tour)
+}
+
+// chooseOrders assigns an L-routing option to every tour edge so that no
+// two non-adjacent edges cross, via backtracking over the two options
+// per edge (most-constrained-first).
+func chooseOrders(net *noc.Network, tour []int) ([]geom.LOrder, error) {
+	n := len(tour)
+	pos := net.Positions()
+	type edge struct{ a, b geom.Point }
+	edges := make([]edge, n)
+	for i := range edges {
+		edges[i] = edge{pos[tour[i]], pos[tour[(i+1)%n]]}
+	}
+	// allowed[i][j] for i<j non-adjacent: set of (oi, oj) pairs.
+	type optPair [2]geom.LOrder
+	allowed := make(map[[2]int][]optPair)
+	adjacent := func(i, j int) bool {
+		return j == i+1 || (i == 0 && j == n-1)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			if adjacent(i, j) {
+				continue
+			}
+			var ok []optPair
+			for _, oi := range [2]geom.LOrder{geom.VH, geom.HV} {
+				pi := geom.LPath(edges[i].a, edges[i].b, oi)
+				for _, oj := range [2]geom.LOrder{geom.VH, geom.HV} {
+					pj := geom.LPath(edges[j].a, edges[j].b, oj)
+					if !geom.PathsCross(pi, pj) {
+						ok = append(ok, optPair{oi, oj})
+					}
+				}
+			}
+			if len(ok) == 0 {
+				return nil, fmt.Errorf("ring: tour edges %d and %d cannot be embedded without crossing", i, j)
+			}
+			if len(ok) < 4 {
+				allowed[[2]int{i, j}] = ok
+			}
+		}
+	}
+	orders := make([]geom.LOrder, n)
+	set := make([]bool, n)
+
+	// Order edges by number of constraints (most-constrained first).
+	degree := make([]int, n)
+	for key := range allowed {
+		degree[key[0]]++
+		degree[key[1]]++
+	}
+	seq := make([]int, n)
+	for i := range seq {
+		seq[i] = i
+	}
+	sort.Slice(seq, func(x, y int) bool { return degree[seq[x]] > degree[seq[y]] })
+
+	compatible := func(i int, oi geom.LOrder) bool {
+		for j := 0; j < n; j++ {
+			if !set[j] || j == i {
+				continue
+			}
+			lo, hi := i, j
+			swap := false
+			if lo > hi {
+				lo, hi = hi, lo
+				swap = true
+			}
+			pairs, has := allowed[[2]int{lo, hi}]
+			if !has {
+				continue
+			}
+			match := false
+			for _, p := range pairs {
+				a, b := p[0], p[1]
+				if swap {
+					a, b = b, a
+				}
+				if a == oi && b == orders[j] {
+					match = true
+					break
+				}
+			}
+			if !match {
+				return false
+			}
+		}
+		return true
+	}
+
+	var backtrack func(k int) bool
+	backtrack = func(k int) bool {
+		if k == n {
+			return true
+		}
+		i := seq[k]
+		for _, o := range [2]geom.LOrder{geom.VH, geom.HV} {
+			if compatible(i, o) {
+				orders[i] = o
+				set[i] = true
+				if backtrack(k + 1) {
+					return true
+				}
+				set[i] = false
+			}
+		}
+		return false
+	}
+	if !backtrack(0) {
+		return nil, errors.New("ring: no globally consistent L-order assignment exists")
+	}
+	return orders, nil
+}

@@ -1,0 +1,269 @@
+package ring
+
+import (
+	"math"
+	"testing"
+
+	"xring/internal/noc"
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+// checkTour validates that a result is a permutation tour with a
+// crossing-free embedding, via the router validator.
+func checkTour(t *testing.T, net *noc.Network, res *Result) {
+	t.Helper()
+	if len(res.Tour) != net.N() {
+		t.Fatalf("tour has %d entries for %d nodes", len(res.Tour), net.N())
+	}
+	d, err := router.NewDesign(net, phys.Default(), res.Tour, res.Orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("synthesized tour invalid: %v", err)
+	}
+	if math.Abs(d.Perimeter()-res.Length) > 1e-9 {
+		t.Fatalf("reported length %v != perimeter %v", res.Length, d.Perimeter())
+	}
+}
+
+func TestConstructGrid8(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := Construct(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTour(t, net, res)
+	// The optimal 4x2 grid tour has length 16 (8 edges of one pitch).
+	if math.Abs(res.Length-16) > 1e-9 {
+		t.Fatalf("tour length = %v, want 16", res.Length)
+	}
+	if !res.Optimal {
+		t.Fatal("grid-8 should be solved to optimality")
+	}
+}
+
+func TestConstructGrid16(t *testing.T) {
+	net := noc.Floorplan16()
+	res, err := Construct(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTour(t, net, res)
+	if math.Abs(res.Length-32) > 1e-9 {
+		t.Fatalf("tour length = %v, want 32", res.Length)
+	}
+}
+
+func TestConstructGrid32(t *testing.T) {
+	net := noc.Floorplan32()
+	res, err := Construct(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkTour(t, net, res)
+	if math.Abs(res.Length-64) > 1e-9 {
+		t.Fatalf("tour length = %v, want 64", res.Length)
+	}
+}
+
+func TestConstructTooSmall(t *testing.T) {
+	net := noc.Grid(2, 1, 2, 1)
+	if _, err := Construct(net, Options{}); err == nil {
+		t.Fatal("want error for 2-node network")
+	}
+}
+
+func TestConstructIrregular(t *testing.T) {
+	for _, seed := range []int64{1, 2, 3, 4, 5} {
+		net := noc.Irregular(9, 10, 10, 1.5, seed)
+		res, err := Construct(net, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		checkTour(t, net, res)
+	}
+}
+
+func TestConstructMatchesMILPModel(t *testing.T) {
+	// On small irregular instances the assignment B&B and the literal
+	// Eq. (1)-(4) model must agree on the model optimum.
+	for _, seed := range []int64{10, 11, 12} {
+		net := noc.Irregular(6, 8, 8, 1.5, seed)
+		exact, err := Construct(net, Options{})
+		if err != nil {
+			t.Fatalf("seed %d construct: %v", seed, err)
+		}
+		ref, err := ConstructMILP(net, Options{})
+		if err != nil {
+			t.Fatalf("seed %d milp: %v", seed, err)
+		}
+		if math.Abs(exact.ModelObjective-ref.ModelObjective) > 1e-6 {
+			t.Fatalf("seed %d: assignment B&B objective %v != MILP %v",
+				seed, exact.ModelObjective, ref.ModelObjective)
+		}
+		checkTour(t, net, exact)
+		checkTour(t, net, ref)
+	}
+}
+
+func TestModelObjectiveIsLowerBound(t *testing.T) {
+	// The model ignores connectivity, so its optimum can only be below
+	// (or equal to) the final merged tour length.
+	for _, seed := range []int64{21, 22, 23, 24} {
+		net := noc.Irregular(8, 10, 10, 1.5, seed)
+		res, err := Construct(net, Options{})
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if res.ModelObjective > res.Length+1e-9 {
+			t.Fatalf("seed %d: model objective %v exceeds tour length %v",
+				seed, res.ModelObjective, res.Length)
+		}
+	}
+}
+
+func TestDisableConflictsAblation(t *testing.T) {
+	// Without Eq. (3) the model optimum can only improve (fewer
+	// constraints), but the merged tour may no longer embed planar.
+	net := noc.Irregular(8, 10, 10, 1.5, 31)
+	with, err := Construct(net, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	without, err := Construct(net, Options{DisableConflicts: true})
+	if err != nil {
+		// Acceptable: the unconstrained tour may admit no embedding.
+		t.Logf("conflict-free ablation failed to embed (expected sometimes): %v", err)
+		return
+	}
+	if without.ModelObjective > with.ModelObjective+1e-9 {
+		t.Fatalf("dropping constraints must not worsen the relaxation: %v > %v",
+			without.ModelObjective, with.ModelObjective)
+	}
+}
+
+func TestExtractCycles(t *testing.T) {
+	succ := []int{1, 0, 3, 4, 2} // cycles (0,1) and (2,3,4)
+	cycles := extractCycles(succ)
+	if len(cycles) != 2 {
+		t.Fatalf("got %d cycles, want 2", len(cycles))
+	}
+	total := 0
+	for _, c := range cycles {
+		total += len(c)
+	}
+	if total != 5 {
+		t.Fatalf("cycles cover %d nodes, want 5", total)
+	}
+}
+
+func TestSpliceCycles(t *testing.T) {
+	a := []int{0, 1, 2}
+	b := []int{3, 4, 5}
+	// Remove edge (2,0) from a (xi=2) and (5,3) from b (yj=2), forward:
+	// 2 -> 3 expected: tour ...0,1,2,3,4,5.
+	out := spliceCycles(a, b, 2, 2, false)
+	if len(out) != 6 {
+		t.Fatalf("splice length %d", len(out))
+	}
+	// Must contain all six nodes exactly once.
+	seen := map[int]bool{}
+	for _, v := range out {
+		if seen[v] {
+			t.Fatalf("duplicate %d in %v", v, out)
+		}
+		seen[v] = true
+	}
+	// Check adjacency 2->3 exists in forward splice.
+	adj := false
+	for i := range out {
+		if out[i] == 2 && out[(i+1)%len(out)] == 3 {
+			adj = true
+		}
+	}
+	if !adj {
+		t.Fatalf("expected edge 2->3 in %v", out)
+	}
+
+	rev := spliceCycles(a, b, 2, 2, true)
+	seen = map[int]bool{}
+	for _, v := range rev {
+		if seen[v] {
+			t.Fatalf("duplicate %d in reversed splice %v", v, rev)
+		}
+		seen[v] = true
+	}
+	if len(rev) != 6 {
+		t.Fatalf("reversed splice length %d", len(rev))
+	}
+}
+
+func TestHeuristicTour(t *testing.T) {
+	net := noc.Floorplan16()
+	ct := buildConflicts(net)
+	tour, err := HeuristicTour(net, ct)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tour) != 16 {
+		t.Fatalf("tour length %d", len(tour))
+	}
+	seen := map[int]bool{}
+	for _, v := range tour {
+		if seen[v] {
+			t.Fatalf("duplicate node %d", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBuildConflictsSymmetricAndIrreflexive(t *testing.T) {
+	net := noc.Floorplan8()
+	ct := buildConflicts(net)
+	for pair := range ct.conflict {
+		if pair[0] == pair[1] {
+			t.Fatal("edge conflicts with itself")
+		}
+		if !ct.conflicts(pair[1], pair[0]) {
+			t.Fatal("conflict table not symmetric")
+		}
+	}
+}
+
+func TestChooseOrdersOnKnownTour(t *testing.T) {
+	net := noc.Floorplan8()
+	tour := []int{0, 1, 2, 3, 7, 6, 5, 4}
+	orders, err := chooseOrders(net, tour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := router.NewDesign(net, phys.Default(), tour, orders)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("orders do not embed: %v", err)
+	}
+}
+
+func BenchmarkConstruct16(b *testing.B) {
+	net := noc.Floorplan16()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Construct(net, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkConstruct32(b *testing.B) {
+	net := noc.Floorplan32()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Construct(net, Options{}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

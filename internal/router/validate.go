@@ -1,0 +1,261 @@
+package router
+
+import (
+	"fmt"
+
+	"xring/internal/geom"
+	"xring/internal/noc"
+)
+
+// ChannelsCollide reports whether two channels cannot share a waveguide
+// because wavelength routing would misdeliver one of them.
+//
+// Two channels on the same ring waveguide with the same wavelength
+// collide when either arc passes (or ends at) the other's receiver: an
+// on-resonance receiver MRR drops *any* passing signal on its
+// wavelength. Head-to-tail reuse (one arc ending exactly where the
+// other starts) is legal — that is the wavelength-reuse trick of
+// ORNoC/ORing that Step 3 inherits.
+func (d *Design) ChannelsCollide(dir Direction, c1, c2 Channel) bool {
+	if c1.WL != c2.WL {
+		return false
+	}
+	if c1.Sig.Dst == c2.Sig.Dst {
+		return true // two receivers for the same wavelength at one site
+	}
+	if d.PassesNode(c1.Sig.Src, c1.Sig.Dst, c2.Sig.Dst, dir) {
+		return true // c1 would drop at c2's receiver
+	}
+	if d.PassesNode(c2.Sig.Src, c2.Sig.Dst, c1.Sig.Dst, dir) {
+		return true
+	}
+	// A signal arriving at its destination has, by the site ordering
+	// (receiver bank before sender bank), already been dropped before
+	// reaching any modulator, so sharing src or dst==src is legal.
+	return false
+}
+
+// Validate checks every structural invariant of a synthesized design.
+// It returns the first violation found, or nil for a valid design.
+func (d *Design) Validate() error {
+	if err := d.validateTourGeometry(); err != nil {
+		return err
+	}
+	if err := d.validateWaveguides(); err != nil {
+		return err
+	}
+	if err := d.validateShortcuts(); err != nil {
+		return err
+	}
+	return d.validateRoutes()
+}
+
+// validateTourGeometry checks that the chosen L-orders implement the
+// tour without any crossing between non-adjacent edges.
+func (d *Design) validateTourGeometry() error {
+	n := d.N()
+	if n < 3 {
+		return fmt.Errorf("router: need at least 3 nodes, have %d", n)
+	}
+	paths := make([]geom.Polyline, n)
+	for i := range paths {
+		paths[i] = d.EdgePath(i)
+	}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			adjacent := j == i+1 || (i == 0 && j == n-1)
+			if adjacent {
+				continue
+			}
+			if geom.PathsCross(paths[i], paths[j]) {
+				return fmt.Errorf("router: tour edges %d and %d cross (%v vs %v)",
+					i, j, paths[i], paths[j])
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Design) validateWaveguides() error {
+	for wi, w := range d.Waveguides {
+		if w.ID != wi {
+			return fmt.Errorf("router: waveguide %d has ID %d", wi, w.ID)
+		}
+		if w.Opening != -1 && (w.Opening < 0 || w.Opening >= d.N()) {
+			return fmt.Errorf("router: waveguide %d opening %d out of range", wi, w.Opening)
+		}
+		for ci, c := range w.Channels {
+			if c.Sig.Src == c.Sig.Dst {
+				return fmt.Errorf("router: waveguide %d has self-signal %v", wi, c.Sig)
+			}
+			if c.WL < 0 {
+				return fmt.Errorf("router: waveguide %d channel %v has negative wavelength", wi, c.Sig)
+			}
+			if d.MaxWL > 0 && c.WL >= d.MaxWL {
+				return fmt.Errorf("router: waveguide %d channel %v wavelength %d exceeds #wl=%d",
+					wi, c.Sig, c.WL, d.MaxWL)
+			}
+			if w.Opening >= 0 && d.PassesNode(c.Sig.Src, c.Sig.Dst, w.Opening, w.Dir) {
+				return fmt.Errorf("router: waveguide %d channel %v passes its opening at node %d",
+					wi, c.Sig, w.Opening)
+			}
+			for cj := ci + 1; cj < len(w.Channels); cj++ {
+				c2 := w.Channels[cj]
+				if c.Sig == c2.Sig {
+					return fmt.Errorf("router: waveguide %d carries %v twice", wi, c.Sig)
+				}
+				if d.ChannelsCollide(w.Dir, c, c2) {
+					return fmt.Errorf("router: waveguide %d wavelength collision between %v and %v on λ%d",
+						wi, c.Sig, c2.Sig, c.WL)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+func (d *Design) validateShortcuts() error {
+	perNode := map[int]int{}
+	ringEdges := make([]geom.Polyline, d.N())
+	for i := range ringEdges {
+		ringEdges[i] = d.EdgePath(i)
+	}
+	for si, s := range d.Shortcuts {
+		if s.A == s.B {
+			return fmt.Errorf("router: shortcut %d connects node %d to itself", si, s.A)
+		}
+		perNode[s.A]++
+		perNode[s.B]++
+		if len(s.PathAB) < 2 {
+			return fmt.Errorf("router: shortcut %d has no physical path", si)
+		}
+		if !s.PathAB.Start().Eq(d.Net.Nodes[s.A].Pos) || !s.PathAB.End().Eq(d.Net.Nodes[s.B].Pos) {
+			return fmt.Errorf("router: shortcut %d path does not join node positions", si)
+		}
+		// Crossing-freedom versus the ring (Sec. III-B feasibility).
+		for ei, ep := range ringEdges {
+			if geom.PathsCross(s.PathAB, ep) {
+				return fmt.Errorf("router: shortcut %d (%d-%d) crosses ring edge %d", si, s.A, s.B, ei)
+			}
+		}
+		// Partner symmetry and the at-most-one-crossing rule.
+		if s.Partner != -1 {
+			if s.Partner < 0 || s.Partner >= len(d.Shortcuts) || s.Partner == si {
+				return fmt.Errorf("router: shortcut %d has invalid partner %d", si, s.Partner)
+			}
+			if d.Shortcuts[s.Partner].Partner != si {
+				return fmt.Errorf("router: shortcut partnership %d<->%d not symmetric", si, s.Partner)
+			}
+			if geom.CrossingsBetween(s.PathAB, d.Shortcuts[s.Partner].PathAB) == 0 {
+				return fmt.Errorf("router: shortcuts %d and %d are partners but do not cross", si, s.Partner)
+			}
+		}
+		// Geometric crossings with non-partner shortcuts are forbidden.
+		for sj := si + 1; sj < len(d.Shortcuts); sj++ {
+			if sj == s.Partner {
+				continue
+			}
+			if geom.PathsCross(s.PathAB, d.Shortcuts[sj].PathAB) {
+				return fmt.Errorf("router: shortcuts %d and %d cross without being CSE partners", si, sj)
+			}
+		}
+		if err := d.validateShortcutChannels(si, s); err != nil {
+			return err
+		}
+	}
+	for node, cnt := range perNode {
+		if cnt > 1 {
+			return fmt.Errorf("router: node %d participates in %d shortcuts (max 1)", node, cnt)
+		}
+	}
+	return nil
+}
+
+func (d *Design) validateShortcutChannels(si int, s *Shortcut) error {
+	ends := func(sig noc.Signal, a, b int) bool {
+		return (sig.Src == a && sig.Dst == b) || (sig.Src == b && sig.Dst == a)
+	}
+	seenWL := map[[2]interface{}]bool{} // (direction entry node, wl)
+	for _, c := range s.Channels {
+		if c.ViaCSE {
+			if s.Partner == -1 {
+				return fmt.Errorf("router: shortcut %d has CSE channel %v but no partner", si, c.Sig)
+			}
+			p := d.Shortcuts[s.Partner]
+			// A CSE channel enters on s at one of s's endpoints and exits
+			// at one of the partner's endpoints.
+			okSrc := c.Sig.Src == s.A || c.Sig.Src == s.B
+			okDst := c.Sig.Dst == p.A || c.Sig.Dst == p.B
+			if !okSrc || !okDst {
+				return fmt.Errorf("router: CSE channel %v does not join shortcut %d to partner %d",
+					c.Sig, si, s.Partner)
+			}
+		} else if !ends(c.Sig, s.A, s.B) {
+			return fmt.Errorf("router: channel %v does not match shortcut %d endpoints (%d,%d)",
+				c.Sig, si, s.A, s.B)
+		}
+		key := [2]interface{}{c.Sig.Src, c.WL}
+		if seenWL[key] {
+			return fmt.Errorf("router: shortcut %d carries two λ%d channels entering at node %d",
+				si, c.WL, c.Sig.Src)
+		}
+		seenWL[key] = true
+	}
+	return nil
+}
+
+func (d *Design) validateRoutes() error {
+	if d.Routes == nil {
+		return nil // mapping not run yet: nothing to check
+	}
+	for sig, r := range d.Routes {
+		if r.Sig != sig {
+			return fmt.Errorf("router: route table key %v holds route for %v", sig, r.Sig)
+		}
+		switch r.Kind {
+		case OnRing:
+			if r.WG < 0 || r.WG >= len(d.Waveguides) {
+				return fmt.Errorf("router: route %v references waveguide %d", sig, r.WG)
+			}
+			found := false
+			for _, c := range d.Waveguides[r.WG].Channels {
+				if c.Sig == sig && c.WL == r.WL {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("router: route %v not present as channel on waveguide %d", sig, r.WG)
+			}
+		case OnShortcut:
+			if r.SC < 0 || r.SC >= len(d.Shortcuts) {
+				return fmt.Errorf("router: route %v references shortcut %d", sig, r.SC)
+			}
+			found := false
+			for _, c := range d.Shortcuts[r.SC].Channels {
+				if c.Sig == sig && c.WL == r.WL && c.ViaCSE == r.ViaCSE {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return fmt.Errorf("router: route %v not present as channel on shortcut %d", sig, r.SC)
+			}
+		default:
+			return fmt.Errorf("router: route %v has unknown kind %d", sig, r.Kind)
+		}
+	}
+	// Every channel in the design must be reachable from the route table
+	// exactly once.
+	count := 0
+	for _, w := range d.Waveguides {
+		count += len(w.Channels)
+	}
+	for _, s := range d.Shortcuts {
+		count += len(s.Channels)
+	}
+	if count != len(d.Routes) {
+		return fmt.Errorf("router: %d channels in design but %d routes", count, len(d.Routes))
+	}
+	return nil
+}

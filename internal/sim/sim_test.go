@@ -1,0 +1,181 @@
+package sim
+
+import (
+	"math"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/noc"
+)
+
+func synth(t *testing.T) *core.Result {
+	t.Helper()
+	res, err := core.Synthesize(noc.Floorplan8(), core.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+func TestWRONoCMatchesMD1(t *testing.T) {
+	res := synth(t)
+	cfg := DefaultConfig(0.5)
+	cfg.SimNS = 2_000_000
+	cfg.WarmupNS = 100_000
+	out, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Saturated {
+		t.Fatal("50% load must not saturate dedicated channels")
+	}
+	want := TheoreticalMD1WaitNS(cfg) // ρS/(2(1-ρ)) = 25.6 ns at ρ=0.5, S=51.2
+	// Average the measured mean queue over all flows.
+	sum, n := 0.0, 0
+	for _, fs := range out.Flows {
+		if fs.Delivered > 100 {
+			sum += fs.MeanQueueNS
+			n++
+		}
+	}
+	got := sum / float64(n)
+	if math.Abs(got-want)/want > 0.15 {
+		t.Fatalf("mean M/D/1 wait %v ns, closed form %v ns", got, want)
+	}
+}
+
+func TestDeterministicRuns(t *testing.T) {
+	res := synth(t)
+	cfg := DefaultConfig(0.3)
+	a, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.MeanTotalNS != b.MeanTotalNS || a.DeliveredGbps != b.DeliveredGbps {
+		t.Fatal("same seed must reproduce exactly")
+	}
+	cfg2 := cfg
+	cfg2.Seed = 99
+	c, err := Run(res.Design, res.Loss, cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.MeanTotalNS == a.MeanTotalNS {
+		t.Fatal("different seeds should differ")
+	}
+}
+
+func TestArbitrationCostsLatency(t *testing.T) {
+	// The paper's motivating claim: design-time channel reservation
+	// beats arbitration. Same traffic, same channel count.
+	res := synth(t)
+	cfg := DefaultConfig(0.4)
+	ded, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := cfg
+	cfgA.Mode = ModeArbitrated
+	cfgA.SharedChannels = res.Loss.WavelengthCount
+	arb, err := Run(res.Design, res.Loss, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 56 flows at 40% load over ~8 shared channels is far beyond their
+	// capacity: the arbitrated fabric saturates while WRONoC cruises.
+	if !arb.Saturated {
+		t.Fatal("arbitrated fabric should saturate at this load")
+	}
+	if ded.Saturated {
+		t.Fatal("WRONoC must not saturate")
+	}
+	if arb.MeanTotalNS <= ded.MeanTotalNS {
+		t.Fatalf("arbitrated latency %v ns should exceed WRONoC %v ns",
+			arb.MeanTotalNS, ded.MeanTotalNS)
+	}
+	if arb.DeliveredGbps >= ded.DeliveredGbps {
+		t.Fatalf("arbitrated goodput %v should fall below WRONoC %v",
+			arb.DeliveredGbps, ded.DeliveredGbps)
+	}
+}
+
+func TestArbitratedWithAmpleChannels(t *testing.T) {
+	// Give the arbitrated fabric one channel per flow: only the
+	// arbitration overhead separates it from WRONoC.
+	res := synth(t)
+	cfg := DefaultConfig(0.3)
+	ded, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgA := cfg
+	cfgA.Mode = ModeArbitrated
+	cfgA.SharedChannels = 56
+	arb, err := Run(res.Design, res.Loss, cfgA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if arb.Saturated {
+		t.Fatal("56 channels for 56 flows must not saturate")
+	}
+	// With one channel per flow, channel POOLING (any packet may grab
+	// any free channel) can offset the arbitration overhead — a fair
+	// outcome; the means must stay within one M/D/1 wait plus the
+	// overhead of each other.
+	bound := TheoreticalMD1WaitNS(cfg) + 2*cfgA.ArbitrationNS
+	if math.Abs(arb.MeanTotalNS-ded.MeanTotalNS) > bound {
+		t.Fatalf("gap too large: %v vs %v (bound %v)", arb.MeanTotalNS, ded.MeanTotalNS, bound)
+	}
+}
+
+func TestThroughputMatchesOfferedLoad(t *testing.T) {
+	res := synth(t)
+	cfg := DefaultConfig(0.25)
+	cfg.SimNS = 1_000_000
+	cfg.WarmupNS = 100_000
+	out, err := Run(res.Design, res.Loss, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(out.DeliveredGbps-out.OfferedGbps)/out.OfferedGbps > 0.1 {
+		t.Fatalf("delivered %v Gb/s vs offered %v Gb/s", out.DeliveredGbps, out.OfferedGbps)
+	}
+}
+
+func TestLatencyLoadCurveMonotone(t *testing.T) {
+	// The classic NoC latency-load curve: monotone increasing.
+	res := synth(t)
+	prev := 0.0
+	for _, load := range []float64{0.1, 0.3, 0.5, 0.7, 0.9} {
+		cfg := DefaultConfig(load)
+		out, err := Run(res.Design, res.Loss, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if out.MeanTotalNS <= prev {
+			t.Fatalf("latency should grow with load: %v ns at %v", out.MeanTotalNS, load)
+		}
+		prev = out.MeanTotalNS
+	}
+}
+
+func TestRunRejectsBadConfig(t *testing.T) {
+	res := synth(t)
+	for _, cfg := range []Config{
+		{Load: 0, LineRateGbps: 10, PacketBits: 512, SimNS: 1000},
+		{Load: 1.2, LineRateGbps: 10, PacketBits: 512, SimNS: 1000},
+		{Load: 0.5, LineRateGbps: 0, PacketBits: 512, SimNS: 1000},
+		{Load: 0.5, LineRateGbps: 10, PacketBits: 512, SimNS: 1000, WarmupNS: 2000},
+	} {
+		if _, err := Run(res.Design, res.Loss, cfg); err == nil {
+			t.Fatalf("config %+v should be rejected", cfg)
+		}
+	}
+	if _, err := Run(res.Design, nil, DefaultConfig(0.5)); err == nil {
+		t.Fatal("want error without loss report")
+	}
+}

@@ -1,0 +1,125 @@
+package verify
+
+import (
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/noc"
+	"xring/internal/router"
+)
+
+func TestRunCleanDesignPasses(t *testing.T) {
+	net := noc.Floorplan16()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(res.Design, res.Plan, res.Loss, Options{
+		RingCircumferenceUM: 30, GroupIndex: 4.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed != 0 {
+		for _, c := range rep.Checks {
+			if !c.Passed {
+				t.Errorf("FAILED %s: %s", c.Name, c.Detail)
+			}
+		}
+		t.Fatalf("%d checks failed", rep.Failed)
+	}
+	// Every named check present, none skipped for this configuration
+	// except possibly radial geometry when single pair.
+	names := map[string]bool{}
+	for _, c := range rep.Checks {
+		names[c.Name] = true
+	}
+	for _, want := range []string{"structure", "tour-bound", "channel-bound",
+		"laser-coverage", "crossing-free-pdn", "openings", "fsr-capacity"} {
+		if !names[want] {
+			t.Fatalf("missing check %q", want)
+		}
+	}
+}
+
+func TestRunCatchesBrokenDesign(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt: give two same-wavelength colliding channels.
+	d := res.Design
+	w := d.Waveguides[0]
+	if len(w.Channels) == 0 {
+		t.Skip("no channels on first waveguide")
+	}
+	c := w.Channels[0]
+	bad := router.Channel{Sig: noc.Signal{Src: c.Sig.Dst, Dst: c.Sig.Src}, WL: c.WL}
+	// Craft an overlapping same-λ channel by reusing the same dst.
+	bad.Sig = noc.Signal{Src: (c.Sig.Src + 1) % 8, Dst: c.Sig.Dst}
+	if bad.Sig.Src == bad.Sig.Dst {
+		bad.Sig.Src = (bad.Sig.Src + 1) % 8
+	}
+	w.Channels = append(w.Channels, bad)
+	d.Routes[bad.Sig] = &router.Route{Sig: bad.Sig, Kind: router.OnRing, WG: 0, WL: c.WL}
+
+	rep, err := Run(d, nil, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Failed == 0 || rep.Checks[0].Name != "structure" || rep.Checks[0].Passed {
+		t.Fatal("corrupted design must fail the structure check")
+	}
+	// Subsequent checks are suppressed.
+	if len(rep.Checks) != 1 {
+		t.Fatalf("expected only the structure check, got %d", len(rep.Checks))
+	}
+}
+
+func TestRunFSRViolation(t *testing.T) {
+	net := noc.Floorplan16()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 400 µm rings: FSR too small for 14 wavelengths at 100 GHz.
+	rep, err := Run(res.Design, res.Plan, res.Loss, Options{
+		RingCircumferenceUM: 400, GroupIndex: 4.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	found := false
+	for _, c := range rep.Checks {
+		if c.Name == "fsr-capacity" && !c.Passed {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("expected an FSR capacity failure for 400 µm rings")
+	}
+}
+
+func TestRunNoPDNSkips(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Run(res.Design, nil, res.Loss, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range rep.Checks {
+		if c.Name == "crossing-free-pdn" && !c.Skipped {
+			t.Fatal("PDN check should be skipped without a plan")
+		}
+		if c.Name == "fsr-capacity" && !c.Skipped {
+			t.Fatal("FSR check should be skipped without parameters")
+		}
+	}
+	if rep.Failed != 0 {
+		t.Fatalf("%d unexpected failures", rep.Failed)
+	}
+}

@@ -1,0 +1,88 @@
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"xring/internal/router"
+)
+
+// channel colors cycle over a categorical palette per wavelength.
+var wlPalette = []string{
+	"#2a9d8f", "#e76f51", "#264653", "#f4a261", "#9b5de5",
+	"#00b4d8", "#ef476f", "#06d6a0", "#ffd166", "#8338ec",
+	"#3a86ff", "#fb5607", "#43aa8b", "#b5179e", "#ff006e", "#5f0f40",
+}
+
+// ChannelChart renders the wavelength-allocation map of a design: one
+// lane per ring waveguide, the x axis running once around the tour in
+// CW arc coordinates, each channel drawn as a bar over its occupied arc
+// (colour = wavelength), openings as vertical notches. It shows at a
+// glance how Step 3 packed the signals and where reuse chains sit.
+func ChannelChart(d *router.Design) string {
+	const (
+		left     = 90.0
+		topPad   = 36.0
+		laneH    = 16.0
+		rowGap   = 6.0
+		pxPerMM  = 18.0
+		tickStep = 4.0 // mm
+	)
+	per := d.Perimeter()
+	width := left + per*pxPerMM + 40
+	height := topPad + float64(len(d.Waveguides))*(laneH+rowGap) + 40
+
+	var b strings.Builder
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n",
+		width, height, width, height)
+	fmt.Fprintf(&b, `<rect width="%.0f" height="%.0f" fill="#fcfcfa"/>`+"\n", width, height)
+	fmt.Fprintf(&b, `<text x="%.0f" y="20" font-size="13" fill="#333">wavelength allocation (x = CW arc position, mm)</text>`+"\n", left)
+
+	x := func(coord float64) float64 { return left + coord*pxPerMM }
+
+	// Axis ticks.
+	for mm := 0.0; mm <= per+1e-9; mm += tickStep {
+		fmt.Fprintf(&b, `<line x1="%.1f" y1="%.0f" x2="%.1f" y2="%.0f" stroke="#dddddd" stroke-width="1"/>`+"\n",
+			x(mm), topPad-4, x(mm), height-30)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.0f" font-size="9" fill="#888" text-anchor="middle">%.0f</text>`+"\n",
+			x(mm), height-16, mm)
+	}
+
+	for row, w := range d.Waveguides {
+		y := topPad + float64(row)*(laneH+rowGap)
+		fmt.Fprintf(&b, `<text x="6" y="%.1f" font-size="10" fill="#333">wg%d %s λ:%d</text>`+"\n",
+			y+laneH-4, w.ID, w.Dir, len(w.Channels))
+		fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="#f0f0ee" stroke="#cccccc" stroke-width="0.5"/>`+"\n",
+			x(0), y, per*pxPerMM, laneH)
+		for _, c := range w.Channels {
+			from, to := d.ArcInterval(c.Sig.Src, c.Sig.Dst, w.Dir)
+			color := wlPalette[c.WL%len(wlPalette)]
+			drawArcBar(&b, x, y, laneH, from, to, per, color)
+		}
+		if w.Opening >= 0 {
+			ox := x(d.NodeCoord(w.Opening))
+			fmt.Fprintf(&b, `<line x1="%.1f" y1="%.1f" x2="%.1f" y2="%.1f" stroke="#d00000" stroke-width="2"/>`+"\n",
+				ox, y-2, ox, y+laneH+2)
+		}
+	}
+	b.WriteString("</svg>\n")
+	return b.String()
+}
+
+// drawArcBar draws the [from, to) cyclic interval, splitting bars that
+// wrap past the tour origin.
+func drawArcBar(b *strings.Builder, x func(float64) float64, y, h, from, to, per float64, color string) {
+	bar := func(a, z float64) {
+		if z <= a {
+			return
+		}
+		fmt.Fprintf(b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="%s" fill-opacity="0.75"/>`+"\n",
+			x(a), y+2, (z-a)*(x(1)-x(0)), h-4, color)
+	}
+	if to >= from {
+		bar(from, to)
+		return
+	}
+	bar(from, per)
+	bar(0, to)
+}

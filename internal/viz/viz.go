@@ -1,0 +1,129 @@
+// Package viz renders synthesized designs as SVG: the die, the nodes,
+// the base ring with concentric replicas, shortcuts (with CSE crossing
+// markers), ring openings and — when a comb PDN was used — the
+// registered PDN crossings.
+package viz
+
+import (
+	"fmt"
+	"strings"
+
+	"xring/internal/geom"
+	"xring/internal/router"
+)
+
+// scale converts millimetres to SVG user units.
+const scale = 60.0
+
+// margin around the die in user units.
+const margin = 40.0
+
+// SVG renders the design.
+func SVG(d *router.Design) string {
+	var b strings.Builder
+	w := d.Net.DieW*scale + 2*margin
+	h := d.Net.DieH*scale + 2*margin
+	fmt.Fprintf(&b, `<svg xmlns="http://www.w3.org/2000/svg" width="%.0f" height="%.0f" viewBox="0 0 %.0f %.0f">`+"\n", w, h, w, h)
+	fmt.Fprintf(&b, `<rect x="0" y="0" width="%.0f" height="%.0f" fill="#fcfcfa"/>`+"\n", w, h)
+
+	// Die outline.
+	fmt.Fprintf(&b, `<rect x="%.1f" y="%.1f" width="%.1f" height="%.1f" fill="none" stroke="#cccccc" stroke-width="1"/>`+"\n",
+		margin, margin, d.Net.DieW*scale, d.Net.DieH*scale)
+
+	tx := func(p geom.Point) (float64, float64) {
+		// SVG y grows downward; flip.
+		return margin + p.X*scale, margin + (d.Net.DieH-p.Y)*scale
+	}
+
+	polyline := func(pl geom.Polyline, color string, width float64, dash string) {
+		var pts []string
+		for _, p := range pl {
+			x, y := tx(p)
+			pts = append(pts, fmt.Sprintf("%.1f,%.1f", x, y))
+		}
+		extra := ""
+		if dash != "" {
+			extra = fmt.Sprintf(` stroke-dasharray="%s"`, dash)
+		}
+		fmt.Fprintf(&b, `<polyline points="%s" fill="none" stroke="%s" stroke-width="%.1f"%s/>`+"\n",
+			strings.Join(pts, " "), color, width, extra)
+	}
+
+	// Base ring (closed).
+	ringPl := d.RingPolyline()
+	polyline(ringPl, "#2a9d8f", 2.5, "")
+
+	// Concentric replicas: geometrically offset rings, one per extra
+	// pair (capped for readability). Offsetting can fail on deeply
+	// notched tours; replicas are then simply not drawn.
+	pairs := 0
+	for _, wgd := range d.Waveguides {
+		if wgd.Radial/2+1 > pairs {
+			pairs = wgd.Radial/2 + 1
+		}
+	}
+	if pairs > 1 {
+		cycle := geom.CompactRectilinear(ringPl[:len(ringPl)-1])
+		spacing := d.Par.RingSpacingMM(d.N())
+		for k := 1; k < pairs && k < 5; k++ {
+			off, err := geom.OffsetRectilinear(cycle, spacing*float64(k))
+			if err != nil {
+				break
+			}
+			closed := append(geom.Polyline{}, off...)
+			closed = append(closed, off[0])
+			polyline(closed, "#8ecae6", 1.0, "4,4")
+		}
+	}
+
+	// Shortcuts.
+	for _, s := range d.Shortcuts {
+		color := "#e76f51"
+		if s.Partner != -1 {
+			color = "#9b5de5"
+		}
+		polyline(s.PathAB, color, 2.0, "")
+	}
+	// CSE crossing markers.
+	for i, s := range d.Shortcuts {
+		if s.Partner > i {
+			if pt, ok := geom.PolylineCrossingPoint(s.PathAB, d.Shortcuts[s.Partner].PathAB); ok {
+				x, y := tx(pt)
+				fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="5" fill="none" stroke="#9b5de5" stroke-width="1.5"/>`+"\n", x, y)
+			}
+		}
+	}
+
+	// Openings: mark opened nodes.
+	opened := map[int]bool{}
+	for _, wgd := range d.Waveguides {
+		if wgd.Opening >= 0 {
+			opened[wgd.Opening] = true
+		}
+	}
+
+	// PDN crossings (comb baselines).
+	for _, wgd := range d.Waveguides {
+		for _, x := range wgd.Crossings {
+			p := d.Net.Nodes[x.AtNode].Pos
+			cx, cy := tx(p)
+			fmt.Fprintf(&b, `<path d="M %.1f %.1f l 6 6 M %.1f %.1f l 6 -6" stroke="#d00000" stroke-width="1.2" fill="none"/>`+"\n",
+				cx-3, cy-3, cx-3, cy+3)
+		}
+	}
+
+	// Nodes.
+	for _, n := range d.Net.Nodes {
+		x, y := tx(n.Pos)
+		fill := "#264653"
+		if opened[n.ID] {
+			fill = "#f4a261"
+		}
+		fmt.Fprintf(&b, `<circle cx="%.1f" cy="%.1f" r="7" fill="%s"/>`+"\n", x, y, fill)
+		fmt.Fprintf(&b, `<text x="%.1f" y="%.1f" font-size="10" fill="#ffffff" text-anchor="middle" dominant-baseline="central">%d</text>`+"\n",
+			x, y, n.ID)
+	}
+
+	b.WriteString("</svg>\n")
+	return b.String()
+}

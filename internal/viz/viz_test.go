@@ -1,0 +1,78 @@
+package viz
+
+import (
+	"strings"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/noc"
+)
+
+func TestSVGWellFormed(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := SVG(res.Design)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One circle per node at least.
+	if got := strings.Count(svg, "<circle"); got < 8 {
+		t.Fatalf("only %d circles", got)
+	}
+	// The ring polyline plus shortcut polylines.
+	if got := strings.Count(svg, "<polyline"); got < 1+len(res.Design.Shortcuts) {
+		t.Fatalf("only %d polylines for %d shortcuts", got, len(res.Design.Shortcuts))
+	}
+	// Openings exist, so at least one node is highlighted.
+	if !strings.Contains(svg, "#f4a261") {
+		t.Fatal("no opening marker in a PDN design")
+	}
+}
+
+func TestSVGCombShowsCrossings(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 4, WithPDN: true, NoOpenings: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Plan.CrossingsAdded == 0 {
+		t.Skip("no crossings in this configuration")
+	}
+	svg := SVG(res.Design)
+	if !strings.Contains(svg, "#d00000") {
+		t.Fatal("comb PDN crossings not rendered")
+	}
+}
+
+func TestChannelChart(t *testing.T) {
+	net := noc.Floorplan8()
+	res, err := core.Synthesize(net, core.Options{MaxWL: 4, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	svg := ChannelChart(res.Design)
+	if !strings.HasPrefix(svg, "<svg") || !strings.HasSuffix(strings.TrimSpace(svg), "</svg>") {
+		t.Fatal("not an SVG document")
+	}
+	// One lane per waveguide plus one bar per channel.
+	lanes := strings.Count(svg, `fill="#f0f0ee"`)
+	if lanes != len(res.Design.Waveguides) {
+		t.Fatalf("lanes = %d, want %d", lanes, len(res.Design.Waveguides))
+	}
+	bars := strings.Count(svg, `fill-opacity="0.75"`)
+	channels := 0
+	for _, w := range res.Design.Waveguides {
+		channels += len(w.Channels)
+	}
+	// Wrapping channels split into two bars, so bars >= channels.
+	if bars < channels {
+		t.Fatalf("bars = %d < channels = %d", bars, channels)
+	}
+	// Openings notched in red.
+	if !strings.Contains(svg, `stroke="#d00000"`) {
+		t.Fatal("opening notches missing")
+	}
+}

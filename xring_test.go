@@ -1,0 +1,109 @@
+package xring_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"xring"
+)
+
+func TestFacadeSynthesize(t *testing.T) {
+	net := xring.Floorplan8()
+	res, err := xring.Synthesize(net, xring.Options{MaxWL: 8, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Loss.WorstIL <= 0 {
+		t.Fatal("no loss analysis")
+	}
+	if res.Xtalk.NoiseFreeFrac < 0.98 {
+		t.Fatalf("noise-free fraction %.3f", res.Xtalk.NoiseFreeFrac)
+	}
+	svg := xring.RenderSVG(res.Design)
+	if !strings.Contains(svg, "<svg") {
+		t.Fatal("RenderSVG broken")
+	}
+}
+
+func TestFacadeSweep(t *testing.T) {
+	net := xring.Floorplan8()
+	res, wl, err := xring.Sweep(net, xring.Options{WithPDN: true}, xring.MinPower, []int{4, 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wl != 4 && wl != 8 {
+		t.Fatalf("chosen #wl %d", wl)
+	}
+	if res.Loss.TotalPowerMW <= 0 {
+		t.Fatal("no power")
+	}
+}
+
+func TestFacadeBaselines(t *testing.T) {
+	net := xring.Floorplan8()
+	par := xring.DefaultParams()
+	or, err := xring.SynthesizeORNoC(net, par, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	og, err := xring.SynthesizeORing(net, par, 8, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if or.Loss == nil || og.Xtalk == nil {
+		t.Fatal("baseline analyses missing")
+	}
+	cb, err := xring.SynthesizeCrossbar(net, xring.GWOR, xring.MapperProjection, xring.TableIParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb.WorstIL <= 0 {
+		t.Fatal("crossbar analysis missing")
+	}
+}
+
+func TestFacadeFloorplans(t *testing.T) {
+	if xring.Floorplan16().N() != 16 || xring.Floorplan32().N() != 32 {
+		t.Fatal("floorplans")
+	}
+	if xring.Grid(3, 3, 2, 1).N() != 9 {
+		t.Fatal("grid")
+	}
+	if xring.Irregular(7, 10, 10, 1, 3).N() != 7 {
+		t.Fatal("irregular")
+	}
+	if len(xring.AllToAll(5)) != 20 {
+		t.Fatal("all-to-all")
+	}
+}
+
+// TestEndToEndShapePreserved is the facade-level statement of the
+// paper's core claim: on the 16-node network with PDNs, XRing beats
+// both ring baselines on power and SNR.
+func TestEndToEndShapePreserved(t *testing.T) {
+	net := xring.Floorplan16()
+	par := xring.DefaultParams()
+	xr, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, xring.MinPower, []int{10, 12, 14, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, base := range []struct {
+		name string
+		f    func() (*xring.BaselineResult, error)
+	}{
+		{"ornoc", func() (*xring.BaselineResult, error) { return xring.SynthesizeORNoC(net, par, 16, true) }},
+		{"oring", func() (*xring.BaselineResult, error) { return xring.SynthesizeORing(net, par, 16, true) }},
+	} {
+		b, err := base.f()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if xr.Loss.TotalPowerMW >= b.Loss.TotalPowerMW {
+			t.Fatalf("%s: XRing power %v >= baseline %v", base.name, xr.Loss.TotalPowerMW, b.Loss.TotalPowerMW)
+		}
+		if !math.IsInf(xr.Xtalk.WorstSNR, 1) && xr.Xtalk.WorstSNR <= b.Xtalk.WorstSNR {
+			t.Fatalf("%s: XRing SNR %v <= baseline %v", base.name, xr.Xtalk.WorstSNR, b.Xtalk.WorstSNR)
+		}
+	}
+}
