@@ -122,11 +122,27 @@ func BenchmarkTable2_ORNoC32(b *testing.B) { benchORNoCPDN(b, xring.Floorplan32(
 func BenchmarkTable2_XRing32(b *testing.B) { benchXRingPDN(b, xring.Floorplan32(), 30) }
 
 // BenchmarkTable2_SweepXRing16 measures the full #wl sweep the paper's
-// "setting for min. power" selection implies.
+// "setting for min. power" selection implies, with the candidates
+// fanned out over the worker pool. Compare against the Serial variant
+// below for the concurrency speedup; both reset the Step-1 cache every
+// iteration so they time cold-start synthesis.
 func BenchmarkTable2_SweepXRing16(b *testing.B) {
 	net := xring.Floorplan16()
 	for i := 0; i < b.N; i++ {
+		xring.ResetRingCache()
 		if _, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, xring.MinPower, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTable2_SweepXRing16Serial is the sequential baseline for the
+// sweep above.
+func BenchmarkTable2_SweepXRing16Serial(b *testing.B) {
+	net := xring.Floorplan16()
+	for i := 0; i < b.N; i++ {
+		xring.ResetRingCache()
+		if _, _, err := xring.Sweep(net, xring.Options{WithPDN: true, Serial: true}, xring.MinPower, nil); err != nil {
 			b.Fatal(err)
 		}
 	}

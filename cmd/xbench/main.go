@@ -3,21 +3,34 @@
 // 8/16/32 nodes), Table III (ORing vs XRing, 16 nodes), and the
 // ablation studies of the design choices called out in DESIGN.md.
 //
+// Table sections and the candidate sweeps inside them run concurrently
+// on the shared worker pool; results are reduced in canonical order, so
+// the printed tables are identical to a serial run (apart from the
+// timing columns, which always measure the work actually done).
+//
 // Usage:
 //
 //	xbench             # all tables
 //	xbench -table 1    # a single table
 //	xbench -ablation   # ablation study only
+//	xbench -serial     # force sequential evaluation (one worker)
+//	xbench -json F     # write a serial-vs-parallel timing report to F
 package main
 
 import (
+	"bytes"
+	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
+	"runtime"
 	"time"
 
 	"xring"
+	"xring/internal/core"
+	"xring/internal/parallel"
 	"xring/internal/report"
 )
 
@@ -25,6 +38,16 @@ import (
 // placements (the paper's motivating hard case, where shortcut gains
 // are largest).
 var floorplanKind = flag.String("floorplan", "grid", "floorplan family: grid or irregular")
+
+// serialMode mirrors the -serial flag; the -json harness toggles it
+// between timing passes.
+var serialMode bool
+
+// opts stamps the current execution mode onto synthesis options.
+func opts(o xring.Options) xring.Options {
+	o.Serial = serialMode
+	return o
+}
 
 // networkFor returns the evaluation floorplan for n nodes.
 func networkFor(n int) *xring.Network {
@@ -52,8 +75,22 @@ func main() {
 	table := flag.String("table", "all", "which table to regenerate: 1, 2, 3 or all")
 	ablation := flag.Bool("ablation", false, "run the ablation study instead of the paper tables")
 	sweep := flag.Bool("sweep", false, "print the full #wl sweep curve for the 16-node XRing instead of the tables")
+	serial := flag.Bool("serial", false, "evaluate everything sequentially on one worker (baseline for -json)")
+	jsonOut := flag.String("json", "", "benchmark serial vs parallel passes and write the report to this file")
 	flag.Parse()
 
+	serialMode = *serial
+	if serialMode {
+		parallel.SetWorkers(1)
+	}
+
+	if *jsonOut != "" {
+		if err := runJSONBench(*jsonOut); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *ablation {
 		runAblation(os.Stdout)
 		return
@@ -70,13 +107,20 @@ func main() {
 	case "3":
 		table3(os.Stdout)
 	case "all":
-		table1(os.Stdout)
-		fmt.Println()
-		table2(os.Stdout)
-		fmt.Println()
-		table3(os.Stdout)
-		fmt.Println()
-		runAblation(os.Stdout)
+		// Render every section concurrently into its own buffer, print
+		// in order.
+		sections := []func(io.Writer){table1, table2, table3, runAblation}
+		bufs, _ := parallel.Map(nil, len(sections), func(i int) (string, error) {
+			var b bytes.Buffer
+			sections[i](&b)
+			return b.String(), nil
+		})
+		for i, s := range bufs {
+			if i > 0 {
+				fmt.Println()
+			}
+			fmt.Print(s)
+		}
 	default:
 		fmt.Fprintf(os.Stderr, "unknown -table %q\n", *table)
 		os.Exit(2)
@@ -101,18 +145,36 @@ type baselineRun struct {
 	time  time.Duration
 }
 
+// sweepBaseline evaluates every #wl candidate — concurrently unless
+// -serial — and reduces in ascending-#wl order, so the winner matches a
+// sequential sweep exactly.
 func sweepBaseline(name string, synth func(maxWL int) (*xring.BaselineResult, error),
 	n int, better func(a, b *xring.BaselineResult) bool) *baselineRun {
-	var best *baselineRun
-	for _, wl := range wlCandidates(n) {
+	cands := wlCandidates(n)
+	runs := make([]*baselineRun, len(cands))
+	eval := func(i int) {
 		t0 := time.Now()
-		r, err := synth(wl)
+		r, err := synth(cands[i])
 		el := time.Since(t0)
 		if err != nil {
-			continue
+			return
 		}
-		if best == nil || better(r, best.res) {
-			best = &baselineRun{res: r, maxWL: wl, time: el}
+		runs[i] = &baselineRun{res: r, maxWL: cands[i], time: el}
+	}
+	if serialMode {
+		for i := range cands {
+			eval(i)
+		}
+	} else {
+		_ = parallel.ForEach(nil, len(cands), func(i int) error {
+			eval(i)
+			return nil
+		})
+	}
+	var best *baselineRun
+	for _, r := range runs {
+		if r != nil && (best == nil || better(r.res, best.res)) {
+			best = r
 		}
 	}
 	if best == nil {
@@ -132,8 +194,29 @@ func maxSNR(a, b *xring.BaselineResult) bool {
 	return a.Loss.TotalPowerMW < b.Loss.TotalPowerMW
 }
 
+// addRows computes table rows concurrently (serially under -serial) and
+// adds them to the table in the given order.
+func addRows(tb *report.Table, jobs []func() []string) {
+	rows := make([][]string, len(jobs))
+	if serialMode {
+		for i, job := range jobs {
+			rows[i] = job()
+		}
+	} else {
+		_ = parallel.ForEach(nil, len(jobs), func(i int) error {
+			rows[i] = jobs[i]()
+			return nil
+		})
+	}
+	for _, r := range rows {
+		if r != nil {
+			tb.AddRow(r...)
+		}
+	}
+}
+
 // table1 reproduces Table I: 8- and 16-node routers without PDNs.
-func table1(w *os.File) {
+func table1(w io.Writer) {
 	fmt.Fprintln(w, "TABLE I — WRONoC routers without PDNs")
 	fmt.Fprintln(w, "(paper Sec. IV-A; loss parameters after PROTON+ [15])")
 	par := xring.TableIParams()
@@ -159,139 +242,155 @@ func table1(w *os.File) {
 		} else {
 			rows = append(rows, cbRow{"ToPro", xring.Light, xring.MapperProjection})
 		}
+		var jobs []func() []string
 		for _, r := range rows {
-			t0 := time.Now()
-			res, err := xring.SynthesizeCrossbar(net, r.kind, r.mapper, par)
-			el := time.Since(t0)
-			if err != nil {
-				fmt.Fprintf(w, "%s failed: %v\n", r.tool, err)
-				continue
-			}
-			tb.AddRow(r.tool, res.Kind.String(), report.D(res.Wavelengths),
-				report.F(res.WorstIL, 1), report.F(res.WorstLen, 1),
-				report.D(res.WorstCrossings), report.Seconds(el.Seconds()))
+			r := r
+			jobs = append(jobs, func() []string {
+				t0 := time.Now()
+				res, err := xring.SynthesizeCrossbar(net, r.kind, r.mapper, par)
+				el := time.Since(t0)
+				if err != nil {
+					return []string{r.tool, "-", "-", "-", "-", "-", "failed: " + err.Error()}
+				}
+				return []string{r.tool, res.Kind.String(), report.D(res.Wavelengths),
+					report.F(res.WorstIL, 1), report.F(res.WorstLen, 1),
+					report.D(res.WorstCrossings), report.Seconds(el.Seconds())}
+			})
 		}
 
 		// Ring baselines: sweep #wl for minimum worst-case IL.
-		on := sweepBaseline("ornoc", func(wl int) (*xring.BaselineResult, error) {
-			return xring.SynthesizeORNoC(net, par, wl, false)
-		}, n, minIL)
-		tb.AddRow("ORNoC", "ring", report.D(on.res.Loss.WavelengthCount),
-			report.F(on.res.Loss.WorstIL, 1), report.F(on.res.Loss.WorstLen, 1),
-			report.D(on.res.Loss.WorstCrossings), report.Seconds(on.time.Seconds()))
-
-		og := sweepBaseline("oring", func(wl int) (*xring.BaselineResult, error) {
-			return xring.SynthesizeORing(net, par, wl, false)
-		}, n, minIL)
-		tb.AddRow("ORing", "ring", report.D(og.res.Loss.WavelengthCount),
-			report.F(og.res.Loss.WorstIL, 1), report.F(og.res.Loss.WorstLen, 1),
-			report.D(og.res.Loss.WorstCrossings), report.Seconds(og.time.Seconds()))
-
-		parCopy := par
-		t0 := time.Now()
-		xr, _, err := xring.Sweep(net, xring.Options{Par: &parCopy}, xring.MinWorstIL, wlCandidates(n))
-		el := time.Since(t0)
-		if err != nil {
-			fmt.Fprintf(w, "XRing failed: %v\n", err)
-			continue
-		}
-		tb.AddRow("XRing", "ring", report.D(xr.Loss.WavelengthCount),
-			report.F(xr.Loss.WorstIL, 1), report.F(xr.Loss.WorstLen, 1),
-			report.D(xr.Loss.WorstCrossings), report.Seconds(el.Seconds()))
+		jobs = append(jobs, func() []string {
+			on := sweepBaseline("ornoc", func(wl int) (*xring.BaselineResult, error) {
+				return xring.SynthesizeORNoC(net, par, wl, false)
+			}, n, minIL)
+			return []string{"ORNoC", "ring", report.D(on.res.Loss.WavelengthCount),
+				report.F(on.res.Loss.WorstIL, 1), report.F(on.res.Loss.WorstLen, 1),
+				report.D(on.res.Loss.WorstCrossings), report.Seconds(on.time.Seconds())}
+		})
+		jobs = append(jobs, func() []string {
+			og := sweepBaseline("oring", func(wl int) (*xring.BaselineResult, error) {
+				return xring.SynthesizeORing(net, par, wl, false)
+			}, n, minIL)
+			return []string{"ORing", "ring", report.D(og.res.Loss.WavelengthCount),
+				report.F(og.res.Loss.WorstIL, 1), report.F(og.res.Loss.WorstLen, 1),
+				report.D(og.res.Loss.WorstCrossings), report.Seconds(og.time.Seconds())}
+		})
+		jobs = append(jobs, func() []string {
+			parCopy := par
+			t0 := time.Now()
+			xr, _, err := xring.Sweep(net, opts(xring.Options{Par: &parCopy}), xring.MinWorstIL, wlCandidates(n))
+			el := time.Since(t0)
+			if err != nil {
+				return []string{"XRing", "-", "-", "-", "-", "-", "failed: " + err.Error()}
+			}
+			return []string{"XRing", "ring", report.D(xr.Loss.WavelengthCount),
+				report.F(xr.Loss.WorstIL, 1), report.F(xr.Loss.WorstLen, 1),
+				report.D(xr.Loss.WorstCrossings), report.Seconds(el.Seconds())}
+		})
+		addRows(tb, jobs)
 		fmt.Fprint(w, tb.String())
 	}
 }
 
-// table2 reproduces Table II: ORNoC vs XRing with PDNs, 8/16/32 nodes.
-func table2(w *os.File) {
-	fmt.Fprintln(w, "TABLE II — ORNoC vs XRing with PDNs (8-, 16-, 32-node networks)")
-	par := xring.DefaultParams()
-	for _, n := range []int{8, 16, 32} {
-		net := networkFor(n)
-		for _, setting := range []struct {
-			name   string
-			better func(a, b *xring.BaselineResult) bool
-			obj    xring.Objective
-		}{
-			{"min. power", minP, xring.MinPower},
-			{"max. SNR", maxSNR, xring.MaxSNR},
-		} {
-			tb := &report.Table{
-				Title:  fmt.Sprintf("\nThe setting for %s for %d-node networks", setting.name, n),
-				Header: []string{"", "#wl", "il_w*", "L", "C", "P(mW)", "#s", "SNR_w", "noise-free", "T"},
-			}
-			on := sweepBaseline("ornoc", func(wl int) (*xring.BaselineResult, error) {
-				return xring.SynthesizeORNoC(net, par, wl, true)
-			}, n, setting.better)
-			tb.AddRow("ORNoC", report.D(on.res.Loss.WavelengthCount),
-				report.F(on.res.Loss.WorstIL, 2), report.F(on.res.Loss.WorstLen, 1),
-				report.D(on.res.Loss.WorstCrossings), report.F(on.res.Loss.TotalPowerMW, 3),
-				report.D(on.res.Xtalk.NumNoisy), report.F(on.res.Xtalk.WorstSNR, 1),
-				report.Pct(on.res.Xtalk.NoiseFreeFrac), report.Seconds(on.time.Seconds()))
+// pdnSetting is one "setting for ..." subsection of Tables II/III.
+type pdnSetting struct {
+	name   string
+	better func(a, b *xring.BaselineResult) bool
+	obj    xring.Objective
+}
 
+var pdnSettings = []pdnSetting{
+	{"min. power", minP, xring.MinPower},
+	{"max. SNR", maxSNR, xring.MaxSNR},
+}
+
+// pdnComparisonTable renders one baseline-vs-XRing subsection.
+func pdnComparisonTable(w io.Writer, title, baseName string, n int, setting pdnSetting,
+	baseline func(maxWL int) (*xring.BaselineResult, error)) {
+	net := networkFor(n)
+	tb := &report.Table{
+		Title:  title,
+		Header: []string{"", "#wl", "il_w*", "L", "C", "P(mW)", "#s", "SNR_w", "noise-free", "T"},
+	}
+	addRows(tb, []func() []string{
+		func() []string {
+			b := sweepBaseline(baseName, baseline, n, setting.better)
+			return []string{baseName, report.D(b.res.Loss.WavelengthCount),
+				report.F(b.res.Loss.WorstIL, 2), report.F(b.res.Loss.WorstLen, 1),
+				report.D(b.res.Loss.WorstCrossings), report.F(b.res.Loss.TotalPowerMW, 3),
+				report.D(b.res.Xtalk.NumNoisy), report.F(b.res.Xtalk.WorstSNR, 1),
+				report.Pct(b.res.Xtalk.NoiseFreeFrac), report.Seconds(b.time.Seconds())}
+		},
+		func() []string {
 			t0 := time.Now()
-			xr, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, setting.obj, wlCandidates(n))
+			xr, _, err := xring.Sweep(net, opts(xring.Options{WithPDN: true}), setting.obj, wlCandidates(n))
 			el := time.Since(t0)
 			if err != nil {
-				fmt.Fprintf(w, "XRing failed: %v\n", err)
-				continue
+				return []string{"XRing", "-", "-", "-", "-", "-", "-", "-", "-", "failed: " + err.Error()}
 			}
-			tb.AddRow("XRing", report.D(xr.Loss.WavelengthCount),
+			return []string{"XRing", report.D(xr.Loss.WavelengthCount),
 				report.F(xr.Loss.WorstIL, 2), report.F(xr.Loss.WorstLen, 1),
 				report.D(xr.Loss.WorstCrossings), report.F(xr.Loss.TotalPowerMW, 3),
 				report.D(xr.Xtalk.NumNoisy), report.F(xr.Xtalk.WorstSNR, 1),
-				report.Pct(xr.Xtalk.NoiseFreeFrac), report.Seconds(el.Seconds()))
-			fmt.Fprint(w, tb.String())
+				report.Pct(xr.Xtalk.NoiseFreeFrac), report.Seconds(el.Seconds())}
+		},
+	})
+	fmt.Fprint(w, tb.String())
+}
+
+// table2 reproduces Table II: ORNoC vs XRing with PDNs, 8/16/32 nodes.
+func table2(w io.Writer) {
+	fmt.Fprintln(w, "TABLE II — ORNoC vs XRing with PDNs (8-, 16-, 32-node networks)")
+	par := xring.DefaultParams()
+	type sub struct {
+		n       int
+		setting pdnSetting
+	}
+	var subs []sub
+	for _, n := range []int{8, 16, 32} {
+		for _, s := range pdnSettings {
+			subs = append(subs, sub{n, s})
 		}
+	}
+	bufs, _ := parallel.Map(nil, len(subs), func(i int) (string, error) {
+		var b bytes.Buffer
+		n := subs[i].n
+		pdnComparisonTable(&b,
+			fmt.Sprintf("\nThe setting for %s for %d-node networks", subs[i].setting.name, n),
+			"ORNoC", n, subs[i].setting,
+			func(wl int) (*xring.BaselineResult, error) {
+				return xring.SynthesizeORNoC(networkFor(n), par, wl, true)
+			})
+		return b.String(), nil
+	})
+	for _, s := range bufs {
+		fmt.Fprint(w, s)
 	}
 }
 
 // table3 reproduces Table III: ORing vs XRing, 16 nodes, with PDNs.
-func table3(w *os.File) {
+func table3(w io.Writer) {
 	fmt.Fprintln(w, "TABLE III — ORing vs XRing with PDNs (16-node network)")
 	par := xring.DefaultParams()
-	net := networkFor(16)
-	for _, setting := range []struct {
-		name   string
-		better func(a, b *xring.BaselineResult) bool
-		obj    xring.Objective
-	}{
-		{"min. power", minP, xring.MinPower},
-		{"max. SNR", maxSNR, xring.MaxSNR},
-	} {
-		tb := &report.Table{
-			Title:  fmt.Sprintf("\nThe setting for %s", setting.name),
-			Header: []string{"", "#wl", "il_w*", "L", "C", "P(mW)", "#s", "SNR_w", "noise-free", "T"},
-		}
-		og := sweepBaseline("oring", func(wl int) (*xring.BaselineResult, error) {
-			return xring.SynthesizeORing(net, par, wl, true)
-		}, 16, setting.better)
-		tb.AddRow("ORing", report.D(og.res.Loss.WavelengthCount),
-			report.F(og.res.Loss.WorstIL, 2), report.F(og.res.Loss.WorstLen, 1),
-			report.D(og.res.Loss.WorstCrossings), report.F(og.res.Loss.TotalPowerMW, 3),
-			report.D(og.res.Xtalk.NumNoisy), report.F(og.res.Xtalk.WorstSNR, 1),
-			report.Pct(og.res.Xtalk.NoiseFreeFrac), report.Seconds(og.time.Seconds()))
-
-		t0 := time.Now()
-		xr, _, err := xring.Sweep(net, xring.Options{WithPDN: true}, setting.obj, wlCandidates(16))
-		el := time.Since(t0)
-		if err != nil {
-			fmt.Fprintf(w, "XRing failed: %v\n", err)
-			continue
-		}
-		tb.AddRow("XRing", report.D(xr.Loss.WavelengthCount),
-			report.F(xr.Loss.WorstIL, 2), report.F(xr.Loss.WorstLen, 1),
-			report.D(xr.Loss.WorstCrossings), report.F(xr.Loss.TotalPowerMW, 3),
-			report.D(xr.Xtalk.NumNoisy), report.F(xr.Xtalk.WorstSNR, 1),
-			report.Pct(xr.Xtalk.NoiseFreeFrac), report.Seconds(el.Seconds()))
-		fmt.Fprint(w, tb.String())
+	bufs, _ := parallel.Map(nil, len(pdnSettings), func(i int) (string, error) {
+		var b bytes.Buffer
+		pdnComparisonTable(&b,
+			fmt.Sprintf("\nThe setting for %s", pdnSettings[i].name),
+			"ORing", 16, pdnSettings[i],
+			func(wl int) (*xring.BaselineResult, error) {
+				return xring.SynthesizeORing(networkFor(16), par, wl, true)
+			})
+		return b.String(), nil
+	})
+	for _, s := range bufs {
+		fmt.Fprint(w, s)
 	}
 }
 
 // runAblation exercises the design choices DESIGN.md calls out:
 // shortcuts, CSE merging, openings + tree PDN, and the Eq. (3) conflict
 // constraints.
-func runAblation(w *os.File) {
+func runAblation(w io.Writer) {
 	fmt.Fprintln(w, "ABLATION — XRing design choices (16-node network, #wl swept for min power)")
 	net := networkFor(16)
 	variants := []struct {
@@ -307,55 +406,156 @@ func runAblation(w *os.File) {
 	tb := &report.Table{
 		Header: []string{"variant", "#wl", "il_w*", "L", "C(total)", "P(mW)", "#s", "SNR_w", "T"},
 	}
+	var jobs []func() []string
 	for _, v := range variants {
-		t0 := time.Now()
-		res, _, err := xring.Sweep(net, v.opt, xring.MinPower, wlCandidates(16))
-		el := time.Since(t0)
-		if err != nil {
-			tb.AddRow(v.name, "-", "-", "-", "-", "-", "-", "-", "failed: "+err.Error())
-			continue
-		}
-		snr := res.Xtalk.WorstSNR
-		if math.IsInf(snr, 1) {
-			snr = math.Inf(1) // rendered as "-"
-		}
-		tb.AddRow(v.name, report.D(res.Loss.WavelengthCount),
-			report.F(res.Loss.WorstIL, 2), report.F(res.Loss.WorstLen, 1),
-			report.D(res.Design.TotalCrossings()),
-			report.F(res.Loss.TotalPowerMW, 3), report.D(res.Xtalk.NumNoisy),
-			report.F(snr, 1), report.Seconds(el.Seconds()))
+		v := v
+		jobs = append(jobs, func() []string {
+			t0 := time.Now()
+			res, _, err := xring.Sweep(net, opts(v.opt), xring.MinPower, wlCandidates(16))
+			el := time.Since(t0)
+			if err != nil {
+				return []string{v.name, "-", "-", "-", "-", "-", "-", "-", "failed: " + err.Error()}
+			}
+			snr := res.Xtalk.WorstSNR
+			if math.IsInf(snr, 1) {
+				snr = math.Inf(1) // rendered as "-"
+			}
+			return []string{v.name, report.D(res.Loss.WavelengthCount),
+				report.F(res.Loss.WorstIL, 2), report.F(res.Loss.WorstLen, 1),
+				report.D(res.Design.TotalCrossings()),
+				report.F(res.Loss.TotalPowerMW, 3), report.D(res.Xtalk.NumNoisy),
+				report.F(snr, 1), report.Seconds(el.Seconds())}
+		})
 	}
+	addRows(tb, jobs)
 	fmt.Fprint(w, tb.String())
 }
 
 // runSweepCurve prints the raw design-space data behind the paper's
 // "#wl setting" selection: every (#wl, packing policy) point of the
 // 16-node XRing with PDN, with the metrics both objectives look at.
-func runSweepCurve(w *os.File) {
+func runSweepCurve(w io.Writer) {
 	fmt.Fprintln(w, "SWEEP — 16-node XRing with tree PDN, all #wl settings and packing policies")
 	net := networkFor(16)
 	tb := &report.Table{
 		Header: []string{"#wl", "policy", "waveguides", "il_w*", "L", "P(mW)", "#s", "noise-free", "feasible"},
 	}
+	type point struct {
+		wl    int
+		share bool
+	}
+	var points []point
 	for wl := 1; wl <= 16; wl++ {
-		for _, share := range []bool{false, true} {
+		points = append(points, point{wl, false}, point{wl, true})
+	}
+	var jobs []func() []string
+	for _, p := range points {
+		p := p
+		jobs = append(jobs, func() []string {
 			policy := "fresh"
-			if share {
+			if p.share {
 				policy = "share"
 			}
-			res, err := xring.Synthesize(net, xring.Options{
-				MaxWL: wl, WithPDN: true, ShareWavelengths: share,
-			})
+			res, err := xring.Synthesize(net, opts(xring.Options{
+				MaxWL: p.wl, WithPDN: true, ShareWavelengths: p.share,
+			}))
 			if err != nil {
-				tb.AddRow(report.D(wl), policy, "-", "-", "-", "-", "-", "-", "no")
-				continue
+				return []string{report.D(p.wl), policy, "-", "-", "-", "-", "-", "-", "no"}
 			}
-			tb.AddRow(report.D(wl), policy,
+			return []string{report.D(p.wl), policy,
 				report.D(len(res.Design.Waveguides)),
 				report.F(res.Loss.WorstIL, 2), report.F(res.Loss.WorstLen, 1),
 				report.F(res.Loss.TotalPowerMW, 3), report.D(res.Xtalk.NumNoisy),
-				report.Pct(res.Xtalk.NoiseFreeFrac), "yes")
+				report.Pct(res.Xtalk.NoiseFreeFrac), "yes"}
+		})
+	}
+	addRows(tb, jobs)
+	fmt.Fprint(w, tb.String())
+}
+
+// benchStage is one timed entry of the -json report.
+type benchStage struct {
+	Name       string  `json:"name"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	Speedup    float64 `json:"speedup"`
+}
+
+// benchReport is the -json output: serial vs parallel wall-clock for
+// the paper tables and a 16-node placement search.
+type benchReport struct {
+	Cores      int          `json:"cores"`
+	GoMaxProcs int          `json:"gomaxprocs"`
+	GoOS       string       `json:"goos"`
+	GoArch     string       `json:"goarch"`
+	Floorplan  string       `json:"floorplan"`
+	Stages     []benchStage `json:"stages"`
+}
+
+// runJSONBench times each stage twice — one worker with Serial options,
+// then the full pool — resetting the Step-1 cache between passes so a
+// warm cache cannot masquerade as concurrency speedup.
+func runJSONBench(path string) error {
+	placement16 := func() {
+		net := xring.Irregular(16, 16, 16, 2.5, 5)
+		_, _, _, err := xring.OptimizePlacement(net, xring.PlacementOptions{
+			Objective:  xring.PlaceMinWorstIL,
+			Synth:      opts(xring.Options{MaxWL: 16}),
+			Iterations: 24,
+			StepMM:     1.5,
+			Seed:       1,
+		})
+		if err != nil {
+			panic(err)
 		}
 	}
-	fmt.Fprint(w, tb.String())
+	stages := []struct {
+		name string
+		run  func()
+	}{
+		{"table1", func() { table1(io.Discard) }},
+		{"table2", func() { table2(io.Discard) }},
+		{"table3", func() { table3(io.Discard) }},
+		{"placement16", placement16},
+	}
+
+	rep := benchReport{
+		Cores:      runtime.NumCPU(),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoOS:       runtime.GOOS,
+		GoArch:     runtime.GOARCH,
+		Floorplan:  *floorplanKind,
+	}
+	for _, st := range stages {
+		serialMode = true
+		parallel.SetWorkers(1)
+		core.ResetRingCache()
+		t0 := time.Now()
+		st.run()
+		serialMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		serialMode = false
+		parallel.SetWorkers(0) // restore the GOMAXPROCS-sized pool
+		core.ResetRingCache()
+		t0 = time.Now()
+		st.run()
+		parallelMS := float64(time.Since(t0).Microseconds()) / 1000
+
+		speedup := 0.0
+		if parallelMS > 0 {
+			speedup = serialMS / parallelMS
+		}
+		rep.Stages = append(rep.Stages, benchStage{
+			Name: st.name, SerialMS: serialMS, ParallelMS: parallelMS,
+			Speedup: math.Round(speedup*100) / 100,
+		})
+		fmt.Fprintf(os.Stderr, "%-12s serial %.1f ms  parallel %.1f ms  speedup %.2fx\n",
+			st.name, serialMS, parallelMS, speedup)
+	}
+
+	out, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(out, '\n'), 0o644)
 }

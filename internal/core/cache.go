@@ -1,0 +1,90 @@
+package core
+
+// Ring-construction cache: Step 1 depends only on the floorplan and
+// the ring options, so #wl sweeps, ablation variants and placement
+// moves that revisit a geometry can skip the branch-and-bound. The key
+// is the exact serialized floorplan (positions, die, options) — a
+// perfect hash, so a hit can never return the wrong tour. Entries are
+// shared read-only: SynthesizeOnRing copies the tour and orders into
+// every design it builds.
+
+import (
+	"encoding/binary"
+	"math"
+	"sync"
+
+	"xring/internal/noc"
+	"xring/internal/ring"
+)
+
+// ringCacheCap bounds the cache; placement searches stream hundreds of
+// one-off geometries through it, so stale entries are evicted
+// arbitrarily once the cap is reached.
+const ringCacheCap = 256
+
+var ringCache = struct {
+	sync.Mutex
+	m map[string]*ring.Result
+}{m: map[string]*ring.Result{}}
+
+// floorplanKey serializes everything ring.Construct reads.
+func floorplanKey(net *noc.Network, opt ring.Options) string {
+	buf := make([]byte, 0, 16*(len(net.Nodes)+2))
+	put := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		buf = append(buf, b[:]...)
+	}
+	put(net.DieW)
+	put(net.DieH)
+	for _, n := range net.Nodes {
+		put(n.Pos.X)
+		put(n.Pos.Y)
+	}
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(int64(opt.MaxNodes)))
+	buf = append(buf, b[:]...)
+	if opt.DisableConflicts {
+		buf = append(buf, 1)
+	} else {
+		buf = append(buf, 0)
+	}
+	return string(buf)
+}
+
+// constructRing is ring.Construct behind the cache. Concurrent misses
+// on the same key may both construct; the solve is deterministic, so
+// whichever result lands in the cache is interchangeable.
+func constructRing(net *noc.Network, opt ring.Options) (*ring.Result, error) {
+	key := floorplanKey(net, opt)
+	ringCache.Lock()
+	r, ok := ringCache.m[key]
+	ringCache.Unlock()
+	if ok {
+		return r, nil
+	}
+	r, err := ring.Construct(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	ringCache.Lock()
+	if len(ringCache.m) >= ringCacheCap {
+		for k := range ringCache.m {
+			delete(ringCache.m, k)
+			if len(ringCache.m) < ringCacheCap {
+				break
+			}
+		}
+	}
+	ringCache.m[key] = r
+	ringCache.Unlock()
+	return r, nil
+}
+
+// ResetRingCache empties the Step-1 result cache. Benchmarks call it
+// between timed passes so a warm cache cannot masquerade as a speedup.
+func ResetRingCache() {
+	ringCache.Lock()
+	ringCache.m = map[string]*ring.Result{}
+	ringCache.Unlock()
+}

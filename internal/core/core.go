@@ -9,12 +9,13 @@ package core
 
 import (
 	"fmt"
-	"math"
+	"sort"
 	"time"
 
 	"xring/internal/loss"
 	"xring/internal/mapping"
 	"xring/internal/noc"
+	"xring/internal/parallel"
 	"xring/internal/pdn"
 	"xring/internal/phys"
 	"xring/internal/ring"
@@ -48,6 +49,14 @@ type Options struct {
 	// Sweep explores both.
 	ShareWavelengths bool
 
+	// Serial forces Sweep (and the placement optimizer consuming these
+	// options) to evaluate candidates sequentially on the calling
+	// goroutine instead of fanning out over the worker pool. The
+	// parallel path reduces in canonical candidate order and returns
+	// the identical winner; Serial exists as the cross-check in tests
+	// and as a debugging aid.
+	Serial bool
+
 	// Ablation switches.
 	DisableShortcuts bool // skip Step 2 entirely
 	NoCSE            bool // Step 2 without CSE merging of crossing shortcuts
@@ -74,10 +83,12 @@ type Result struct {
 	SynthTime time.Duration
 }
 
-// Synthesize runs the full flow on a network.
+// Synthesize runs the full flow on a network. Step 1 results are
+// served from the floorplan-keyed ring cache when the same geometry
+// was synthesized before.
 func Synthesize(net *noc.Network, opt Options) (*Result, error) {
 	t0 := time.Now()
-	rres, err := ring.Construct(net, ring.Options{
+	rres, err := constructRing(net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
 	})
@@ -208,50 +219,118 @@ func (o Objective) Score(r *Result) float64 {
 	}
 }
 
-// Sweep synthesizes the network once per #wl candidate and returns the
-// best result under the objective (ties broken by lower laser power,
-// then lower #wl). Candidates may be nil, selecting 1..N.
-func Sweep(net *noc.Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
+// sweepCandidate is one point of the sweep's design space.
+type sweepCandidate struct {
+	WL    int
+	Share bool
+}
+
+// sweepCandidates expands a #wl candidate list (nil = 1..N) into the
+// canonical candidate order: ascending #wl, deduplicated, the fresh
+// wavelength policy before the sharing policy. The reduction walks
+// this order, so the winner does not depend on how the caller ordered
+// the input or on which worker finished first.
+func sweepCandidates(net *noc.Network, candidates []int) []sweepCandidate {
 	if candidates == nil {
 		for wl := 1; wl <= net.N(); wl++ {
 			candidates = append(candidates, wl)
 		}
 	}
-	rres, err := ring.Construct(net, ring.Options{
+	sorted := append([]int(nil), candidates...)
+	sort.Ints(sorted)
+	out := make([]sweepCandidate, 0, 2*len(sorted))
+	for i, wl := range sorted {
+		if i > 0 && wl == sorted[i-1] {
+			continue
+		}
+		out = append(out, sweepCandidate{WL: wl, Share: false}, sweepCandidate{WL: wl, Share: true})
+	}
+	return out
+}
+
+// betterResult reports whether a beats b under the objective, applying
+// the documented tie-breaks in order: better score, then lower laser
+// power, then lower #wl, then the fresh-wavelength policy. The chain
+// is total over distinct sweep candidates, which is what makes the
+// winner independent of evaluation order.
+func betterResult(objective Objective, a, b *Result) bool {
+	if b == nil {
+		return a != nil
+	}
+	if a == nil {
+		return false
+	}
+	sa, sb := objective.Score(a), objective.Score(b)
+	if sa < sb-1e-12 {
+		return true
+	}
+	if sb < sa-1e-12 {
+		return false
+	}
+	pa, pb := a.Loss.TotalPowerMW, b.Loss.TotalPowerMW
+	if pa < pb-1e-15 {
+		return true
+	}
+	if pb < pa-1e-15 {
+		return false
+	}
+	if a.Opt.MaxWL != b.Opt.MaxWL {
+		return a.Opt.MaxWL < b.Opt.MaxWL
+	}
+	return !a.Opt.ShareWavelengths && b.Opt.ShareWavelengths
+}
+
+// Sweep synthesizes the network once per (#wl, sharing-policy)
+// candidate and returns the best result under the objective, with ties
+// broken by lower laser power, then lower #wl, then the fresh
+// wavelength policy. Candidates may be nil, selecting 1..N; the list
+// is deduplicated and evaluated in canonical order, so shuffled or
+// repeated candidate lists select the same winner.
+//
+// Candidates are dispatched to the shared worker pool and reduced
+// deterministically; Options.Serial keeps the sequential path, which
+// returns the identical winner.
+func Sweep(net *noc.Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
+	cands := sweepCandidates(net, candidates)
+	if len(cands) == 0 {
+		return nil, 0, fmt.Errorf("core: empty #wl candidate list")
+	}
+	rres, err := constructRing(net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
 	})
 	if err != nil {
 		return nil, 0, err
 	}
+	synth := func(i int) *Result {
+		o := opt
+		o.MaxWL = cands[i].WL
+		o.ShareWavelengths = cands[i].Share
+		r, err := SynthesizeOnRing(net, rres, o)
+		if err != nil {
+			return nil // a setting may be infeasible; skip it
+		}
+		return r
+	}
+	results := make([]*Result, len(cands))
+	if opt.Serial {
+		for i := range cands {
+			results[i] = synth(i)
+		}
+	} else {
+		_ = parallel.ForEach(nil, len(cands), func(i int) error {
+			results[i] = synth(i)
+			return nil
+		})
+	}
 	var best *Result
-	bestWL := 0
-	bestScore := math.Inf(1)
-	for _, wl := range candidates {
-		for _, share := range [2]bool{false, true} {
-			o := opt
-			o.MaxWL = wl
-			o.ShareWavelengths = share
-			r, err := SynthesizeOnRing(net, rres, o)
-			if err != nil {
-				continue // a setting may be infeasible; skip it
-			}
-			s := objective.Score(r)
-			better := s < bestScore-1e-12
-			if !better && best != nil && math.Abs(s-bestScore) <= 1e-12 {
-				if r.Loss.TotalPowerMW < best.Loss.TotalPowerMW-1e-15 {
-					better = true
-				}
-			}
-			if best == nil || better {
-				best = r
-				bestWL = wl
-				bestScore = s
-			}
+	for _, r := range results {
+		if r != nil && betterResult(objective, r, best) {
+			best = r
 		}
 	}
 	if best == nil {
 		return nil, 0, fmt.Errorf("core: no feasible #wl setting among %v", candidates)
 	}
-	return best, bestWL, nil
+	return best, best.Opt.MaxWL, nil
 }

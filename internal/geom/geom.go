@@ -126,6 +126,16 @@ func (s Segment) ContainsPoint(p Point) bool {
 // Merely sharing an endpoint (two consecutive segments of the same path)
 // does not count as a crossing.
 func Crosses(s, t Segment) bool {
+	// Cheap bounding-box rejection: segments whose boxes are separated
+	// by more than Eps cannot intersect, overlap or touch. This runs
+	// before the exact orientation tests because the all-pairs conflict
+	// scan (ring.buildConflicts) compares mostly far-apart segments.
+	if minf(s.A.X, s.B.X) > maxf(t.A.X, t.B.X)+Eps ||
+		minf(t.A.X, t.B.X) > maxf(s.A.X, s.B.X)+Eps ||
+		minf(s.A.Y, s.B.Y) > maxf(t.A.Y, t.B.Y)+Eps ||
+		minf(t.A.Y, t.B.Y) > maxf(s.A.Y, s.B.Y)+Eps {
+		return false
+	}
 	if s.Degenerate() || t.Degenerate() {
 		return false
 	}
@@ -315,6 +325,15 @@ func isTerminal(p Polyline, pt Point) bool {
 // spaced apart in a physical design.
 func EdgesConflict(a1, b1, a2, b2 Point) bool {
 	if a1.Eq(a2) || a1.Eq(b2) || b1.Eq(a2) || b1.Eq(b2) {
+		return false
+	}
+	// Both L-shaped options of an edge stay inside the bounding box of
+	// its endpoints, so edges with separated boxes can never cross under
+	// any option pair — reject before building four polylines.
+	if minf(a1.X, b1.X) > maxf(a2.X, b2.X)+Eps ||
+		minf(a2.X, b2.X) > maxf(a1.X, b1.X)+Eps ||
+		minf(a1.Y, b1.Y) > maxf(a2.Y, b2.Y)+Eps ||
+		minf(a2.Y, b2.Y) > maxf(a1.Y, b1.Y)+Eps {
 		return false
 	}
 	for _, p := range LOptions(a1, b1) {

@@ -21,9 +21,11 @@ package loss
 import (
 	"fmt"
 	"math"
+	"sort"
 
 	"xring/internal/geom"
 	"xring/internal/noc"
+	"xring/internal/parallel"
 	"xring/internal/pdn"
 	"xring/internal/phys"
 	"xring/internal/router"
@@ -100,7 +102,23 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 		}
 	}
 
-	for sig, r := range d.Routes {
+	// The per-signal walks are independent: fan them out over the shared
+	// worker pool, then reduce in canonical (Src, Dst) order so worst-
+	// signal selection and the power sums are deterministic regardless
+	// of worker count and completion order.
+	sigs := make([]noc.Signal, 0, len(d.Routes))
+	for sig := range d.Routes {
+		sigs = append(sigs, sig)
+	}
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Src != sigs[j].Src {
+			return sigs[i].Src < sigs[j].Src
+		}
+		return sigs[i].Dst < sigs[j].Dst
+	})
+	losses, err := parallel.Map(nil, len(sigs), func(i int) (*SignalLoss, error) {
+		sig := sigs[i]
+		r := d.Routes[sig]
 		var sl *SignalLoss
 		switch r.Kind {
 		case router.OnRing:
@@ -123,6 +141,13 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 			}
 			sl.PDNLoss = pl
 		}
+		return sl, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, sig := range sigs {
+		sl := losses[i]
 		rep.Signals[sig] = sl
 		if sl.IL > rep.WorstIL {
 			rep.WorstIL = sl.IL
@@ -134,15 +159,20 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 
 	// Laser power per wavelength: the worst total requirement among the
 	// wavelength's signals sets its laser.
-	for _, sl := range rep.Signals {
+	for _, sl := range losses {
 		req := sl.IL + sl.PDNLoss
 		power := phys.LaserPowerMW(req, par.ReceiverSensitivityDBm)
 		if power > rep.WavelengthPower[sl.WL] {
 			rep.WavelengthPower[sl.WL] = power
 		}
 	}
-	for _, p := range rep.WavelengthPower {
-		rep.TotalPowerMW += p
+	wls := make([]int, 0, len(rep.WavelengthPower))
+	for wl := range rep.WavelengthPower {
+		wls = append(wls, wl)
+	}
+	sort.Ints(wls)
+	for _, wl := range wls {
+		rep.TotalPowerMW += rep.WavelengthPower[wl]
 	}
 	return rep, nil
 }

@@ -1,0 +1,172 @@
+// Package parallel is the concurrency substrate of the synthesis
+// engine: a bounded, shared worker budget with ordered fan-out/fan-in
+// helpers. Every hot loop of the flow — the #wl sweep, placement move
+// rounds, the per-signal loss walks, per-waveguide crosstalk
+// propagation and the Step-1 conflict-table stripes — funnels through
+// this package, so total CPU oversubscription stays bounded no matter
+// how the loops nest.
+//
+// Design rules:
+//
+//   - The global budget holds GOMAXPROCS-1 borrowable worker tokens;
+//     the calling goroutine always participates in its own fan-out, so
+//     a fan-out issued from inside another fan-out's worker can always
+//     make progress without a token (no nested-pool deadlock) and a
+//     single-CPU machine degrades to plain serial loops with near-zero
+//     overhead.
+//   - Results are reduced in input order: Map writes slot i of its
+//     result slice from task i, so callers observe a deterministic
+//     ordering regardless of which worker finished first.
+//   - Cancellation is prompt: no new task starts after the context is
+//     cancelled or a task has failed; ForEach then waits for in-flight
+//     tasks to drain and reports the first error in task order.
+package parallel
+
+import (
+	"context"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// tokens is the global borrowable-worker budget. A fan-out borrows
+// tokens non-blockingly: if none are free the caller simply does the
+// work itself, which bounds the total number of running workers at
+// roughly GOMAXPROCS across all concurrent and nested fan-outs.
+var (
+	tokenMu sync.Mutex
+	tokens  chan struct{}
+)
+
+func init() {
+	SetWorkers(runtime.GOMAXPROCS(0))
+}
+
+// SetWorkers resizes the shared worker budget to n (minimum 1, meaning
+// no extra workers: every fan-out runs serially on its caller). It is
+// intended for benchmarks and tests that compare serial and parallel
+// execution; flipping it while fan-outs are in flight only affects
+// future borrows.
+func SetWorkers(n int) {
+	if n < 1 {
+		n = 1
+	}
+	c := make(chan struct{}, n-1)
+	for i := 0; i < n-1; i++ {
+		c <- struct{}{}
+	}
+	tokenMu.Lock()
+	tokens = c
+	tokenMu.Unlock()
+}
+
+// Workers returns the current worker budget (callers + borrowable
+// workers), i.e. the maximum parallelism of one fan-out.
+func Workers() int {
+	tokenMu.Lock()
+	defer tokenMu.Unlock()
+	return cap(tokens) + 1
+}
+
+// borrow tries to take one worker token; release must be called iff it
+// returns a non-nil channel.
+func borrow() chan struct{} {
+	tokenMu.Lock()
+	c := tokens
+	tokenMu.Unlock()
+	select {
+	case <-c:
+		return c
+	default:
+		return nil
+	}
+}
+
+// ForEach runs fn(i) for every i in [0, n) with bounded parallelism and
+// returns the first error in task order (not completion order). The
+// calling goroutine participates; extra workers are borrowed from the
+// shared budget. After a cancellation or error no further task starts,
+// but in-flight tasks run to completion before ForEach returns.
+//
+// ctx may be nil, meaning no cancellation.
+func ForEach(ctx context.Context, n int, fn func(i int) error) error {
+	if n <= 0 {
+		return nil
+	}
+	var (
+		next    atomic.Int64 // next task index to claim
+		stopped atomic.Bool  // set on error or cancellation
+		mu      sync.Mutex
+		firstI  = n // task index of the lowest-index error
+		firstE  error
+	)
+	fail := func(i int, err error) {
+		mu.Lock()
+		if i < firstI {
+			firstI, firstE = i, err
+		}
+		mu.Unlock()
+		stopped.Store(true)
+	}
+	run := func() {
+		for {
+			if stopped.Load() {
+				return
+			}
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					fail(int(next.Load()), err)
+					return
+				}
+			}
+			i := int(next.Add(1) - 1)
+			if i >= n {
+				return
+			}
+			if err := fn(i); err != nil {
+				fail(i, err)
+				return
+			}
+		}
+	}
+
+	// Borrow up to n-1 extra workers (never more than the budget).
+	var wg sync.WaitGroup
+	for extra := 0; extra < n-1; extra++ {
+		c := borrow()
+		if c == nil {
+			break
+		}
+		wg.Add(1)
+		go func(c chan struct{}) {
+			defer wg.Done()
+			defer func() { c <- struct{}{} }()
+			run()
+		}(c)
+	}
+	run() // the caller always works too
+	wg.Wait()
+
+	mu.Lock()
+	defer mu.Unlock()
+	return firstE
+}
+
+// Map runs fn(i) for every i in [0, n) with bounded parallelism and
+// returns the results in input order. On error the first error in task
+// order is returned and the result slice is nil.
+func Map[T any](ctx context.Context, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	err := ForEach(ctx, n, func(i int) error {
+		v, err := fn(i)
+		if err != nil {
+			return err
+		}
+		out[i] = v
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, nil
+}

@@ -1,0 +1,140 @@
+package parallel
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestMapOrdered(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		SetWorkers(workers)
+		out, err := Map(context.Background(), 100, func(i int) (int, error) {
+			return i * i, nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if v != i*i {
+				t.Fatalf("workers=%d: out[%d] = %d", workers, i, v)
+			}
+		}
+	}
+	SetWorkers(4)
+}
+
+func TestForEachFirstErrorInTaskOrder(t *testing.T) {
+	SetWorkers(8)
+	defer SetWorkers(4)
+	errAt := func(bad map[int]bool) error {
+		return ForEach(nil, 50, func(i int) error {
+			if bad[i] {
+				return fmt.Errorf("task %d", i)
+			}
+			return nil
+		})
+	}
+	err := errAt(map[int]bool{7: true, 3: true, 40: true})
+	if err == nil || err.Error() != "task 3" {
+		t.Fatalf("want first error in task order (task 3), got %v", err)
+	}
+}
+
+func TestForEachStopsIssuingAfterError(t *testing.T) {
+	SetWorkers(2)
+	defer SetWorkers(4)
+	var ran atomic.Int64
+	_ = ForEach(nil, 1000, func(i int) error {
+		ran.Add(1)
+		if i == 0 {
+			return errors.New("boom")
+		}
+		return nil
+	})
+	// With 2 workers at most a handful of tasks can have started before
+	// the error is observed.
+	if n := ran.Load(); n > 10 {
+		t.Fatalf("%d tasks ran after early error", n)
+	}
+}
+
+func TestForEachCancellationDrainsPromptly(t *testing.T) {
+	SetWorkers(4)
+	defer SetWorkers(4)
+	ctx, cancel := context.WithCancel(context.Background())
+	var started atomic.Int64
+	done := make(chan error, 1)
+	release := make(chan struct{})
+	go func() {
+		done <- ForEach(ctx, 10000, func(i int) error {
+			started.Add(1)
+			if i < 4 {
+				<-release // first wave blocks until released
+			}
+			return nil
+		})
+	}()
+	// Let the first wave start, then cancel.
+	for started.Load() < 1 {
+		time.Sleep(time.Millisecond)
+	}
+	cancel()
+	close(release)
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("want context.Canceled, got %v", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("ForEach did not drain after cancel")
+	}
+	// Far fewer than n tasks must have started.
+	if n := started.Load(); n > 100 {
+		t.Fatalf("%d tasks started despite prompt cancel", n)
+	}
+}
+
+func TestNestedForEachNoDeadlock(t *testing.T) {
+	SetWorkers(2) // tight budget: inner fan-outs find no spare tokens
+	defer SetWorkers(4)
+	var sum atomic.Int64
+	err := ForEach(nil, 8, func(i int) error {
+		return ForEach(nil, 8, func(j int) error {
+			sum.Add(int64(i*8 + j))
+			return nil
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 64*63/2 {
+		t.Fatalf("sum = %d", sum.Load())
+	}
+}
+
+func TestWorkersFloor(t *testing.T) {
+	SetWorkers(0)
+	if Workers() != 1 {
+		t.Fatalf("Workers() = %d, want 1", Workers())
+	}
+	SetWorkers(4)
+	if Workers() != 4 {
+		t.Fatalf("Workers() = %d, want 4", Workers())
+	}
+}
+
+func TestMapError(t *testing.T) {
+	out, err := Map(nil, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, errors.New("bad")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatal("want error and nil slice")
+	}
+}

@@ -6,10 +6,15 @@
 // topology and physical layout optimization on top of the Step 1-4
 // synthesis.
 //
-// The optimizer is a deterministic hill climber with per-node move
-// proposals: simple, reproducible, and effective at the scale of
-// WRONoC floorplans (tens of nodes). Each accepted move is recorded in
-// a trace for inspection.
+// The optimizer is a deterministic round-based hill climber: every
+// round draws a batch of per-node move proposals from the seeded
+// generator, evaluates all of them against the incumbent placement —
+// concurrently on the shared worker pool unless Options.Serial is set —
+// and applies the best improving move, with ties broken by proposal
+// index. The proposal sequence depends only on Seed and the option
+// values, never on worker count or completion order, so serial and
+// parallel runs walk the identical trajectory. Each accepted move is
+// recorded in a trace for inspection.
 package placement
 
 import (
@@ -20,6 +25,7 @@ import (
 	"xring/internal/core"
 	"xring/internal/geom"
 	"xring/internal/noc"
+	"xring/internal/parallel"
 )
 
 // Objective selects what the optimizer minimizes.
@@ -43,10 +49,16 @@ func (o Objective) String() string {
 type Options struct {
 	// Objective to minimize.
 	Objective Objective
-	// Synth configures the inner synthesis runs (MaxWL etc.).
+	// Synth configures the inner synthesis runs (MaxWL etc.). Its
+	// Serial flag also forces this optimizer to evaluate each round's
+	// proposals sequentially.
 	Synth core.Options
-	// Iterations is the number of move proposals (default 100).
+	// Iterations is the total number of move proposals (default 100).
 	Iterations int
+	// ProposalsPerRound is how many proposals each round draws and
+	// evaluates against the same incumbent placement (default 8). The
+	// trajectory depends on this value, but not on worker count.
+	ProposalsPerRound int
 	// StepMM is the maximum per-axis perturbation per move (default 1).
 	StepMM float64
 	// MinSpacingMM is the minimum pairwise node distance to respect
@@ -75,12 +87,21 @@ type Trace struct {
 	Evaluated int
 }
 
+// proposal is one candidate move, drawn before a round is evaluated.
+type proposal struct {
+	node int
+	to   geom.Point
+}
+
 // Optimize hill-climbs the node placement. It returns the improved
 // network (a copy — the input is untouched), the synthesis result at
 // the final placement, and the trace.
 func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace, error) {
 	if opt.Iterations == 0 {
 		opt.Iterations = 100
+	}
+	if opt.ProposalsPerRound == 0 {
+		opt.ProposalsPerRound = 8
 	}
 	if opt.StepMM == 0 {
 		opt.StepMM = 1
@@ -101,33 +122,78 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 	score := objective(best, opt.Objective)
 	trace := &Trace{Initial: score, Evaluated: 1}
 
-	for it := 0; it < opt.Iterations; it++ {
-		node := rng.Intn(cur.N())
-		dx := (rng.Float64()*2 - 1) * opt.StepMM
-		dy := (rng.Float64()*2 - 1) * opt.StepMM
-		cand := cloneNetwork(cur)
-		p := cand.Nodes[node].Pos
-		p.X = clamp(p.X+dx, opt.MarginMM, cand.DieW-opt.MarginMM)
-		p.Y = clamp(p.Y+dy, opt.MarginMM, cand.DieH-opt.MarginMM)
-		cand.Nodes[node].Pos = p
-		if !spacedEnough(cand, node, opt.MinSpacingMM) {
-			continue
+	for it := 0; it < opt.Iterations; {
+		round := opt.ProposalsPerRound
+		if it+round > opt.Iterations {
+			round = opt.Iterations - it
 		}
-		res, err := core.Synthesize(cand, opt.Synth)
-		trace.Evaluated++
-		if err != nil {
-			continue
+		// Draw the round's proposals up front; the generator consumes
+		// the same variates per proposal regardless of what earlier
+		// rounds accepted, and spacing is checked here (against the
+		// incumbent) so the evaluation set is fixed before any worker
+		// starts.
+		props := make([]proposal, 0, round)
+		for k := 0; k < round; k++ {
+			node := rng.Intn(cur.N())
+			dx := (rng.Float64()*2 - 1) * opt.StepMM
+			dy := (rng.Float64()*2 - 1) * opt.StepMM
+			p := cur.Nodes[node].Pos
+			p.X = clamp(p.X+dx, opt.MarginMM, cur.DieW-opt.MarginMM)
+			p.Y = clamp(p.Y+dy, opt.MarginMM, cur.DieH-opt.MarginMM)
+			if !spacedEnoughAt(cur, node, p, opt.MinSpacingMM) {
+				continue
+			}
+			props = append(props, proposal{node: node, to: p})
 		}
-		s := objective(res, opt.Objective)
-		if s < score-1e-12 {
-			trace.Moves = append(trace.Moves, Move{
-				Iteration: it, Node: node,
-				From: cur.Nodes[node].Pos, To: p, Score: s,
+		trace.Evaluated += len(props)
+
+		evalOne := func(k int) *core.Result {
+			cand := cloneNetwork(cur)
+			cand.Nodes[props[k].node].Pos = props[k].to
+			res, err := core.Synthesize(cand, opt.Synth)
+			if err != nil {
+				return nil // infeasible placement; reject the move
+			}
+			return res
+		}
+		evals := make([]*core.Result, len(props))
+		if opt.Synth.Serial {
+			for k := range props {
+				evals[k] = evalOne(k)
+			}
+		} else {
+			_ = parallel.ForEach(nil, len(props), func(k int) error {
+				evals[k] = evalOne(k)
+				return nil
 			})
-			cur = cand
-			best = res
-			score = s
 		}
+
+		// Apply the best improving move; ties break toward the lowest
+		// proposal index, so the pick is independent of worker count.
+		bestK := -1
+		bestS := score
+		for k, res := range evals {
+			if res == nil {
+				continue
+			}
+			s := objective(res, opt.Objective)
+			if s < bestS-1e-12 {
+				bestK, bestS = k, s
+			}
+		}
+		if bestK >= 0 {
+			pr := props[bestK]
+			trace.Moves = append(trace.Moves, Move{
+				Iteration: it + bestK, Node: pr.node,
+				From: cur.Nodes[pr.node].Pos, To: pr.to, Score: bestS,
+			})
+			next := cloneNetwork(cur)
+			next.Nodes[pr.node].Pos = pr.to
+			cur = next
+			best = evals[bestK]
+			score = bestS
+		}
+		it += round
 	}
 	trace.Final = score
 	return cur, best, trace, nil
@@ -146,8 +212,9 @@ func cloneNetwork(net *noc.Network) *noc.Network {
 	return out
 }
 
-func spacedEnough(net *noc.Network, moved int, minSpacing float64) bool {
-	p := net.Nodes[moved].Pos
+// spacedEnoughAt reports whether node moved placed at p keeps the
+// minimum pairwise distance to every other node of net.
+func spacedEnoughAt(net *noc.Network, moved int, p geom.Point, minSpacing float64) bool {
 	for i, n := range net.Nodes {
 		if i == moved {
 			continue

@@ -30,6 +30,7 @@ import (
 	"xring/internal/geom"
 	"xring/internal/milp"
 	"xring/internal/noc"
+	"xring/internal/parallel"
 )
 
 // Result is the outcome of ring construction.
@@ -77,6 +78,11 @@ type conflictTable struct {
 	conflict map[[2]edgeKey]bool
 }
 
+// buildConflicts runs the paper's four-option conflict test over every
+// pair of candidate edges. The O(N⁴) pair scan is sharded by stripes of
+// the first edge index and fanned out over the shared worker pool; each
+// stripe collects hits locally and the stripes merge into the table
+// afterwards, so the result is the same set for any worker count.
 func buildConflicts(net *noc.Network) *conflictTable {
 	n := net.N()
 	ct := &conflictTable{n: n, conflict: map[[2]edgeKey]bool{}}
@@ -87,13 +93,31 @@ func buildConflicts(net *noc.Network) *conflictTable {
 		}
 	}
 	pos := net.Positions()
-	for x := 0; x < len(edges); x++ {
-		for y := x + 1; y < len(edges); y++ {
-			e, f := edges[x], edges[y]
-			if geom.EdgesConflict(pos[e.a], pos[e.b], pos[f.a], pos[f.b]) {
-				ct.conflict[[2]edgeKey{e, f}] = true
-				ct.conflict[[2]edgeKey{f, e}] = true
+	stripes := parallel.Workers() * 4
+	if stripes > len(edges) {
+		stripes = len(edges)
+	}
+	if stripes == 0 {
+		return ct
+	}
+	found, _ := parallel.Map(nil, stripes, func(s int) ([][2]edgeKey, error) {
+		var local [][2]edgeKey
+		// Stripe s owns first-edge indices x ≡ s (mod stripes), which
+		// balances the triangular workload across stripes.
+		for x := s; x < len(edges); x += stripes {
+			for y := x + 1; y < len(edges); y++ {
+				e, f := edges[x], edges[y]
+				if geom.EdgesConflict(pos[e.a], pos[e.b], pos[f.a], pos[f.b]) {
+					local = append(local, [2]edgeKey{e, f})
+				}
 			}
+		}
+		return local, nil
+	})
+	for _, local := range found {
+		for _, p := range local {
+			ct.conflict[[2]edgeKey{p[0], p[1]}] = true
+			ct.conflict[[2]edgeKey{p[1], p[0]}] = true
 		}
 	}
 	return ct

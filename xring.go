@@ -109,9 +109,15 @@ func Synthesize(net *Network, opt Options) (*Result, error) {
 
 // Sweep synthesizes once per #wl candidate (nil = 1..N) and returns the
 // best result under the objective together with the chosen #wl.
+// Candidates are evaluated concurrently on the shared worker pool
+// unless Options.Serial is set; both paths return the identical winner.
 func Sweep(net *Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
 	return core.Sweep(net, opt, objective, candidates)
 }
+
+// ResetRingCache empties the Step-1 ring-construction cache. Benchmarks
+// comparing cold-start synthesis times call it between timed passes.
+func ResetRingCache() { core.ResetRingCache() }
 
 // DefaultParams returns the standard technology parameter set.
 func DefaultParams() Params { return phys.Default() }
