@@ -30,9 +30,13 @@ import (
 
 	"xring"
 	"xring/internal/core"
+	"xring/internal/obs"
 	"xring/internal/parallel"
 	"xring/internal/report"
 )
+
+// processStart anchors the monotonic timestamp reported by -json.
+var processStart = time.Now()
 
 // floorplanKind selects regular grids (the default) or irregular
 // placements (the paper's motivating hard case, where shortcut gains
@@ -77,7 +81,20 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print the full #wl sweep curve for the 16-node XRing instead of the tables")
 	serial := flag.Bool("serial", false, "evaluate everything sequentially on one worker (baseline for -json)")
 	jsonOut := flag.String("json", "", "benchmark serial vs parallel passes and write the report to this file")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	flushObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "xbench:", err)
+		os.Exit(1)
+	}
+	defer func() {
+		if err := flushObs(); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+	}()
 
 	serialMode = *serial
 	if serialMode {
@@ -482,14 +499,22 @@ type benchStage struct {
 }
 
 // benchReport is the -json output: serial vs parallel wall-clock for
-// the paper tables and a 16-node placement search.
+// the paper tables and a 16-node placement search, stamped with the
+// toolchain and clock context needed to compare runs across machines.
 type benchReport struct {
-	Cores      int          `json:"cores"`
-	GoMaxProcs int          `json:"gomaxprocs"`
-	GoOS       string       `json:"goos"`
-	GoArch     string       `json:"goarch"`
-	Floorplan  string       `json:"floorplan"`
-	Stages     []benchStage `json:"stages"`
+	Cores      int    `json:"cores"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoOS       string `json:"goos"`
+	GoArch     string `json:"goarch"`
+	GoVersion  string `json:"goVersion"`
+	// TimestampUTC is the wall-clock time the report was generated.
+	TimestampUTC string `json:"timestampUTC"`
+	// MonotonicNS is the monotonic-clock offset from process start to
+	// report generation; unlike the wall clock it is immune to NTP steps,
+	// so stage times are comparable to it.
+	MonotonicNS int64        `json:"monotonicNS"`
+	Floorplan   string       `json:"floorplan"`
+	Stages      []benchStage `json:"stages"`
 }
 
 // runJSONBench times each stage twice — one worker with Serial options,
@@ -524,6 +549,7 @@ func runJSONBench(path string) error {
 		GoMaxProcs: runtime.GOMAXPROCS(0),
 		GoOS:       runtime.GOOS,
 		GoArch:     runtime.GOARCH,
+		GoVersion:  runtime.Version(),
 		Floorplan:  *floorplanKind,
 	}
 	for _, st := range stages {
@@ -552,6 +578,10 @@ func runJSONBench(path string) error {
 		fmt.Fprintf(os.Stderr, "%-12s serial %.1f ms  parallel %.1f ms  speedup %.2fx\n",
 			st.name, serialMS, parallelMS, speedup)
 	}
+
+	now := time.Now()
+	rep.TimestampUTC = now.UTC().Format(time.RFC3339)
+	rep.MonotonicNS = now.Sub(processStart).Nanoseconds()
 
 	out, err := json.MarshalIndent(rep, "", "  ")
 	if err != nil {

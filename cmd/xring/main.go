@@ -23,6 +23,7 @@ import (
 	"os"
 
 	"xring"
+	"xring/internal/obs"
 	"xring/internal/report"
 )
 
@@ -49,10 +50,20 @@ func main() {
 	jsonPath := flag.String("json", "", "write a JSON summary of the result")
 	designPath := flag.String("design", "", "write the full design (reloadable JSON)")
 	analyzePath := flag.String("analyze", "", "load a saved design and re-run the analyses")
+	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
+
+	flushObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		fatal(err)
+	}
+	// Telemetry files are written even when synthesis fails: fatal runs
+	// the flush before exiting.
+	obsFlush = flushObs
 
 	if *analyzePath != "" {
 		analyzeSaved(*analyzePath, *svgPath)
+		flushTelemetry()
 		return
 	}
 
@@ -67,6 +78,7 @@ func main() {
 
 	if *baseline != "" {
 		runBaseline(net, *baseline, *wl, *pdnFlag, *svgPath)
+		flushTelemetry()
 		return
 	}
 
@@ -131,6 +143,23 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("wrote %s\n", *designPath)
+	}
+	flushTelemetry()
+}
+
+// obsFlush writes the -trace/-metrics files once the run is complete;
+// set from the activated telemetry flags.
+var obsFlush func() error
+
+func flushTelemetry() {
+	f := obsFlush
+	obsFlush = nil
+	if f == nil {
+		return
+	}
+	if err := f(); err != nil {
+		fmt.Fprintln(os.Stderr, "xring:", err)
+		os.Exit(1)
 	}
 }
 
@@ -348,5 +377,6 @@ func writeJSON(path string, net *xring.Network, res *xring.Result, wl int) error
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "xring:", err)
+	flushTelemetry()
 	os.Exit(1)
 }

@@ -7,25 +7,45 @@ package core
 // perfect hash, so a hit can never return the wrong tour. Entries are
 // shared read-only: SynthesizeOnRing copies the tour and orders into
 // every design it builds.
+//
+// Eviction is least-recently-used: placement searches stream hundreds
+// of one-off geometries through the cache while revisiting a small
+// working set of incumbents, so a hit touches its entry to the front
+// and the entry that has gone unused longest is evicted at the cap.
+// Hit/miss/evict counts are exported through the obs metrics registry.
 
 import (
+	"container/list"
+	"context"
 	"encoding/binary"
 	"math"
 	"sync"
 
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/ring"
 )
 
-// ringCacheCap bounds the cache; placement searches stream hundreds of
-// one-off geometries through it, so stale entries are evicted
-// arbitrarily once the cap is reached.
+// ringCacheCap bounds the cache.
 const ringCacheCap = 256
+
+var (
+	mRingCacheHits   = obs.NewCounter("core.ringcache.hits")
+	mRingCacheMisses = obs.NewCounter("core.ringcache.misses")
+	mRingCacheEvicts = obs.NewCounter("core.ringcache.evictions")
+	mRingCacheSize   = obs.NewGauge("core.ringcache.size")
+)
+
+type ringCacheEntry struct {
+	key string
+	res *ring.Result
+}
 
 var ringCache = struct {
 	sync.Mutex
-	m map[string]*ring.Result
-}{m: map[string]*ring.Result{}}
+	m   map[string]*list.Element // value: *ringCacheEntry
+	lru *list.List               // front = most recently used
+}{m: map[string]*list.Element{}, lru: list.New()}
 
 // floorplanKey serializes everything ring.Construct reads.
 func floorplanKey(net *noc.Network, opt ring.Options) string {
@@ -52,39 +72,66 @@ func floorplanKey(net *noc.Network, opt ring.Options) string {
 	return string(buf)
 }
 
+// cacheLookup returns the cached Step-1 result for key, touching the
+// entry to the LRU front on a hit.
+func cacheLookup(key string) (*ring.Result, bool) {
+	ringCache.Lock()
+	el, ok := ringCache.m[key]
+	if !ok {
+		ringCache.Unlock()
+		mRingCacheMisses.Inc()
+		return nil, false
+	}
+	ringCache.lru.MoveToFront(el) // LRU touch
+	r := el.Value.(*ringCacheEntry).res
+	ringCache.Unlock()
+	mRingCacheHits.Inc()
+	return r, true
+}
+
+// cacheInsert stores r under key, evicting from the LRU back at the
+// cap. If a concurrent miss already inserted the key, its (identical)
+// result is adopted and returned instead.
+func cacheInsert(key string, r *ring.Result) *ring.Result {
+	ringCache.Lock()
+	if el, ok := ringCache.m[key]; ok {
+		ringCache.lru.MoveToFront(el)
+		r = el.Value.(*ringCacheEntry).res
+	} else {
+		for ringCache.lru.Len() >= ringCacheCap {
+			back := ringCache.lru.Back()
+			ringCache.lru.Remove(back)
+			delete(ringCache.m, back.Value.(*ringCacheEntry).key)
+			mRingCacheEvicts.Inc()
+		}
+		ringCache.m[key] = ringCache.lru.PushFront(&ringCacheEntry{key: key, res: r})
+	}
+	mRingCacheSize.Set(int64(ringCache.lru.Len()))
+	ringCache.Unlock()
+	return r
+}
+
 // constructRing is ring.Construct behind the cache. Concurrent misses
 // on the same key may both construct; the solve is deterministic, so
 // whichever result lands in the cache is interchangeable.
-func constructRing(net *noc.Network, opt ring.Options) (*ring.Result, error) {
+func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ring.Result, error) {
 	key := floorplanKey(net, opt)
-	ringCache.Lock()
-	r, ok := ringCache.m[key]
-	ringCache.Unlock()
-	if ok {
+	if r, ok := cacheLookup(key); ok {
 		return r, nil
 	}
-	r, err := ring.Construct(net, opt)
+	r, err := ring.ConstructCtx(ctx, net, opt)
 	if err != nil {
 		return nil, err
 	}
-	ringCache.Lock()
-	if len(ringCache.m) >= ringCacheCap {
-		for k := range ringCache.m {
-			delete(ringCache.m, k)
-			if len(ringCache.m) < ringCacheCap {
-				break
-			}
-		}
-	}
-	ringCache.m[key] = r
-	ringCache.Unlock()
-	return r, nil
+	return cacheInsert(key, r), nil
 }
 
 // ResetRingCache empties the Step-1 result cache. Benchmarks call it
 // between timed passes so a warm cache cannot masquerade as a speedup.
 func ResetRingCache() {
 	ringCache.Lock()
-	ringCache.m = map[string]*ring.Result{}
+	ringCache.m = map[string]*list.Element{}
+	ringCache.lru = list.New()
+	mRingCacheSize.Set(0)
 	ringCache.Unlock()
 }

@@ -8,6 +8,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"time"
@@ -15,6 +16,7 @@ import (
 	"xring/internal/loss"
 	"xring/internal/mapping"
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/parallel"
 	"xring/internal/pdn"
 	"xring/internal/phys"
@@ -22,6 +24,16 @@ import (
 	"xring/internal/router"
 	"xring/internal/shortcut"
 	"xring/internal/xtalk"
+)
+
+// Sweep telemetry: candidates evaluated (feasible + infeasible) and the
+// chosen winner's #wl, for correlating a sweep's cost with its outcome.
+var (
+	mSweepCandidates  = obs.NewCounter("core.sweep.candidates")
+	mSweepInfeasible  = obs.NewCounter("core.sweep.infeasible")
+	mSweepWinnerWL    = obs.NewGauge("core.sweep.winner.wl")
+	mSynthesizeCalls  = obs.NewCounter("core.synthesize.calls")
+	mSynthesizeErrors = obs.NewCounter("core.synthesize.errors")
 )
 
 // Options configures a synthesis run.
@@ -87,8 +99,19 @@ type Result struct {
 // served from the floorplan-keyed ring cache when the same geometry
 // was synthesized before.
 func Synthesize(net *noc.Network, opt Options) (*Result, error) {
+	return SynthesizeCtx(context.Background(), net, opt)
+}
+
+// SynthesizeCtx is Synthesize under a context: trace spans nest beneath
+// the caller's span, and cancellation is honoured between the pipeline
+// stages and inside the analysis fan-outs.
+func SynthesizeCtx(ctx context.Context, net *noc.Network, opt Options) (*Result, error) {
+	ctx, span := obs.Start(ctx, "core.synthesize",
+		obs.Int("nodes", net.N()), obs.Int("max_wl", opt.MaxWL),
+		obs.Bool("share", opt.ShareWavelengths), obs.Bool("pdn", opt.WithPDN))
+	defer span.End()
 	t0 := time.Now()
-	rres, err := constructRing(net, ring.Options{
+	rres, err := constructRing(ctx, net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
 	})
@@ -96,7 +119,7 @@ func Synthesize(net *noc.Network, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	res, err := SynthesizeOnRing(net, rres, opt)
+	res, err := SynthesizeOnRingCtx(ctx, net, rres, opt)
 	if err != nil {
 		return nil, err
 	}
@@ -107,6 +130,18 @@ func Synthesize(net *noc.Network, opt Options) (*Result, error) {
 // SynthesizeOnRing runs Steps 2-4 and the analyses on a precomputed
 // Step-1 result, so #wl sweeps share the ring construction.
 func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
+	return SynthesizeOnRingCtx(context.Background(), net, rres, opt)
+}
+
+// SynthesizeOnRingCtx is SynthesizeOnRing under a context (cancellation
+// between stages, nested trace spans).
+func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
+	mSynthesizeCalls.Inc()
+	if ctx != nil {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
+	}
 	par := phys.Default()
 	if opt.Par != nil {
 		par = *opt.Par
@@ -119,16 +154,23 @@ func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result
 
 	d, err := router.NewDesign(net, par, rres.Tour, rres.Orders)
 	if err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	if err := shortcut.Construct(d, shortcut.Options{
+	_, scSpan := obs.Start(ctx, "shortcut.construct")
+	err = shortcut.Construct(d, shortcut.Options{
 		Disable: opt.DisableShortcuts,
 		NoCSE:   opt.NoCSE,
 		Traffic: opt.Traffic,
-	}); err != nil {
+	})
+	scSpan.Set(obs.Int("shortcuts", len(d.Shortcuts)))
+	scSpan.End()
+	if err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, err
 	}
 	noOpenings := opt.NoOpenings || !opt.WithPDN
+	_, mapSpan := obs.Start(ctx, "mapping.run", obs.Int("max_wl", maxWL))
 	stats, err := mapping.Run(d, mapping.Options{
 		MaxWL:         maxWL,
 		NoOpenings:    noOpenings,
@@ -137,10 +179,20 @@ func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result
 		MaxWaveguides: mapping.WaveguideCap(net, par),
 		Traffic:       opt.Traffic,
 	})
+	if stats != nil {
+		mapSpan.Set(obs.Int("waveguides", len(d.Waveguides)),
+			obs.Int("ring_signals", stats.RingSignals),
+			obs.Int("shortcut_signals", stats.ShortcutSignals))
+	}
+	mapSpan.End()
 	if err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, err
 	}
+	// Step 4 always gets a span so a trace shows the decision even when
+	// PDN design is skipped (Table-I configurations).
 	var plan *pdn.Plan
+	_, pdnSpan := obs.Start(ctx, "pdn.design")
 	if opt.WithPDN {
 		if opt.NoOpenings {
 			// Ablation: XRing mapping but a comb PDN (no openings to
@@ -149,21 +201,32 @@ func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result
 		} else {
 			plan, err = pdn.BuildTree(d)
 		}
-		if err != nil {
-			return nil, err
-		}
+	}
+	if plan != nil {
+		pdnSpan.Set(obs.String("kind", plan.Kind.String()),
+			obs.Int("crossings", plan.CrossingsAdded))
+	} else {
+		pdnSpan.Set(obs.String("kind", "none"))
+	}
+	pdnSpan.End()
+	if err != nil {
+		mSynthesizeErrors.Inc()
+		return nil, err
 	}
 	synthTime := time.Since(start)
 
 	if err := d.Validate(); err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, fmt.Errorf("core: synthesized design invalid: %w", err)
 	}
-	lrep, err := loss.Analyze(d, plan)
+	lrep, err := loss.AnalyzeCtx(ctx, d, plan)
 	if err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	xrep, err := xtalk.Analyze(d, plan, lrep)
+	xrep, err := xtalk.AnalyzeCtx(ctx, d, plan, lrep)
 	if err != nil {
+		mSynthesizeErrors.Inc()
 		return nil, err
 	}
 	return &Result{
@@ -254,30 +317,39 @@ func sweepCandidates(net *noc.Network, candidates []int) []sweepCandidate {
 // is total over distinct sweep candidates, which is what makes the
 // winner independent of evaluation order.
 func betterResult(objective Objective, a, b *Result) bool {
+	better, _ := compareResults(objective, a, b)
+	return better
+}
+
+// compareResults is betterResult plus the decisive criterion: which
+// level of the tie-break chain ("score", "power", "#wl", "policy")
+// separated the two results. Sweeps record it so a trace explains why
+// the winner won.
+func compareResults(objective Objective, a, b *Result) (better bool, decidedBy string) {
 	if b == nil {
-		return a != nil
+		return a != nil, "score"
 	}
 	if a == nil {
-		return false
+		return false, "score"
 	}
 	sa, sb := objective.Score(a), objective.Score(b)
 	if sa < sb-1e-12 {
-		return true
+		return true, "score"
 	}
 	if sb < sa-1e-12 {
-		return false
+		return false, "score"
 	}
 	pa, pb := a.Loss.TotalPowerMW, b.Loss.TotalPowerMW
 	if pa < pb-1e-15 {
-		return true
+		return true, "power"
 	}
 	if pb < pa-1e-15 {
-		return false
+		return false, "power"
 	}
 	if a.Opt.MaxWL != b.Opt.MaxWL {
-		return a.Opt.MaxWL < b.Opt.MaxWL
+		return a.Opt.MaxWL < b.Opt.MaxWL, "#wl"
 	}
-	return !a.Opt.ShareWavelengths && b.Opt.ShareWavelengths
+	return !a.Opt.ShareWavelengths && b.Opt.ShareWavelengths, "policy"
 }
 
 // Sweep synthesizes the network once per (#wl, sharing-policy)
@@ -291,11 +363,22 @@ func betterResult(objective Objective, a, b *Result) bool {
 // deterministically; Options.Serial keeps the sequential path, which
 // returns the identical winner.
 func Sweep(net *noc.Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
+	return SweepCtx(context.Background(), net, opt, objective, candidates)
+}
+
+// SweepCtx is Sweep under a context. Cancellation stops the sweep
+// between candidates (no new candidate starts once ctx is done; the
+// context error is returned) and propagates into each candidate's
+// analysis fan-outs.
+func SweepCtx(ctx context.Context, net *noc.Network, opt Options, objective Objective, candidates []int) (*Result, int, error) {
 	cands := sweepCandidates(net, candidates)
 	if len(cands) == 0 {
 		return nil, 0, fmt.Errorf("core: empty #wl candidate list")
 	}
-	rres, err := constructRing(net, ring.Options{
+	ctx, span := obs.Start(ctx, "core.sweep",
+		obs.String("objective", objective.String()), obs.Int("candidates", len(cands)))
+	defer span.End()
+	rres, err := constructRing(ctx, net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
 	})
@@ -306,31 +389,89 @@ func Sweep(net *noc.Network, opt Options, objective Objective, candidates []int)
 		o := opt
 		o.MaxWL = cands[i].WL
 		o.ShareWavelengths = cands[i].Share
-		r, err := SynthesizeOnRing(net, rres, o)
+		cctx, cspan := obs.Start(ctx, "sweep.candidate",
+			obs.Int("wl", cands[i].WL), obs.Bool("share", cands[i].Share))
+		r, err := SynthesizeOnRingCtx(cctx, net, rres, o)
+		mSweepCandidates.Inc()
 		if err != nil {
+			mSweepInfeasible.Inc()
+			cspan.Set(obs.Bool("feasible", false))
+			cspan.End()
 			return nil // a setting may be infeasible; skip it
 		}
+		cspan.Set(obs.Bool("feasible", true),
+			obs.Float("score", objective.Score(r)),
+			obs.Float("power_mw", r.Loss.TotalPowerMW))
+		cspan.End()
 		return r
 	}
 	results := make([]*Result, len(cands))
 	if opt.Serial {
 		for i := range cands {
+			if ctx != nil {
+				if err := ctx.Err(); err != nil {
+					return nil, 0, err
+				}
+			}
 			results[i] = synth(i)
 		}
 	} else {
-		_ = parallel.ForEach(nil, len(cands), func(i int) error {
+		if err := parallel.ForEach(ctx, len(cands), func(i int) error {
 			results[i] = synth(i)
 			return nil
-		})
+		}); err != nil {
+			return nil, 0, err // only a context error: synth never fails the fan-out
+		}
 	}
-	var best *Result
+	// Reduce in canonical candidate order, then explain the winner: the
+	// decisive tie-break level is judged against the runner-up (the best
+	// of the remaining candidates under the same total order).
+	var best, runnerUp *Result
 	for _, r := range results {
-		if r != nil && betterResult(objective, r, best) {
+		if r == nil {
+			continue
+		}
+		if betterResult(objective, r, best) {
+			runnerUp = best
 			best = r
+		} else if betterResult(objective, r, runnerUp) {
+			runnerUp = r
 		}
 	}
 	if best == nil {
 		return nil, 0, fmt.Errorf("core: no feasible #wl setting among %v", candidates)
 	}
+	_, decidedBy := compareResults(objective, best, runnerUp)
+	if runnerUp == nil {
+		decidedBy = "only-feasible"
+	}
+	mSweepWinnerWL.Set(int64(best.Opt.MaxWL))
+	span.Set(obs.Int("winner_wl", best.Opt.MaxWL),
+		obs.Bool("winner_share", best.Opt.ShareWavelengths),
+		obs.String("decided_by", decidedBy))
+	if log := obs.Logger("core"); log.Enabled(ctx, obs.LevelInfo) {
+		attrs := []any{
+			"objective", objective.String(),
+			"winner_wl", best.Opt.MaxWL,
+			"winner_policy", policyName(best.Opt.ShareWavelengths),
+			"score", objective.Score(best),
+			"power_mw", best.Loss.TotalPowerMW,
+			"decided_by", decidedBy,
+		}
+		if runnerUp != nil {
+			attrs = append(attrs,
+				"runner_up_wl", runnerUp.Opt.MaxWL,
+				"runner_up_policy", policyName(runnerUp.Opt.ShareWavelengths),
+				"runner_up_score", objective.Score(runnerUp))
+		}
+		log.Info("sweep winner", attrs...)
+	}
 	return best, best.Opt.MaxWL, nil
+}
+
+func policyName(share bool) string {
+	if share {
+		return "share"
+	}
+	return "fresh"
 }

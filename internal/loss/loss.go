@@ -19,17 +19,22 @@
 package loss
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"sort"
 
 	"xring/internal/geom"
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/parallel"
 	"xring/internal/pdn"
 	"xring/internal/phys"
 	"xring/internal/router"
 )
+
+// mSignals counts per-signal loss walks across all analyses.
+var mSignals = obs.NewCounter("loss.signals")
 
 // A laser group is one wavelength: following the paper's power model
 // (Sec. II-B), each wavelength has one off-chip laser whose power is set
@@ -80,9 +85,18 @@ type Report struct {
 // Analyze computes the loss report. plan may be nil for the no-PDN
 // comparisons (Table I); PDN losses are then zero.
 func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
+	return AnalyzeCtx(context.Background(), d, plan)
+}
+
+// AnalyzeCtx is Analyze under a context: the per-signal fan-out stops
+// promptly on cancellation (returning the context error) and the
+// analysis records a trace span.
+func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report, error) {
 	if len(d.Routes) == 0 {
 		return nil, fmt.Errorf("loss: design has no routed signals; run the mapping step first")
 	}
+	ctx, span := obs.Start(ctx, "loss.analyze", obs.Int("signals", len(d.Routes)))
+	defer span.End()
 	par := d.Par
 	rep := &Report{
 		Signals:         map[noc.Signal]*SignalLoss{},
@@ -116,7 +130,7 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 		}
 		return sigs[i].Dst < sigs[j].Dst
 	})
-	losses, err := parallel.Map(nil, len(sigs), func(i int) (*SignalLoss, error) {
+	losses, err := parallel.Map(ctx, len(sigs), func(i int) (*SignalLoss, error) {
 		sig := sigs[i]
 		r := d.Routes[sig]
 		var sl *SignalLoss
@@ -174,6 +188,10 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 	for _, wl := range wls {
 		rep.TotalPowerMW += rep.WavelengthPower[wl]
 	}
+	mSignals.Add(int64(len(sigs)))
+	span.Set(obs.Float("worst_il_db", rep.WorstIL),
+		obs.Float("power_mw", rep.TotalPowerMW),
+		obs.Int("wavelengths", rep.WavelengthCount))
 	return rep, nil
 }
 

@@ -25,6 +25,7 @@ import (
 	"sort"
 
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/phys"
 	"xring/internal/router"
 	"xring/internal/shortcut"
@@ -167,7 +168,33 @@ func Run(d *router.Design, opt Options) (*Stats, error) {
 	}
 	assignRadials(d)
 	stats.ChannelLowerBound = channelLowerBound(d)
+	recordMappingMetrics(d, stats)
 	return stats, nil
+}
+
+// Step-3 telemetry: how many distinct wavelengths each realized ring
+// waveguide carries (the allocation the #wl budget is spent on), plus
+// the relocation work the opening phase did.
+var (
+	mWLPerWG = obs.NewHistogram("mapping.wavelengths_per_waveguide", "wavelengths",
+		[]float64{1, 2, 4, 8, 16, 32, 64})
+	mRelocated = obs.NewCounter("mapping.relocated_channels")
+	mExtraWGs  = obs.NewCounter("mapping.extra_waveguides")
+)
+
+func recordMappingMetrics(d *router.Design, stats *Stats) {
+	if !obs.MetricsEnabled() {
+		return
+	}
+	for _, w := range d.Waveguides {
+		distinct := map[int]bool{}
+		for _, c := range w.Channels {
+			distinct[c.WL] = true
+		}
+		mWLPerWG.Observe(float64(len(distinct)))
+	}
+	mRelocated.Add(int64(stats.Relocated))
+	mExtraWGs.Add(int64(stats.ExtraWGs))
 }
 
 // assignShortcutChannels gives every shortcut-supported signal its

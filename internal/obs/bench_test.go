@@ -1,0 +1,95 @@
+package obs_test
+
+import (
+	"context"
+	"testing"
+
+	"xring/internal/obs"
+)
+
+// The disabled-path benchmarks prove the acceptance criterion directly:
+// run with -benchmem and check for 1-2 ns/op and 0 allocs/op. The
+// enabled variants quantify the full cost of collection for comparison.
+
+func setTelemetryB(b *testing.B, trace, metrics bool) {
+	b.Helper()
+	prevT, prevM := obs.TracingEnabled(), obs.MetricsEnabled()
+	obs.EnableTracing(trace)
+	obs.EnableMetrics(metrics)
+	obs.ResetTrace()
+	obs.ResetMetrics()
+	b.Cleanup(func() {
+		obs.EnableTracing(prevT)
+		obs.EnableMetrics(prevM)
+		obs.ResetTrace()
+		obs.ResetMetrics()
+	})
+}
+
+func BenchmarkSpanDisabled(b *testing.B) {
+	setTelemetryB(b, false, false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sctx, s := obs.Start(ctx, "bench", obs.Int("i", i))
+		_ = sctx
+		s.Set(obs.Bool("ok", true))
+		s.End()
+	}
+}
+
+func BenchmarkSpanEnabled(b *testing.B) {
+	setTelemetryB(b, true, false)
+	ctx := context.Background()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		if i&0xFFFF == 0 {
+			obs.ResetTrace() // stay under the collector cap
+		}
+		sctx, s := obs.Start(ctx, "bench", obs.Int("i", i))
+		_ = sctx
+		s.Set(obs.Bool("ok", true))
+		s.End()
+	}
+}
+
+func BenchmarkCounterDisabled(b *testing.B) {
+	setTelemetryB(b, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		allocCounter.Inc()
+	}
+}
+
+func BenchmarkCounterEnabled(b *testing.B) {
+	setTelemetryB(b, false, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		allocCounter.Inc()
+	}
+}
+
+func BenchmarkGaugeDisabled(b *testing.B) {
+	setTelemetryB(b, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		allocGauge.Add(1)
+		allocGauge.Add(-1)
+	}
+}
+
+func BenchmarkHistogramObserveDisabled(b *testing.B) {
+	setTelemetryB(b, false, false)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		allocHist.Observe(3.5)
+	}
+}
+
+func BenchmarkHistogramObserveEnabled(b *testing.B) {
+	setTelemetryB(b, false, true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		allocHist.Observe(3.5)
+	}
+}

@@ -1,0 +1,109 @@
+package obs_test
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"xring/internal/obs"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenSpans is a fixed span forest covering every attribute kind,
+// nesting, and a root span, so the golden file pins the complete
+// exporter format.
+var goldenSpans = []obs.SpanRecord{
+	{ID: 1, Name: "core.sweep", Goroutine: 1, StartNS: 1000, DurNS: 250000,
+		Attrs: []obs.Attr{obs.String("objective", "min-power"), obs.Int("candidates", 32)}},
+	{ID: 2, Parent: 1, Name: "sweep.candidate", Goroutine: 7, StartNS: 2500, DurNS: 90000,
+		Attrs: []obs.Attr{obs.Int("wl", 3), obs.Bool("share", false), obs.Float("score", 1.25)}},
+	{ID: 3, Parent: 2, Name: "pdn.design", Goroutine: 7, StartNS: 60000, DurNS: 12500,
+		Attrs: []obs.Attr{obs.String("kind", "tree")}},
+	{ID: 4, Parent: 1, Name: "sweep.candidate", Goroutine: 8, StartNS: 3000, DurNS: 110000},
+	// Non-finite floats (noise-free SNR) must export as strings, not
+	// break JSON marshalling.
+	{ID: 5, Parent: 2, Name: "xtalk.analyze", Goroutine: 7, StartNS: 80000, DurNS: 9000,
+		Attrs: []obs.Attr{obs.Float("worst_snr_db", math.Inf(1))}},
+}
+
+// TestChromeTraceGolden compares the Chrome trace_event rendering of a
+// fixed span forest against the checked-in golden file. Run with
+// -update to regenerate after an intentional format change.
+func TestChromeTraceGolden(t *testing.T) {
+	got, err := obs.ChromeTrace(goldenSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got = append(got, '\n')
+	golden := filepath.Join("testdata", "chrome_trace.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Fatalf("Chrome trace differs from golden file (run go test ./internal/obs -run ChromeTraceGolden -update after intentional format changes)\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestChromeTraceLoadable checks the structural invariants a trace
+// viewer relies on: a traceEvents array of complete ("X") events with
+// microsecond timestamps and goroutine thread IDs.
+func TestChromeTraceLoadable(t *testing.T) {
+	raw, err := obs.ChromeTrace(goldenSpans)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		TraceEvents []struct {
+			Name string         `json:"name"`
+			Ph   string         `json:"ph"`
+			TS   float64        `json:"ts"`
+			Dur  float64        `json:"dur"`
+			PID  int            `json:"pid"`
+			TID  uint64         `json:"tid"`
+			Args map[string]any `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		t.Fatalf("trace is not valid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != len(goldenSpans) {
+		t.Fatalf("got %d events, want %d", len(doc.TraceEvents), len(goldenSpans))
+	}
+	for i, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %d: ph = %q, want complete event X", i, ev.Ph)
+		}
+		if ev.PID != 1 {
+			t.Fatalf("event %d: pid = %d, want 1", i, ev.PID)
+		}
+		if ev.TID != goldenSpans[i].Goroutine {
+			t.Fatalf("event %d: tid = %d, want goroutine %d", i, ev.TID, goldenSpans[i].Goroutine)
+		}
+		if wantTS := float64(goldenSpans[i].StartNS) / 1e3; ev.TS != wantTS {
+			t.Fatalf("event %d: ts = %g µs, want %g", i, ev.TS, wantTS)
+		}
+		if ev.Args["span"] == nil {
+			t.Fatalf("event %d: missing span id arg", i)
+		}
+	}
+	// The second event carries its parent and every attribute kind.
+	args := doc.TraceEvents[1].Args
+	if args["parent_span"] != float64(1) || args["wl"] != float64(3) ||
+		args["share"] != false || args["score"] != 1.25 {
+		t.Fatalf("event 1 args = %v", args)
+	}
+}

@@ -1,0 +1,73 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof on the default mux
+	"os"
+)
+
+// CLI-facing plumbing shared by cmd/xring and cmd/xbench: file writers
+// for the -trace/-metrics flags and the opt-in pprof endpoint.
+
+// TraceFormat selects a -trace output format.
+type TraceFormat string
+
+// Trace output formats.
+const (
+	// FormatChrome is Chrome trace_event JSON (chrome://tracing,
+	// Perfetto). The -trace default.
+	FormatChrome TraceFormat = "chrome"
+	// FormatSpans is the raw span-record JSON array.
+	FormatSpans TraceFormat = "spans"
+)
+
+// ParseTraceFormat validates a -trace-format flag value.
+func ParseTraceFormat(s string) (TraceFormat, error) {
+	switch TraceFormat(s) {
+	case FormatChrome, FormatSpans:
+		return TraceFormat(s), nil
+	default:
+		return "", fmt.Errorf("obs: unknown trace format %q (chrome or spans)", s)
+	}
+}
+
+// WriteTraceFile writes the collected spans to path in the given
+// format.
+func WriteTraceFile(path string, format TraceFormat) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if format == FormatSpans {
+		return WriteTrace(f)
+	}
+	return WriteChromeTrace(f)
+}
+
+// WriteMetricsFile writes the metrics registry snapshot to path.
+func WriteMetricsFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	return WriteMetrics(f)
+}
+
+// StartPprof serves net/http/pprof on addr (e.g. "localhost:6060") for
+// the lifetime of the process. Empty addr is a no-op. It returns the
+// bound address, so addr may use port 0.
+func StartPprof(addr string) (string, error) {
+	if addr == "" {
+		return "", nil
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("obs: pprof listen: %w", err)
+	}
+	go func() { _ = http.Serve(ln, nil) }()
+	return ln.Addr().String(), nil
+}

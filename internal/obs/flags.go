@@ -1,0 +1,84 @@
+package obs
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+)
+
+// Flags bundles the standard telemetry command-line flags so cmd/xring
+// and cmd/xbench expose an identical surface.
+type Flags struct {
+	Trace       *string
+	TraceFormat *string
+	Metrics     *string
+	LogLevel    *string
+	Verbose     *bool
+	Pprof       *string
+}
+
+// BindFlags registers -trace, -trace-format, -metrics, -log-level, -v
+// and -pprof on fs.
+func BindFlags(fs *flag.FlagSet) *Flags {
+	return &Flags{
+		Trace: fs.String("trace", "",
+			"write an execution trace to this file (Chrome trace_event JSON by default)"),
+		TraceFormat: fs.String("trace-format", string(FormatChrome),
+			"trace output format: chrome (chrome://tracing, Perfetto) or spans (raw span records)"),
+		Metrics: fs.String("metrics", "",
+			"write the telemetry counters/gauges/histograms to this file (JSON)"),
+		LogLevel: fs.String("log-level", "",
+			`structured log spec on stderr: LEVEL or stage=LEVEL pairs, e.g. "info" or "core=debug,ring=info"`),
+		Verbose: fs.Bool("v", false, "shorthand for -log-level info"),
+		Pprof: fs.String("pprof", "",
+			"serve net/http/pprof on this address (e.g. localhost:6060)"),
+	}
+}
+
+// Activate applies the parsed flags: it enables tracing/metrics, sets
+// the log spec, and starts the pprof endpoint. It returns a flush
+// function that writes the -trace and -metrics files; call it once the
+// run is complete. Status lines (pprof address) go to status, typically
+// os.Stderr.
+func (f *Flags) Activate(status io.Writer) (flush func() error, err error) {
+	format, err := ParseTraceFormat(*f.TraceFormat)
+	if err != nil {
+		return nil, err
+	}
+	if *f.Trace != "" {
+		EnableTracing(true)
+	}
+	if *f.Metrics != "" {
+		EnableMetrics(true)
+	}
+	spec := *f.LogLevel
+	if spec == "" && *f.Verbose {
+		spec = "info"
+	}
+	if spec != "" {
+		if err := SetLogSpec(os.Stderr, spec); err != nil {
+			return nil, err
+		}
+	}
+	if addr, err := StartPprof(*f.Pprof); err != nil {
+		return nil, err
+	} else if addr != "" {
+		fmt.Fprintf(status, "pprof listening on http://%s/debug/pprof/\n", addr)
+	}
+	return func() error {
+		if *f.Trace != "" {
+			if err := WriteTraceFile(*f.Trace, format); err != nil {
+				return fmt.Errorf("writing trace: %w", err)
+			}
+			fmt.Fprintf(status, "wrote %s\n", *f.Trace)
+		}
+		if *f.Metrics != "" {
+			if err := WriteMetricsFile(*f.Metrics); err != nil {
+				return fmt.Errorf("writing metrics: %w", err)
+			}
+			fmt.Fprintf(status, "wrote %s\n", *f.Metrics)
+		}
+		return nil
+	}, nil
+}

@@ -1,0 +1,146 @@
+package obs
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"log/slog"
+	"strings"
+	"sync"
+)
+
+// Structured logging: every pipeline stage gets a named *slog.Logger
+// whose level is settable independently ("-log-level mapping=debug"
+// turns only Step 3 chatty). The default state is silent — the shared
+// handler sits behind a level far above slog.LevelError, so
+// Logger(stage).Info(...) bails out inside slog's Enabled check without
+// formatting anything.
+
+// logOff is above any level instrumented code uses.
+const logOff = slog.Level(127)
+
+// Level aliases so instrumented packages need not import log/slog just
+// to guard a call site with Logger(stage).Enabled(ctx, level).
+const (
+	LevelDebug = slog.LevelDebug
+	LevelInfo  = slog.LevelInfo
+	LevelWarn  = slog.LevelWarn
+	LevelError = slog.LevelError
+)
+
+var logState = struct {
+	sync.Mutex
+	out          io.Writer
+	defaultLevel slog.LevelVar
+	stageLevels  map[string]*slog.LevelVar
+	loggers      map[string]*slog.Logger
+}{
+	out:         io.Discard,
+	stageLevels: map[string]*slog.LevelVar{},
+	loggers:     map[string]*slog.Logger{},
+}
+
+func init() { logState.defaultLevel.Set(logOff) }
+
+// stageHandler routes records through the per-stage level.
+type stageHandler struct {
+	inner slog.Handler
+	level *slog.LevelVar
+}
+
+func (h *stageHandler) Enabled(_ context.Context, l slog.Level) bool {
+	return l >= h.level.Level()
+}
+func (h *stageHandler) Handle(ctx context.Context, r slog.Record) error {
+	return h.inner.Handle(ctx, r)
+}
+func (h *stageHandler) WithAttrs(attrs []slog.Attr) slog.Handler {
+	return &stageHandler{inner: h.inner.WithAttrs(attrs), level: h.level}
+}
+func (h *stageHandler) WithGroup(name string) slog.Handler {
+	return &stageHandler{inner: h.inner.WithGroup(name), level: h.level}
+}
+
+// Logger returns the structured logger for a pipeline stage ("ring",
+// "core", "mapping", ...). Loggers are cached; level changes through
+// SetLogSpec apply to loggers already handed out.
+func Logger(stage string) *slog.Logger {
+	logState.Lock()
+	defer logState.Unlock()
+	if l, ok := logState.loggers[stage]; ok {
+		return l
+	}
+	lv, ok := logState.stageLevels[stage]
+	if !ok {
+		lv = &logState.defaultLevel
+	}
+	h := &stageHandler{
+		inner: slog.NewTextHandler(logState.out, &slog.HandlerOptions{Level: slog.LevelDebug}).
+			WithAttrs([]slog.Attr{slog.String("stage", stage)}),
+		level: lv,
+	}
+	l := slog.New(h)
+	logState.loggers[stage] = l
+	return l
+}
+
+// parseLevel maps a level name to a slog.Level.
+func parseLevel(s string) (slog.Level, error) {
+	switch strings.ToLower(strings.TrimSpace(s)) {
+	case "debug":
+		return slog.LevelDebug, nil
+	case "info":
+		return slog.LevelInfo, nil
+	case "warn", "warning":
+		return slog.LevelWarn, nil
+	case "error":
+		return slog.LevelError, nil
+	case "off", "silent", "none":
+		return logOff, nil
+	default:
+		return 0, fmt.Errorf("obs: unknown log level %q", s)
+	}
+}
+
+// SetLogSpec configures logging output and levels from a spec of the
+// form "LEVEL" (all stages) or "stage=LEVEL[,stage=LEVEL...]", where
+// LEVEL is debug, info, warn, error or off. A bare level and per-stage
+// overrides may be mixed: "info,ring=debug". Passing w == nil keeps
+// the current output writer.
+func SetLogSpec(w io.Writer, spec string) error {
+	logState.Lock()
+	defer logState.Unlock()
+	if w != nil {
+		logState.out = w
+		// Rebuild cached loggers against the new writer, keeping their
+		// level vars so earlier references stay live.
+		logState.loggers = map[string]*slog.Logger{}
+	}
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		if stage, lvl, ok := strings.Cut(part, "="); ok {
+			l, err := parseLevel(lvl)
+			if err != nil {
+				return err
+			}
+			lv, exists := logState.stageLevels[stage]
+			if !exists {
+				lv = &slog.LevelVar{}
+				logState.stageLevels[stage] = lv
+				// A logger cached on the default level var must be rebuilt.
+				delete(logState.loggers, stage)
+			}
+			lv.Set(l)
+			continue
+		}
+		l, err := parseLevel(part)
+		if err != nil {
+			return err
+		}
+		logState.defaultLevel.Set(l)
+	}
+	return nil
+}

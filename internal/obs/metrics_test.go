@@ -1,0 +1,118 @@
+package obs_test
+
+import (
+	"math"
+	"reflect"
+	"sync"
+	"testing"
+
+	"xring/internal/obs"
+)
+
+var (
+	testCounter = obs.NewCounter("obstest.counter")
+	testGauge   = obs.NewGauge("obstest.gauge")
+	testHist    = obs.NewHistogram("obstest.hist", "mm", []float64{1, 2, 4})
+)
+
+// TestHistogramBucketBoundaries pins the bucket semantics: a value on
+// a bound falls into that bound's bucket (v <= bounds[i]), values above
+// the last bound land in the overflow bucket.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	withTelemetry(t, false, true)
+	for _, v := range []float64{0.5, 1, 1.5, 2, 3, 4, 5} {
+		testHist.Observe(v)
+	}
+	if got, want := testHist.BucketCounts(), []int64{2, 2, 2, 1}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bucket counts = %v, want %v", got, want)
+	}
+	if got := testHist.Count(); got != 7 {
+		t.Fatalf("count = %d, want 7", got)
+	}
+	if got := testHist.Sum(); math.Abs(got-17) > 1e-12 {
+		t.Fatalf("sum = %g, want 17", got)
+	}
+	if got, want := testHist.Bounds(), []float64{1, 2, 4}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("bounds = %v, want %v", got, want)
+	}
+}
+
+func TestHistogramConcurrentObserve(t *testing.T) {
+	withTelemetry(t, false, true)
+	const goroutines, per = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				testHist.Observe(1.5)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := testHist.Count(); got != goroutines*per {
+		t.Fatalf("count = %d, want %d", got, goroutines*per)
+	}
+	if got := testHist.Sum(); math.Abs(got-1.5*goroutines*per) > 1e-6 {
+		t.Fatalf("sum = %g, want %g", got, 1.5*goroutines*per)
+	}
+	if got := testHist.BucketCounts()[1]; got != goroutines*per {
+		t.Fatalf("bucket[1] = %d, want %d", got, goroutines*per)
+	}
+}
+
+func TestGaugeHighWaterMark(t *testing.T) {
+	withTelemetry(t, false, true)
+	testGauge.Add(3)
+	testGauge.Add(-1)
+	if v, m := testGauge.Value(), testGauge.Max(); v != 2 || m != 3 {
+		t.Fatalf("after Add: value=%d max=%d, want 2/3", v, m)
+	}
+	testGauge.Set(5)
+	testGauge.Set(1)
+	if v, m := testGauge.Value(), testGauge.Max(); v != 1 || m != 5 {
+		t.Fatalf("after Set: value=%d max=%d, want 1/5", v, m)
+	}
+}
+
+// TestMetricsDisabledDropUpdates: the gate must drop updates without
+// touching instrument state.
+func TestMetricsDisabledDropUpdates(t *testing.T) {
+	withTelemetry(t, false, false)
+	testCounter.Add(7)
+	testGauge.Add(7)
+	testHist.Observe(7)
+	if testCounter.Value() != 0 || testGauge.Value() != 0 || testGauge.Max() != 0 ||
+		testHist.Count() != 0 || testHist.Sum() != 0 {
+		t.Fatal("disabled instruments recorded updates")
+	}
+}
+
+func TestSnapshotMetrics(t *testing.T) {
+	withTelemetry(t, false, true)
+	testCounter.Add(2)
+	testGauge.Set(4)
+	testHist.Observe(1)
+	testHist.Observe(100)
+	d := obs.SnapshotMetrics()
+	if d.Counters["obstest.counter"] != 2 {
+		t.Fatalf("counter dump = %d, want 2", d.Counters["obstest.counter"])
+	}
+	if g := d.Gauges["obstest.gauge"]; g.Value != 4 || g.Max != 4 {
+		t.Fatalf("gauge dump = %+v, want value/max 4", g)
+	}
+	h := d.Histograms["obstest.hist"]
+	if h.Unit != "mm" || h.Count != 2 || h.Sum != 101 {
+		t.Fatalf("histogram dump = %+v", h)
+	}
+	if len(h.Buckets) != 4 {
+		t.Fatalf("histogram buckets = %d, want 4 (3 bounds + overflow)", len(h.Buckets))
+	}
+	if h.Buckets[0].Count != 1 || h.Buckets[3].Count != 1 {
+		t.Fatalf("bucket counts %+v, want first and overflow = 1", h.Buckets)
+	}
+	if h.Buckets[3].LE != "+Inf" {
+		t.Fatalf("overflow bucket LE = %v, want +Inf", h.Buckets[3].LE)
+	}
+}

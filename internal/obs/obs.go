@@ -1,0 +1,71 @@
+// Package obs is the zero-dependency observability layer of the
+// synthesis engine: hierarchical spans (wall-clock tracing of the four
+// synthesis steps and the analyses), a metrics registry (counters,
+// gauges, fixed-bucket histograms for solver, pool and cache
+// statistics), and log/slog-based structured logging with per-stage
+// levels.
+//
+// Telemetry never alters synthesis results: every instrumented code
+// path only reads engine state, and the determinism tests run with
+// telemetry on and off to prove bit-identical outputs (see
+// OBSERVABILITY.md).
+//
+// The default state is everything off, and the off path is built to
+// disappear inside hot loops: each subsystem is guarded by one atomic
+// flag, a disabled Start returns the caller's context and a nil *Span
+// whose methods are no-ops, and disabled Counter/Gauge/Histogram
+// operations return before touching memory. The disabled fast path
+// performs zero allocations (enforced by TestDisabledPathAllocs and the
+// benchmarks in bench_test.go).
+//
+// Enablement is programmatic (EnableTracing, EnableMetrics, SetLogSpec)
+// — the CLIs wire -trace/-metrics/-v/-log-level to these — or via the
+// XRING_OBS environment variable, a comma-separated subset of
+// {trace, metrics, all}, which CI uses to run the existing test suite
+// with telemetry enabled.
+package obs
+
+import (
+	"os"
+	"strings"
+	"sync/atomic"
+)
+
+var (
+	tracingOn atomic.Bool
+	metricsOn atomic.Bool
+)
+
+// EnableTracing switches span collection on or off. Spans started
+// while tracing was disabled stay no-ops.
+func EnableTracing(on bool) { tracingOn.Store(on) }
+
+// EnableMetrics switches the metrics registry on or off. Disabled
+// instruments drop updates without synchronization.
+func EnableMetrics(on bool) { metricsOn.Store(on) }
+
+// TracingEnabled reports whether spans are being collected.
+func TracingEnabled() bool { return tracingOn.Load() }
+
+// MetricsEnabled reports whether metric updates are being recorded.
+func MetricsEnabled() bool { return metricsOn.Load() }
+
+func init() {
+	// XRING_OBS=trace,metrics | all enables subsystems for runs that
+	// cannot reach the programmatic switches (CI re-runs the determinism
+	// suite under XRING_OBS=all).
+	for _, part := range strings.Split(os.Getenv("XRING_OBS"), ",") {
+		switch strings.TrimSpace(part) {
+		case "trace":
+			EnableTracing(true)
+		case "metrics":
+			EnableMetrics(true)
+		case "all":
+			EnableTracing(true)
+			EnableMetrics(true)
+		}
+	}
+	if spec := os.Getenv("XRING_LOG"); spec != "" {
+		_ = SetLogSpec(os.Stderr, spec)
+	}
+}

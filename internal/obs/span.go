@@ -1,0 +1,317 @@
+package obs
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Attr is one typed span attribute. Exactly one value field is
+// meaningful, selected by Kind; the constructors below are the only way
+// instrumented code builds attributes, which keeps the export format
+// closed.
+type Attr struct {
+	Key  string
+	Kind AttrKind
+	Str  string
+	Int  int64
+	F    float64
+	B    bool
+}
+
+// AttrKind discriminates Attr values.
+type AttrKind uint8
+
+// Attribute kinds.
+const (
+	KindString AttrKind = iota
+	KindInt
+	KindFloat
+	KindBool
+)
+
+// String builds a string attribute.
+func String(key, v string) Attr { return Attr{Key: key, Kind: KindString, Str: v} }
+
+// Int builds an integer attribute.
+func Int(key string, v int) Attr { return Attr{Key: key, Kind: KindInt, Int: int64(v)} }
+
+// Int64 builds an integer attribute from an int64.
+func Int64(key string, v int64) Attr { return Attr{Key: key, Kind: KindInt, Int: v} }
+
+// Float builds a float attribute.
+func Float(key string, v float64) Attr { return Attr{Key: key, Kind: KindFloat, F: v} }
+
+// Bool builds a boolean attribute.
+func Bool(key string, v bool) Attr { return Attr{Key: key, Kind: KindBool, B: v} }
+
+// value returns the attribute's dynamic value for export. Non-finite
+// floats (a noise-free design has SNR = +Inf) are not representable in
+// JSON and export as strings.
+func (a Attr) value() any {
+	switch a.Kind {
+	case KindInt:
+		return a.Int
+	case KindFloat:
+		switch {
+		case math.IsInf(a.F, 1):
+			return "+Inf"
+		case math.IsInf(a.F, -1):
+			return "-Inf"
+		case math.IsNaN(a.F):
+			return "NaN"
+		}
+		return a.F
+	case KindBool:
+		return a.B
+	default:
+		return a.Str
+	}
+}
+
+// Span is one live timed operation. A nil *Span (tracing disabled) is
+// valid: every method is a no-op, so call sites need no branches.
+type Span struct {
+	id     uint64
+	parent uint64
+	name   string
+	gid    uint64
+	start  time.Time
+	attrs  []Attr
+}
+
+// SpanRecord is one finished span as stored by the collector. Start
+// and Dur are nanoseconds; Start is relative to the trace epoch
+// (ResetTrace), which makes snapshots reproducible inputs for the
+// exporters.
+type SpanRecord struct {
+	ID        uint64 `json:"id"`
+	Parent    uint64 `json:"parent,omitempty"`
+	Name      string `json:"name"`
+	Goroutine uint64 `json:"goroutine"`
+	StartNS   int64  `json:"start_ns"`
+	DurNS     int64  `json:"dur_ns"`
+	Attrs     []Attr `json:"-"`
+}
+
+// maxSpans bounds collector memory; a placement search or a deep sweep
+// emits hundreds of spans, so the cap is far above normal use. Spans
+// beyond it are dropped and counted.
+const maxSpans = 1 << 20
+
+var tracer = struct {
+	sync.Mutex
+	epoch   time.Time
+	spans   []SpanRecord
+	dropped int64
+}{epoch: time.Now()}
+
+var nextSpanID atomic.Uint64
+
+type spanCtxKey struct{}
+
+// Start begins a span named name as a child of the span carried by ctx
+// (a root span when ctx carries none). It returns a derived context
+// carrying the new span and the span itself. With tracing disabled it
+// returns ctx unchanged and a nil span without allocating.
+func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
+	if !tracingOn.Load() {
+		return ctx, nil
+	}
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	var parent uint64
+	if p, ok := ctx.Value(spanCtxKey{}).(*Span); ok && p != nil {
+		parent = p.id
+	}
+	s := &Span{
+		id:     nextSpanID.Add(1),
+		parent: parent,
+		name:   name,
+		gid:    goroutineID(),
+		start:  time.Now(),
+	}
+	if len(attrs) > 0 {
+		s.attrs = append(s.attrs, attrs...)
+	}
+	return context.WithValue(ctx, spanCtxKey{}, s), s
+}
+
+// FromContext returns the span carried by ctx, or nil.
+func FromContext(ctx context.Context) *Span {
+	if ctx == nil {
+		return nil
+	}
+	s, _ := ctx.Value(spanCtxKey{}).(*Span)
+	return s
+}
+
+// Set appends attributes to the span. Attributes must be set by the
+// goroutine that owns the span, before End.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil {
+		return
+	}
+	s.attrs = append(s.attrs, attrs...)
+}
+
+// End finishes the span and hands it to the collector.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	end := time.Now()
+	tracer.Lock()
+	if len(tracer.spans) >= maxSpans {
+		tracer.dropped++
+		tracer.Unlock()
+		return
+	}
+	tracer.spans = append(tracer.spans, SpanRecord{
+		ID:        s.id,
+		Parent:    s.parent,
+		Name:      s.name,
+		Goroutine: s.gid,
+		StartNS:   s.start.Sub(tracer.epoch).Nanoseconds(),
+		DurNS:     end.Sub(s.start).Nanoseconds(),
+		Attrs:     s.attrs,
+	})
+	tracer.Unlock()
+}
+
+// ResetTrace clears collected spans and restarts the trace epoch.
+func ResetTrace() {
+	tracer.Lock()
+	tracer.spans = nil
+	tracer.dropped = 0
+	tracer.epoch = time.Now()
+	tracer.Unlock()
+}
+
+// TraceSnapshot returns a copy of the finished spans, ordered by start
+// time (ties by span ID), so concurrent collection order never leaks
+// into exports.
+func TraceSnapshot() []SpanRecord {
+	tracer.Lock()
+	out := append([]SpanRecord(nil), tracer.spans...)
+	tracer.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].StartNS != out[j].StartNS {
+			return out[i].StartNS < out[j].StartNS
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// attrMap renders attributes for JSON export; map keys marshal sorted,
+// keeping the output deterministic.
+func attrMap(attrs []Attr) map[string]any {
+	if len(attrs) == 0 {
+		return nil
+	}
+	m := make(map[string]any, len(attrs))
+	for _, a := range attrs {
+		m[a.Key] = a.value()
+	}
+	return m
+}
+
+// WriteTrace writes the collected spans as a JSON array of records
+// (the -trace FILE format when FILE does not end in .chrome.json).
+func WriteTrace(w io.Writer) error {
+	type rec struct {
+		SpanRecord
+		Attrs map[string]any `json:"attrs,omitempty"`
+	}
+	snap := TraceSnapshot()
+	out := make([]rec, len(snap))
+	for i, s := range snap {
+		out[i] = rec{SpanRecord: s, Attrs: attrMap(s.Attrs)}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ChromeTrace renders span records in Chrome trace_event format
+// (complete "X" events, microsecond timestamps), loadable in
+// chrome://tracing and Perfetto. It is a pure function of its input so
+// the golden-file test pins the exact format.
+func ChromeTrace(spans []SpanRecord) ([]byte, error) {
+	type event struct {
+		Name string         `json:"name"`
+		Ph   string         `json:"ph"`
+		TS   float64        `json:"ts"`
+		Dur  float64        `json:"dur"`
+		PID  int            `json:"pid"`
+		TID  uint64         `json:"tid"`
+		Args map[string]any `json:"args,omitempty"`
+	}
+	events := make([]event, 0, len(spans))
+	for _, s := range spans {
+		args := attrMap(s.Attrs)
+		if s.Parent != 0 {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["parent_span"] = s.Parent
+		}
+		if args == nil {
+			args = map[string]any{}
+		}
+		args["span"] = s.ID
+		events = append(events, event{
+			Name: s.Name,
+			Ph:   "X",
+			TS:   float64(s.StartNS) / 1e3,
+			Dur:  float64(s.DurNS) / 1e3,
+			PID:  1,
+			TID:  s.Goroutine,
+			Args: args,
+		})
+	}
+	return json.MarshalIndent(struct {
+		TraceEvents []event `json:"traceEvents"`
+	}{events}, "", "  ")
+}
+
+// WriteChromeTrace writes the current snapshot in Chrome trace_event
+// format.
+func WriteChromeTrace(w io.Writer) error {
+	b, err := ChromeTrace(TraceSnapshot())
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	_, err = w.Write(b)
+	return err
+}
+
+// goroutineID parses the current goroutine's ID out of its stack
+// header ("goroutine N [..."). Only the enabled tracing path pays for
+// it; span timing, not identity, is the hot signal.
+func goroutineID() uint64 {
+	buf := make([]byte, 64)
+	n := runtime.Stack(buf, false)
+	buf = buf[:n]
+	const prefix = "goroutine "
+	if len(buf) <= len(prefix) {
+		return 0
+	}
+	var id uint64
+	for _, c := range buf[len(prefix):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		id = id*10 + uint64(c-'0')
+	}
+	return id
+}

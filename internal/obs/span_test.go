@@ -1,0 +1,200 @@
+package obs_test
+
+import (
+	"context"
+	"fmt"
+	"testing"
+
+	"xring/internal/obs"
+	"xring/internal/parallel"
+)
+
+// withTelemetry puts the global switches into a known state for the
+// test and restores the previous state afterwards, so the suite passes
+// whether or not XRING_OBS pre-enabled telemetry (the CI run does).
+func withTelemetry(t *testing.T, trace, metrics bool) {
+	t.Helper()
+	prevT, prevM := obs.TracingEnabled(), obs.MetricsEnabled()
+	obs.EnableTracing(trace)
+	obs.EnableMetrics(metrics)
+	obs.ResetTrace()
+	obs.ResetMetrics()
+	t.Cleanup(func() {
+		obs.EnableTracing(prevT)
+		obs.EnableMetrics(prevM)
+		obs.ResetTrace()
+		obs.ResetMetrics()
+	})
+}
+
+// attrInt extracts an integer attribute from a span record.
+func attrInt(s obs.SpanRecord, key string) (int64, bool) {
+	for _, a := range s.Attrs {
+		if a.Key == key && a.Kind == obs.KindInt {
+			return a.Int, true
+		}
+	}
+	return 0, false
+}
+
+// TestSpanTreeConcurrentFanOut checks that parent links survive a
+// concurrent fan-out: every task span must point at the root span and
+// every leaf span at its own task span, regardless of how many workers
+// the pool interleaves.
+func TestSpanTreeConcurrentFanOut(t *testing.T) {
+	const tasks = 16
+	for _, workers := range []int{1, 2, 8} {
+		t.Run(fmt.Sprintf("workers=%d", workers), func(t *testing.T) {
+			withTelemetry(t, true, false)
+			parallel.SetWorkers(workers)
+			t.Cleanup(func() { parallel.SetWorkers(0) })
+
+			ctx, root := obs.Start(context.Background(), "root")
+			err := parallel.ForEach(ctx, tasks, func(i int) error {
+				cctx, task := obs.Start(ctx, "task", obs.Int("i", i))
+				_, leaf := obs.Start(cctx, "leaf", obs.Int("i", i))
+				leaf.End()
+				task.End()
+				return nil
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			root.End()
+
+			snap := obs.TraceSnapshot()
+			if len(snap) != 1+2*tasks {
+				t.Fatalf("got %d spans, want %d", len(snap), 1+2*tasks)
+			}
+			var rootID uint64
+			taskByI := map[int64]obs.SpanRecord{}
+			for _, s := range snap {
+				if s.Name == "root" {
+					if rootID != 0 {
+						t.Fatal("duplicate root span")
+					}
+					rootID = s.ID
+				}
+			}
+			if rootID == 0 {
+				t.Fatal("root span missing")
+			}
+			for _, s := range snap {
+				if s.Name != "task" {
+					continue
+				}
+				if s.Parent != rootID {
+					t.Fatalf("task span %d has parent %d, want root %d", s.ID, s.Parent, rootID)
+				}
+				i, ok := attrInt(s, "i")
+				if !ok {
+					t.Fatalf("task span %d lost its i attribute", s.ID)
+				}
+				if _, dup := taskByI[i]; dup {
+					t.Fatalf("two task spans for i=%d", i)
+				}
+				taskByI[i] = s
+			}
+			if len(taskByI) != tasks {
+				t.Fatalf("got %d task spans, want %d", len(taskByI), tasks)
+			}
+			leaves := 0
+			for _, s := range snap {
+				if s.Name != "leaf" {
+					continue
+				}
+				leaves++
+				i, ok := attrInt(s, "i")
+				if !ok {
+					t.Fatalf("leaf span %d lost its i attribute", s.ID)
+				}
+				if want := taskByI[i].ID; s.Parent != want {
+					t.Fatalf("leaf for i=%d has parent %d, want its task %d", i, s.Parent, want)
+				}
+				if s.Goroutine != taskByI[i].Goroutine {
+					t.Fatalf("leaf for i=%d ran on goroutine %d, its task on %d",
+						i, s.Goroutine, taskByI[i].Goroutine)
+				}
+			}
+			if leaves != tasks {
+				t.Fatalf("got %d leaf spans, want %d", leaves, tasks)
+			}
+		})
+	}
+}
+
+func TestSpanDurations(t *testing.T) {
+	withTelemetry(t, true, false)
+	ctx, outer := obs.Start(context.Background(), "outer")
+	_, inner := obs.Start(ctx, "inner")
+	inner.End()
+	outer.End()
+	snap := obs.TraceSnapshot()
+	if len(snap) != 2 {
+		t.Fatalf("got %d spans, want 2", len(snap))
+	}
+	// Snapshot order is by start time: outer first.
+	if snap[0].Name != "outer" || snap[1].Name != "inner" {
+		t.Fatalf("snapshot order %q, %q", snap[0].Name, snap[1].Name)
+	}
+	if snap[0].DurNS < snap[1].DurNS {
+		t.Fatalf("outer (%d ns) shorter than nested inner (%d ns)", snap[0].DurNS, snap[1].DurNS)
+	}
+	if snap[1].StartNS < snap[0].StartNS {
+		t.Fatal("inner started before outer")
+	}
+}
+
+// TestDisabledSpansCollectNothing pins the contract the hot paths rely
+// on: with tracing off, Start returns the caller's context unchanged
+// and a nil span, and nothing reaches the collector.
+func TestDisabledSpansCollectNothing(t *testing.T) {
+	withTelemetry(t, false, false)
+	ctx := context.Background()
+	ctx2, s := obs.Start(ctx, "off", obs.Int("i", 1))
+	if ctx2 != ctx {
+		t.Fatal("disabled Start must return the caller's context unchanged")
+	}
+	if s != nil {
+		t.Fatal("disabled Start must return a nil span")
+	}
+	s.Set(obs.Float("f", 1))
+	s.End()
+	if got := obs.FromContext(ctx2); got != nil {
+		t.Fatalf("FromContext = %v, want nil", got)
+	}
+	if snap := obs.TraceSnapshot(); len(snap) != 0 {
+		t.Fatalf("collector has %d spans, want 0", len(snap))
+	}
+}
+
+// TestDisabledPathAllocs proves the acceptance criterion: the disabled
+// telemetry path performs zero allocations.
+func TestDisabledPathAllocs(t *testing.T) {
+	withTelemetry(t, false, false)
+	ctx := context.Background()
+	if n := testing.AllocsPerRun(200, func() {
+		sctx, s := obs.Start(ctx, "hot", obs.Int("i", 3), obs.Float("f", 1.5))
+		_ = sctx
+		s.Set(obs.Bool("ok", true))
+		s.End()
+	}); n != 0 {
+		t.Fatalf("disabled span path allocates %.1f objects/op, want 0", n)
+	}
+	if n := testing.AllocsPerRun(200, func() {
+		allocCounter.Inc()
+		allocGauge.Add(1)
+		allocGauge.Add(-1)
+		allocHist.Observe(3.5)
+	}); n != 0 {
+		t.Fatalf("disabled metrics path allocates %.1f objects/op, want 0", n)
+	}
+}
+
+// Instruments for the allocation and benchmark tests; registered once
+// at package init (duplicate registration panics).
+var (
+	allocCounter = obs.NewCounter("obstest.alloc.counter")
+	allocGauge   = obs.NewGauge("obstest.alloc.gauge")
+	allocHist    = obs.NewHistogram("obstest.alloc.hist", "ms", []float64{1, 2, 4, 8})
+)

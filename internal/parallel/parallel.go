@@ -27,6 +27,22 @@ import (
 	"runtime"
 	"sync"
 	"sync/atomic"
+
+	"xring/internal/obs"
+)
+
+// Pool telemetry (all updates gated on the obs metrics flag):
+// fan-outs issued, tasks executed, worker-token borrows, the number of
+// goroutines concurrently inside a fan-out (caller + borrowed workers;
+// the Max is the pool's realized parallelism), and the free-token level
+// (the "queue depth" of the token budget — 0 free means further nested
+// fan-outs degrade to serial).
+var (
+	mFanouts    = obs.NewCounter("parallel.fanouts")
+	mTasks      = obs.NewCounter("parallel.tasks")
+	mBorrows    = obs.NewCounter("parallel.borrows")
+	mBusy       = obs.NewGauge("parallel.workers.busy")
+	mTokensFree = obs.NewGauge("parallel.tokens.free")
 )
 
 // tokens is the global borrowable-worker budget. A fan-out borrows
@@ -42,14 +58,14 @@ func init() {
 	SetWorkers(runtime.GOMAXPROCS(0))
 }
 
-// SetWorkers resizes the shared worker budget to n (minimum 1, meaning
-// no extra workers: every fan-out runs serially on its caller). It is
-// intended for benchmarks and tests that compare serial and parallel
-// execution; flipping it while fan-outs are in flight only affects
-// future borrows.
+// SetWorkers resizes the shared worker budget to n; n == 1 means no
+// extra workers (every fan-out runs serially on its caller) and n <= 0
+// restores the GOMAXPROCS-sized default pool. It is intended for
+// benchmarks and tests that compare serial and parallel execution;
+// flipping it while fan-outs are in flight only affects future borrows.
 func SetWorkers(n int) {
 	if n < 1 {
-		n = 1
+		n = runtime.GOMAXPROCS(0)
 	}
 	c := make(chan struct{}, n-1)
 	for i := 0; i < n-1; i++ {
@@ -76,6 +92,8 @@ func borrow() chan struct{} {
 	tokenMu.Unlock()
 	select {
 	case <-c:
+		mBorrows.Inc()
+		mTokensFree.Set(int64(len(c)))
 		return c
 	default:
 		return nil
@@ -93,6 +111,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
 		return nil
 	}
+	mFanouts.Inc()
 	var (
 		next    atomic.Int64 // next task index to claim
 		stopped atomic.Bool  // set on error or cancellation
@@ -109,6 +128,8 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		stopped.Store(true)
 	}
 	run := func() {
+		mBusy.Add(1)
+		defer mBusy.Add(-1)
 		for {
 			if stopped.Load() {
 				return
@@ -123,6 +144,7 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 			if i >= n {
 				return
 			}
+			mTasks.Inc()
 			if err := fn(i); err != nil {
 				fail(i, err)
 				return
@@ -140,7 +162,10 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		wg.Add(1)
 		go func(c chan struct{}) {
 			defer wg.Done()
-			defer func() { c <- struct{}{} }()
+			defer func() {
+				c <- struct{}{}
+				mTokensFree.Set(int64(len(c)))
+			}()
 			run()
 		}(c)
 	}

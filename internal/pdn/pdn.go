@@ -28,9 +28,31 @@ import (
 	"math"
 	"sort"
 
+	"xring/internal/obs"
 	"xring/internal/phys"
 	"xring/internal/router"
 )
+
+// Step-4 telemetry: PDN builds by kind, ring crossings created (always
+// zero for the tree PDN) and the wire-length distribution per plan.
+var (
+	mTreeBuilds   = obs.NewCounter("pdn.builds.tree")
+	mCombBuilds   = obs.NewCounter("pdn.builds.comb")
+	mCrossings    = obs.NewCounter("pdn.crossings_added")
+	mWireLengthMM = obs.NewHistogram("pdn.wire_length_mm", "mm",
+		[]float64{10, 25, 50, 100, 200, 400, 800})
+)
+
+// record posts a finished plan's telemetry.
+func (p *Plan) record() {
+	if p.Kind == Tree {
+		mTreeBuilds.Inc()
+	} else {
+		mCombBuilds.Inc()
+	}
+	mCrossings.Add(int64(p.CrossingsAdded))
+	mWireLengthMM.Observe(p.WireLength)
+}
 
 // Kind distinguishes the two PDN designs.
 type Kind int
@@ -125,6 +147,7 @@ func BuildTree(d *router.Design) (*Plan, error) {
 		return nil, err
 	}
 	addGlobalTrunk(d, p)
+	p.record()
 	return p, nil
 }
 
@@ -188,6 +211,7 @@ func BuildComb(d *router.Design) (*Plan, error) {
 		return nil, err
 	}
 	addGlobalTrunk(d, p)
+	p.record()
 	return p, nil
 }
 

@@ -18,6 +18,7 @@
 package placement
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -25,7 +26,16 @@ import (
 	"xring/internal/core"
 	"xring/internal/geom"
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/parallel"
+)
+
+// Search telemetry: proposals drawn and evaluated, moves accepted, and
+// proposals rejected by the spacing check before evaluation.
+var (
+	mProposals      = obs.NewCounter("placement.proposals")
+	mAccepted       = obs.NewCounter("placement.accepted")
+	mSpacingRejects = obs.NewCounter("placement.spacing_rejects")
 )
 
 // Objective selects what the optimizer minimizes.
@@ -97,6 +107,14 @@ type proposal struct {
 // network (a copy — the input is untouched), the synthesis result at
 // the final placement, and the trace.
 func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace, error) {
+	return OptimizeCtx(context.Background(), net, opt)
+}
+
+// OptimizeCtx is Optimize under a context: trace spans nest beneath the
+// caller's span, cancellation stops the search between rounds (the
+// incumbent so far is abandoned and the context error returned), and
+// the context propagates into every inner synthesis.
+func OptimizeCtx(ctx context.Context, net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace, error) {
 	if opt.Iterations == 0 {
 		opt.Iterations = 100
 	}
@@ -115,7 +133,12 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 	cur := cloneNetwork(net)
 	rng := rand.New(rand.NewSource(opt.Seed))
 
-	best, err := core.Synthesize(cur, opt.Synth)
+	ctx, span := obs.Start(ctx, "placement.optimize",
+		obs.Int("nodes", net.N()), obs.Int("iterations", opt.Iterations),
+		obs.String("objective", opt.Objective.String()))
+	defer span.End()
+
+	best, err := core.SynthesizeCtx(ctx, cur, opt.Synth)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("placement: initial synthesis: %w", err)
 	}
@@ -123,6 +146,11 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 	trace := &Trace{Initial: score, Evaluated: 1}
 
 	for it := 0; it < opt.Iterations; {
+		if ctx != nil {
+			if err := ctx.Err(); err != nil {
+				return nil, nil, nil, err
+			}
+		}
 		round := opt.ProposalsPerRound
 		if it+round > opt.Iterations {
 			round = opt.Iterations - it
@@ -141,16 +169,20 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 			p.X = clamp(p.X+dx, opt.MarginMM, cur.DieW-opt.MarginMM)
 			p.Y = clamp(p.Y+dy, opt.MarginMM, cur.DieH-opt.MarginMM)
 			if !spacedEnoughAt(cur, node, p, opt.MinSpacingMM) {
+				mSpacingRejects.Inc()
 				continue
 			}
 			props = append(props, proposal{node: node, to: p})
 		}
 		trace.Evaluated += len(props)
+		mProposals.Add(int64(len(props)))
 
+		rctx, rspan := obs.Start(ctx, "placement.round",
+			obs.Int("iteration", it), obs.Int("proposals", len(props)))
 		evalOne := func(k int) *core.Result {
 			cand := cloneNetwork(cur)
 			cand.Nodes[props[k].node].Pos = props[k].to
-			res, err := core.Synthesize(cand, opt.Synth)
+			res, err := core.SynthesizeCtx(rctx, cand, opt.Synth)
 			if err != nil {
 				return nil // infeasible placement; reject the move
 			}
@@ -162,7 +194,7 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 				evals[k] = evalOne(k)
 			}
 		} else {
-			_ = parallel.ForEach(nil, len(props), func(k int) error {
+			_ = parallel.ForEach(rctx, len(props), func(k int) error {
 				evals[k] = evalOne(k)
 				return nil
 			})
@@ -192,10 +224,15 @@ func Optimize(net *noc.Network, opt Options) (*noc.Network, *core.Result, *Trace
 			cur = next
 			best = evals[bestK]
 			score = bestS
+			mAccepted.Inc()
 		}
+		rspan.Set(obs.Bool("accepted", bestK >= 0), obs.Float("score", score))
+		rspan.End()
 		it += round
 	}
 	trace.Final = score
+	span.Set(obs.Float("initial", trace.Initial), obs.Float("final", trace.Final),
+		obs.Int("moves", len(trace.Moves)))
 	return cur, best, trace, nil
 }
 

@@ -21,6 +21,7 @@
 package ring
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -30,7 +31,20 @@ import (
 	"xring/internal/geom"
 	"xring/internal/milp"
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/parallel"
+)
+
+// Step-1 telemetry: branch-and-bound nodes visited and pruned (bound
+// cuts plus infeasible relaxations), incumbent improvements, and the
+// Eq. (3) conflict-pair count per instance. The B&B counts accumulate
+// in the solver state and post once per solve, so the recursion itself
+// carries no atomics.
+var (
+	mBBNodes       = obs.NewCounter("ring.bb.nodes")
+	mBBPruned      = obs.NewCounter("ring.bb.pruned")
+	mBBIncumbents  = obs.NewCounter("ring.bb.incumbents")
+	mConflictPairs = obs.NewCounter("ring.conflict.pairs")
 )
 
 // Result is the outcome of ring construction.
@@ -114,12 +128,15 @@ func buildConflicts(net *noc.Network) *conflictTable {
 		}
 		return local, nil
 	})
+	pairs := 0
 	for _, local := range found {
+		pairs += len(local)
 		for _, p := range local {
 			ct.conflict[[2]edgeKey{p[0], p[1]}] = true
 			ct.conflict[[2]edgeKey{p[1], p[0]}] = true
 		}
 	}
+	mConflictPairs.Add(int64(pairs))
 	return ct
 }
 
@@ -131,6 +148,13 @@ func (ct *conflictTable) conflicts(e, f edgeKey) bool {
 // branch-and-bound. It returns the merged single tour, the per-edge
 // L-orders, and solve statistics.
 func Construct(net *noc.Network, opt Options) (*Result, error) {
+	return ConstructCtx(context.Background(), net, opt)
+}
+
+// ConstructCtx is Construct under a context: spans nest beneath the
+// caller's trace (ctx is otherwise unused — the solve itself is not
+// cancellable mid-search, MaxNodes bounds it instead).
+func ConstructCtx(ctx context.Context, net *noc.Network, opt Options) (*Result, error) {
 	n := net.N()
 	if n < 3 {
 		return nil, fmt.Errorf("ring: need at least 3 nodes, have %d", n)
@@ -138,17 +162,29 @@ func Construct(net *noc.Network, opt Options) (*Result, error) {
 	if err := net.Validate(); err != nil {
 		return nil, err
 	}
+	ctx, span := obs.Start(ctx, "ring.construct", obs.Int("nodes", n))
+	defer span.End()
+
+	_, cspan := obs.Start(ctx, "ring.conflicts")
 	ct := buildConflicts(net)
+	cspan.Set(obs.Int("pairs", len(ct.conflict)/2))
+	cspan.End()
 	if opt.DisableConflicts {
 		ct.conflict = map[[2]edgeKey]bool{}
 	}
 
+	_, sspan := obs.Start(ctx, "ring.solve")
 	succ, objective, nodes, optimal, err := solveAssignmentBB(net, ct, opt)
+	sspan.Set(obs.Int("bb_nodes", nodes), obs.Bool("optimal", optimal))
+	sspan.End()
 	if err != nil {
 		return nil, err
 	}
+	_, mspan := obs.Start(ctx, "ring.merge")
 	cycles := extractCycles(succ)
 	tour, err := mergeCycles(net, ct, cycles)
+	mspan.Set(obs.Int("subcycles", len(cycles)))
+	mspan.End()
 	if err != nil {
 		return nil, err
 	}
@@ -156,6 +192,8 @@ func Construct(net *noc.Network, opt Options) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	span.Set(obs.Int("bb_nodes", nodes), obs.Int("subcycles", len(cycles)),
+		obs.Bool("optimal", optimal))
 	return &Result{
 		Tour:           tour,
 		Orders:         orders,
@@ -285,6 +323,9 @@ type bbState struct {
 	bestSucc []int
 	nodes    int
 	maxNodes int
+	// Telemetry tallies (posted to the obs registry once per solve).
+	pruned     int // bound cuts + infeasible relaxations
+	incumbents int // times a new best assignment was adopted
 }
 
 func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ []int, objective float64, nodes int, optimal bool, err error) {
@@ -318,6 +359,9 @@ func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ [
 		}
 	}
 	st.search(cost)
+	mBBNodes.Add(int64(st.nodes))
+	mBBPruned.Add(int64(st.pruned))
+	mBBIncumbents.Add(int64(st.incumbents))
 	if st.bestSucc == nil {
 		return nil, 0, st.nodes, false, errors.New("ring: no feasible assignment found (conflict constraints unsatisfiable)")
 	}
@@ -380,15 +424,18 @@ func (st *bbState) search(cost [][]float64) {
 	}
 	succ, total, err := assign.Solve(cost)
 	if err != nil {
+		st.pruned++
 		return // infeasible branch
 	}
 	if total >= st.best-1e-9 {
+		st.pruned++
 		return // bound
 	}
 	kind, data, ok := st.firstViolation(succ)
 	if ok {
 		st.best = total
 		st.bestSucc = append([]int(nil), succ...)
+		st.incumbents++
 		return
 	}
 	switch kind {

@@ -26,7 +26,20 @@ import (
 
 	"xring/internal/geom"
 	"xring/internal/noc"
+	"xring/internal/obs"
 	"xring/internal/router"
+)
+
+// Step-2 telemetry: candidate gains offered vs accepted under the
+// one-per-node and one-crossing rules, CSE merges, and the distribution
+// of accepted gains (mm of ring path saved per shortcut).
+var (
+	mCandidates = obs.NewCounter("shortcut.candidates")
+	mAccepted   = obs.NewCounter("shortcut.accepted")
+	mRejected   = obs.NewCounter("shortcut.rejected")
+	mCSEMerged  = obs.NewCounter("shortcut.cse_merged")
+	mGainMM     = obs.NewHistogram("shortcut.gain_mm", "mm",
+		[]float64{0.5, 1, 2, 4, 8, 16, 32, 64})
 )
 
 // Candidate is a feasible shortcut option between two nodes.
@@ -151,11 +164,13 @@ func Construct(d *router.Design, opt Options) error {
 		return nil
 	}
 	cands := Collect(d, opt.Traffic)
+	mCandidates.Add(int64(len(cands)))
 	used := map[int]bool{} // node -> has a shortcut
 	var selected []*router.Shortcut
 
 	for _, c := range cands {
 		if used[c.A] || used[c.B] {
+			mRejected.Inc()
 			continue
 		}
 		// Choose the orientation that crosses the fewest selected
@@ -190,14 +205,18 @@ func Construct(d *router.Design, opt Options) error {
 			}
 		}
 		if bestPath == nil {
+			mRejected.Inc()
 			continue
 		}
 		sc := &router.Shortcut{A: c.A, B: c.B, PathAB: bestPath, Partner: bestPartner}
 		if bestPartner != -1 {
 			selected[bestPartner].Partner = len(selected)
+			mCSEMerged.Inc()
 		}
 		selected = append(selected, sc)
 		used[c.A], used[c.B] = true, true
+		mAccepted.Inc()
+		mGainMM.Observe(c.Gain)
 	}
 	d.Shortcuts = selected
 	return nil
