@@ -1,0 +1,130 @@
+package main
+
+// Load mode: drive a running xringd instance with a concurrent mixed
+// workload through the service client, then report client-side latency
+// percentiles next to the server's own admission/cache counters. This
+// is the ops-facing complement of the synthesis tables: it answers
+// "what does this daemon do under N concurrent requests" — how much
+// load the content-addressed cache and singleflight dedup absorb, and
+// how often admission control pushed back.
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"xring/internal/service"
+	"xring/internal/service/client"
+)
+
+// loadConfig is the -load* flag bundle.
+type loadConfig struct {
+	base  string // xringd base URL
+	total int    // requests to send
+	conc  int    // concurrent senders
+	nodes int    // floorplan size (standard grids)
+}
+
+// loadVariants builds the mixed request set: four distinct #wl budgets
+// on the standard n-node floorplan, so concurrent senders collide on
+// identical requests often enough to exercise dedup and caching.
+func loadVariants(n int) []*service.Request {
+	budgets := []int{n / 2, n/2 + 1, n - 2, n - 1}
+	var reqs []*service.Request
+	seen := map[int]bool{}
+	for _, wl := range budgets {
+		if wl < 1 || wl > n || seen[wl] {
+			continue
+		}
+		seen[wl] = true
+		reqs = append(reqs, &service.Request{
+			Network: service.NetworkSpec{Standard: n},
+			Options: service.OptionsSpec{MaxWL: wl},
+		})
+	}
+	return reqs
+}
+
+func runLoad(w io.Writer, cfg loadConfig) error {
+	ctx := context.Background()
+	c := client.New(cfg.base, nil)
+	if err := c.Ready(ctx); err != nil {
+		return fmt.Errorf("xringd at %s is not ready: %w", cfg.base, err)
+	}
+	before, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+	variants := loadVariants(cfg.nodes)
+
+	type sample struct {
+		lat    time.Duration
+		source string
+		err    error
+	}
+	samples := make([]sample, cfg.total)
+	sem := make(chan struct{}, cfg.conc)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for i := 0; i < cfg.total; i++ {
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			start := time.Now()
+			resp, err := c.Synthesize(ctx, variants[i%len(variants)])
+			s := sample{lat: time.Since(start), err: err}
+			if err == nil {
+				s.source = resp.Source
+			}
+			samples[i] = s
+		}(i)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	after, err := c.Stats(ctx)
+	if err != nil {
+		return err
+	}
+
+	var lats []time.Duration
+	sources := map[string]int{}
+	failures := 0
+	for _, s := range samples {
+		if s.err != nil {
+			failures++
+			continue
+		}
+		lats = append(lats, s.lat)
+		sources[s.source]++
+	}
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	pct := func(p float64) time.Duration {
+		if len(lats) == 0 {
+			return 0
+		}
+		i := int(p * float64(len(lats)-1))
+		return lats[i]
+	}
+
+	fmt.Fprintf(w, "xringd load: %d requests x %d concurrent against %s (%d-node floorplans, %d variants)\n",
+		cfg.total, cfg.conc, cfg.base, cfg.nodes, len(variants))
+	fmt.Fprintf(w, "  wall time        %v\n", wall.Round(time.Millisecond))
+	fmt.Fprintf(w, "  ok / failed      %d / %d\n", len(lats), failures)
+	fmt.Fprintf(w, "  latency p50/p90/p99  %v / %v / %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "  sources          synthesized %d, dedup %d, cache %d\n",
+		sources["synthesized"], sources["dedup"], sources["cache"])
+	fmt.Fprintf(w, "  server counters  +%d requests, +%d synthesized, +%d cache hits, +%d dedup hits, +%d rejected\n",
+		after.Requests-before.Requests, after.Synthesized-before.Synthesized,
+		after.CacheHits-before.CacheHits, after.DedupHits-before.DedupHits,
+		after.Rejected-before.Rejected)
+	if failures > 0 {
+		return fmt.Errorf("%d/%d load requests failed", failures, cfg.total)
+	}
+	return nil
+}

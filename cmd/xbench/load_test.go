@@ -1,0 +1,58 @@
+package main
+
+import (
+	"context"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"xring/internal/service"
+)
+
+func TestRunLoadAgainstInProcessService(t *testing.T) {
+	s := service.New(service.Config{QueueDepth: 4, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	defer func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	}()
+
+	var out strings.Builder
+	if err := runLoad(&out, loadConfig{base: ts.URL, total: 12, conc: 4, nodes: 8}); err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"ok / failed      12 / 0", "latency p50/p90/p99", "server counters"} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	if st := s.Stats(); st.CacheHits+st.DedupHits == 0 {
+		t.Error("mixed load produced no cache or dedup hits")
+	}
+}
+
+func TestLoadVariantsFeasibleBudgets(t *testing.T) {
+	for _, n := range []int{8, 16, 32} {
+		vs := loadVariants(n)
+		if len(vs) == 0 {
+			t.Fatalf("no variants for %d nodes", n)
+		}
+		seen := map[int]bool{}
+		for _, v := range vs {
+			wl := v.Options.MaxWL
+			if wl < 1 || wl > n {
+				t.Errorf("n=%d: budget %d out of range", n, wl)
+			}
+			if seen[wl] {
+				t.Errorf("n=%d: duplicate budget %d", n, wl)
+			}
+			seen[wl] = true
+		}
+	}
+}

@@ -15,6 +15,7 @@
 //	xbench -ablation   # ablation study only
 //	xbench -serial     # force sequential evaluation (one worker)
 //	xbench -json F     # write a serial-vs-parallel timing report to F
+//	xbench -load URL   # drive a running xringd with a concurrent workload
 package main
 
 import (
@@ -81,6 +82,10 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print the full #wl sweep curve for the 16-node XRing instead of the tables")
 	serial := flag.Bool("serial", false, "evaluate everything sequentially on one worker (baseline for -json)")
 	jsonOut := flag.String("json", "", "benchmark serial vs parallel passes and write the report to this file")
+	loadURL := flag.String("load", "", "drive a running xringd at this base URL with a mixed concurrent workload")
+	loadN := flag.Int("load-n", 32, "total requests to send in -load mode")
+	loadC := flag.Int("load-c", 8, "concurrent senders in -load mode")
+	loadNodes := flag.Int("load-nodes", 8, "floorplan size for -load mode requests (8, 16 or 32)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -101,6 +106,15 @@ func main() {
 		parallel.SetWorkers(1)
 	}
 
+	if *loadURL != "" {
+		if err := runLoad(os.Stdout, loadConfig{
+			base: *loadURL, total: *loadN, conc: *loadC, nodes: *loadNodes,
+		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *jsonOut != "" {
 		if err := runJSONBench(*jsonOut); err != nil {
 			fmt.Fprintln(os.Stderr, err)

@@ -1,0 +1,120 @@
+// Command xringd serves the xring synthesis engine as a long-running
+// daemon: an HTTP JSON API with admission control (bounded job queue,
+// 429 + Retry-After under overload), content-addressed result caching,
+// singleflight deduplication of identical concurrent requests, and
+// per-job progress streaming over SSE. See SERVICE.md for the API
+// contract and examples.
+//
+// Usage:
+//
+//	xringd                          # serve on :8418
+//	xringd -addr :9000 -workers 4   # custom listen address and parallelism
+//	xringd -queue 16 -cache 512     # admission queue depth, result cache size
+//	xringd -deadline 2m             # default per-request synthesis deadline
+//
+// Shutdown: SIGINT/SIGTERM starts a graceful drain — new submissions
+// are rejected with 503 (and /readyz flips, so load balancers stop
+// routing here) while every admitted job runs to completion, bounded
+// by -drain-timeout.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"xring/internal/obs"
+	"xring/internal/service"
+)
+
+func main() {
+	addr := flag.String("addr", ":8418", "listen address")
+	queue := flag.Int("queue", 64, "admission queue depth (queued-not-running jobs; overflow gets 429)")
+	workers := flag.Int("workers", 2, "concurrent synthesis jobs (each fans out on the shared worker pool)")
+	cache := flag.Int("cache", 256, "result cache entries (0 default, negative disables)")
+	deadline := flag.Duration("deadline", 0, "default per-request synthesis deadline (0 = none)")
+	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to finish admitted jobs at shutdown")
+	obsFlags := obs.BindFlags(flag.CommandLine)
+	flag.Parse()
+
+	if err := run(*addr, service.Config{
+		QueueDepth:      *queue,
+		Workers:         *workers,
+		CacheEntries:    *cache,
+		DefaultDeadline: *deadline,
+	}, *drainTimeout, obsFlags); err != nil {
+		fmt.Fprintln(os.Stderr, "xringd:", err)
+		os.Exit(1)
+	}
+}
+
+func run(addr string, cfg service.Config, drainTimeout time.Duration, obsFlags *obs.Flags) error {
+	flushObs, err := obsFlags.Activate(os.Stderr)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if ferr := flushObs(); ferr != nil {
+			fmt.Fprintln(os.Stderr, "xringd:", ferr)
+		}
+	}()
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "xringd: serving on %s\n", ln.Addr())
+	return serve(ln, cfg, drainTimeout)
+}
+
+// serve runs the service on ln until SIGINT/SIGTERM, then drains:
+// admitted jobs finish (bounded by drainTimeout) before the listener
+// closes. Split from run so tests can drive it on an ephemeral port.
+func serve(ln net.Listener, cfg service.Config, drainTimeout time.Duration) error {
+	logger := obs.Logger("service")
+	svc := service.New(cfg)
+	httpServer := &http.Server{Handler: svc.Handler()}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- httpServer.Serve(ln) }()
+	logger.Info("serving", "addr", ln.Addr().String(), "queue", cfg.QueueDepth, "workers", cfg.Workers)
+
+	select {
+	case err := <-serveErr:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills the process the default way
+
+	// Drain first: /readyz flips and new submissions get 503 while the
+	// admitted jobs finish, then stop the HTTP listener.
+	fmt.Fprintln(os.Stderr, "xringd: draining...")
+	logger.Info("draining", "timeout", drainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), drainTimeout)
+	defer cancel()
+	if err := svc.Drain(drainCtx); err != nil {
+		logger.Warn("drain incomplete", "err", err)
+		fmt.Fprintln(os.Stderr, "xringd:", err)
+	}
+	if err := httpServer.Shutdown(drainCtx); err != nil {
+		return fmt.Errorf("http shutdown: %w", err)
+	}
+	if err := <-serveErr; !errors.Is(err, http.ErrServerClosed) {
+		return err
+	}
+	st := svc.Stats()
+	logger.Info("stopped", "requests", st.Requests, "synthesized", st.Synthesized,
+		"cacheHits", st.CacheHits, "dedupHits", st.DedupHits)
+	fmt.Fprintf(os.Stderr, "xringd: stopped (requests %d, synthesized %d, cache hits %d, dedup hits %d)\n",
+		st.Requests, st.Synthesized, st.CacheHits, st.DedupHits)
+	return nil
+}

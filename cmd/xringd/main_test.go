@@ -1,0 +1,116 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net"
+	"net/http"
+	"os"
+	"syscall"
+	"testing"
+	"time"
+
+	"xring/internal/service"
+)
+
+// TestSigtermDrainsInFlightJobs drives the daemon's signal path end to
+// end: a request is mid-synthesis when SIGTERM arrives, and it must
+// still complete with a 200 — zero dropped in-flight jobs — before the
+// process stops serving.
+func TestSigtermDrainsInFlightJobs(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := "http://" + ln.Addr().String()
+
+	serveDone := make(chan error, 1)
+	go func() {
+		serveDone <- serve(ln, service.Config{Workers: 1}, 30*time.Second)
+	}()
+
+	// Wait for the server to come up.
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/readyz")
+		if err != nil {
+			return false
+		}
+		io.Copy(io.Discard, resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode == http.StatusOK
+	})
+
+	// Submit a synchronous request; it runs the real engine on a tiny
+	// floorplan, so it can be in flight when the signal lands.
+	body, err := json.Marshal(map[string]any{
+		"network": map[string]any{"nodes": []map[string]any{
+			{"id": 0, "x": 0, "y": 0},
+			{"id": 1, "x": 2.5, "y": 0},
+			{"id": 2, "x": 0, "y": 2.5},
+			{"id": 3, "x": 3, "y": 2.5},
+		}},
+		"options": map[string]any{"maxWL": 4},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	type result struct {
+		status int
+		body   []byte
+		err    error
+	}
+	resCh := make(chan result, 1)
+	go func() {
+		resp, err := http.Post(base+"/v1/synthesize", "application/json", bytes.NewReader(body))
+		if err != nil {
+			resCh <- result{err: err}
+			return
+		}
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		resCh <- result{status: resp.StatusCode, body: data}
+	}()
+
+	// Signal as soon as the request has been admitted.
+	waitFor(t, func() bool {
+		resp, err := http.Get(base + "/v1/stats")
+		if err != nil {
+			return false
+		}
+		var st service.Stats
+		jsonErr := json.NewDecoder(resp.Body).Decode(&st)
+		resp.Body.Close()
+		return jsonErr == nil && st.Requests >= 1
+	})
+	if err := syscall.Kill(os.Getpid(), syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+
+	r := <-resCh
+	if r.err != nil {
+		t.Fatalf("in-flight request failed across SIGTERM: %v", r.err)
+	}
+	if r.status != http.StatusOK {
+		t.Fatalf("in-flight request got %d across SIGTERM, want 200; body %s", r.status, r.body)
+	}
+	if err := <-serveDone; err != nil {
+		t.Fatalf("serve: %v", err)
+	}
+	// The listener is closed: new connections must fail.
+	if resp, err := http.Get(base + "/readyz"); err == nil {
+		resp.Body.Close()
+		t.Error("server still accepting connections after shutdown")
+	}
+}
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(10 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not met within 10s")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}

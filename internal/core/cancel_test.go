@@ -1,0 +1,57 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"math"
+	"testing"
+
+	"xring/internal/noc"
+	"xring/internal/parallel"
+)
+
+// TestSynthesizeCancelsAtEveryStageBoundary: the pipeline polls the
+// context between Steps 2-4 and before each analysis, so wherever a
+// service deadline fires, the run aborts at the next boundary instead
+// of completing the remaining stages. The test counts the Err polls of
+// a full serial run, then replays it cancelling at every possible poll
+// and requires the context error back each time.
+func TestSynthesizeCancelsAtEveryStageBoundary(t *testing.T) {
+	parallel.SetWorkers(1) // deterministic poll sequence
+	t.Cleanup(func() { parallel.SetWorkers(0) })
+	net := noc.Floorplan8()
+	opt := Options{MaxWL: 8, WithPDN: true}
+
+	// Warm the Step-1 cache so every pass below hits it and the poll
+	// sequences line up.
+	if _, err := Synthesize(net, opt); err != nil {
+		t.Fatal(err)
+	}
+	probe := &countingCtx{Context: context.Background(), limit: math.MaxInt64}
+	if _, err := SynthesizeCtx(probe, net, opt); err != nil {
+		t.Fatal(err)
+	}
+	full := probe.polls.Load()
+	// Step boundaries alone contribute >= 5 polls (entry, post-shortcut,
+	// post-mapping, pre-loss, pre-xtalk); the analysis fan-outs add more.
+	if full < 5 {
+		t.Fatalf("full pipeline polled ctx.Err %d times, want >= 5 stage boundaries", full)
+	}
+	for limit := int64(0); limit < full; limit++ {
+		cctx := &countingCtx{Context: context.Background(), limit: limit}
+		res, err := SynthesizeCtx(cctx, net, opt)
+		if errors.Is(err, context.Canceled) {
+			if res != nil {
+				t.Fatalf("cancel at poll %d returned both a result and an error", limit)
+			}
+			continue
+		}
+		// A poll made by a fan-out after its last task completed is
+		// benignly swallowed; that can only be a trailing poll of the
+		// final analysis, never a stage boundary.
+		if err == nil && res != nil && limit >= full-2 {
+			continue
+		}
+		t.Fatalf("cancel at poll %d/%d: err = %v, want context.Canceled", limit, full, err)
+	}
+}

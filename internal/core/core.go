@@ -133,14 +133,22 @@ func SynthesizeOnRing(net *noc.Network, rres *ring.Result, opt Options) (*Result
 	return SynthesizeOnRingCtx(context.Background(), net, rres, opt)
 }
 
+// ctxErr polls a possibly-nil context for cancellation; the pipeline
+// calls it between stages so a service deadline aborts at the next
+// stage boundary instead of running the remaining steps and analyses.
+func ctxErr(ctx context.Context) error {
+	if ctx == nil {
+		return nil
+	}
+	return ctx.Err()
+}
+
 // SynthesizeOnRingCtx is SynthesizeOnRing under a context (cancellation
-// between stages, nested trace spans).
+// between stages and before each analysis, nested trace spans).
 func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
 	mSynthesizeCalls.Inc()
-	if ctx != nil {
-		if err := ctx.Err(); err != nil {
-			return nil, err
-		}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
 	}
 	par := phys.Default()
 	if opt.Par != nil {
@@ -169,6 +177,9 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, err
 	}
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	noOpenings := opt.NoOpenings || !opt.WithPDN
 	_, mapSpan := obs.Start(ctx, "mapping.run", obs.Int("max_wl", maxWL))
 	stats, err := mapping.Run(d, mapping.Options{
@@ -187,6 +198,9 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 	mapSpan.End()
 	if err != nil {
 		mSynthesizeErrors.Inc()
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	// Step 4 always gets a span so a trace shows the decision even when
@@ -219,9 +233,18 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, fmt.Errorf("core: synthesized design invalid: %w", err)
 	}
+	// Poll before each analysis as well: loss and crosstalk dominate the
+	// per-candidate cost at larger N, so a deadline that fires during
+	// Step 4 must not pay for them.
+	if err := ctxErr(ctx); err != nil {
+		return nil, err
+	}
 	lrep, err := loss.AnalyzeCtx(ctx, d, plan)
 	if err != nil {
 		mSynthesizeErrors.Inc()
+		return nil, err
+	}
+	if err := ctxErr(ctx); err != nil {
 		return nil, err
 	}
 	xrep, err := xtalk.AnalyzeCtx(ctx, d, plan, lrep)

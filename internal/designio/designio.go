@@ -8,6 +8,7 @@ package designio
 import (
 	"encoding/json"
 	"fmt"
+	"sort"
 
 	"xring/internal/geom"
 	"xring/internal/noc"
@@ -15,8 +16,26 @@ import (
 	"xring/internal/router"
 )
 
-// FormatVersion identifies the on-disk schema.
+// FormatVersion identifies the on-disk schema. Every Save stamps it
+// into the payload's explicit "version" field; Load refuses any other
+// value with an UnsupportedVersionError, so cached or service-returned
+// designs stay forward-compatible: a newer producer's payload fails
+// loudly and typed instead of half-parsing.
 const FormatVersion = 1
+
+// UnsupportedVersionError reports a payload whose format version this
+// build cannot parse. Callers distinguish it from corrupt input with
+// errors.As, e.g. to evict a stale cache entry rather than fail the
+// request.
+type UnsupportedVersionError struct {
+	// Got is the version stamped in the payload; Want is this build's
+	// FormatVersion.
+	Got, Want int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("designio: unsupported format version %d (want %d)", e.Got, e.Want)
+}
 
 type fileNode struct {
 	ID   int     `json:"id"`
@@ -123,12 +142,21 @@ func Save(d *router.Design) ([]byte, error) {
 		}
 		f.Shortcuts = append(f.Shortcuts, fs)
 	}
+	// d.Routes is a map; emit routes in (src, dst) order so Save is
+	// byte-deterministic — equal designs serialize to equal bytes, the
+	// property content-addressed caches and diff tooling rely on.
 	for _, r := range d.Routes {
 		f.Routes = append(f.Routes, fileRoute{
 			Src: r.Sig.Src, Dst: r.Sig.Dst, Kind: int(r.Kind),
 			WG: r.WG, SC: r.SC, ViaCSE: r.ViaCSE, WL: r.WL,
 		})
 	}
+	sort.Slice(f.Routes, func(i, j int) bool {
+		if f.Routes[i].Src != f.Routes[j].Src {
+			return f.Routes[i].Src < f.Routes[j].Src
+		}
+		return f.Routes[i].Dst < f.Routes[j].Dst
+	})
 	return json.MarshalIndent(f, "", " ")
 }
 
@@ -139,7 +167,7 @@ func Load(data []byte) (*router.Design, error) {
 		return nil, fmt.Errorf("designio: %w", err)
 	}
 	if f.Version != FormatVersion {
-		return nil, fmt.Errorf("designio: unsupported format version %d (want %d)", f.Version, FormatVersion)
+		return nil, &UnsupportedVersionError{Got: f.Version, Want: FormatVersion}
 	}
 	net := &noc.Network{DieW: f.DieW, DieH: f.DieH}
 	for _, n := range f.Nodes {

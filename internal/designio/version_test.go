@@ -1,0 +1,67 @@
+package designio
+
+import (
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"xring/internal/noc"
+	"xring/internal/phys"
+	"xring/internal/router"
+)
+
+// TestSaveStampsFormatVersion: every payload carries the explicit
+// version field, so future readers can dispatch on it.
+func TestSaveStampsFormatVersion(t *testing.T) {
+	net := noc.Floorplan8()
+	d, err := router.NewDesign(net, phys.Default(), []int{0, 1, 2, 3, 7, 6, 5, 4}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blob, err := Save(d)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var probe struct {
+		Version *int `json:"version"`
+	}
+	if err := json.Unmarshal(blob, &probe); err != nil {
+		t.Fatal(err)
+	}
+	if probe.Version == nil {
+		t.Fatal("saved payload has no version field")
+	}
+	if *probe.Version != FormatVersion {
+		t.Fatalf("saved version = %d, want %d", *probe.Version, FormatVersion)
+	}
+}
+
+// TestLoadUnknownVersionTypedError: an unknown version yields an
+// UnsupportedVersionError carrying both versions, distinguishable from
+// corrupt input via errors.As.
+func TestLoadUnknownVersionTypedError(t *testing.T) {
+	for _, v := range []int{0, FormatVersion + 1, 99} {
+		_, err := Load([]byte(`{"version": ` + itoa(v) + `}`))
+		var ve *UnsupportedVersionError
+		if !errors.As(err, &ve) {
+			t.Fatalf("version %d: err = %v (%T), want *UnsupportedVersionError", v, err, err)
+		}
+		if ve.Got != v || ve.Want != FormatVersion {
+			t.Fatalf("version %d: error fields Got=%d Want=%d", v, ve.Got, ve.Want)
+		}
+	}
+	// Corrupt input is NOT a version error.
+	_, err := Load([]byte(`{not json`))
+	var ve *UnsupportedVersionError
+	if errors.As(err, &ve) {
+		t.Fatal("corrupt input reported as a version error")
+	}
+	if err == nil {
+		t.Fatal("corrupt input loaded without error")
+	}
+}
+
+func itoa(v int) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}

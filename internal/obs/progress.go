@@ -1,0 +1,57 @@
+package obs
+
+// Span-subscriber hook: a context can carry a ProgressFunc that
+// receives every span finished beneath it, independently of whether
+// the global trace collector is enabled. The synthesis service uses it
+// to turn the pipeline's stage spans (shortcut.construct, mapping.run,
+// pdn.design, loss.analyze, ...) into per-job streaming progress
+// events without buffering a global trace per request — two jobs
+// running concurrently each see exactly their own spans, because the
+// sink rides the job's context into the engine.
+//
+// The hook follows the same cost discipline as the rest of the layer:
+// with no sink installed and tracing off, Start still returns a nil
+// span without allocating, and End stays a no-op.
+
+import (
+	"context"
+	"time"
+)
+
+// ProgressFunc receives one finished span. It is called synchronously
+// from Span.End on whatever goroutine ends the span, so implementations
+// must be safe for concurrent use and should hand off quickly (the
+// service buffers into a per-job event log).
+type ProgressFunc func(SpanRecord)
+
+type progressCtxKey struct{}
+
+// WithProgress returns a context whose spans — and those of every
+// context derived from it — are delivered to fn when they end. Passing
+// a nil fn detaches any inherited sink.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, progressCtxKey{}, fn)
+}
+
+// progressFrom extracts the sink carried by ctx, if any.
+func progressFrom(ctx context.Context) ProgressFunc {
+	if ctx == nil {
+		return nil
+	}
+	fn, _ := ctx.Value(progressCtxKey{}).(ProgressFunc)
+	return fn
+}
+
+// processEpoch anchors StartNS of sink-delivered records when the
+// trace collector (whose epoch ResetTrace restarts) is not involved.
+// It is fixed at init, so subscriber timestamps are monotonic per
+// process.
+var processEpoch = time.Now()
+
+// AttrMap renders the record's attributes as an export-ready map
+// (non-finite floats become strings, matching the trace exporters).
+// Subscribers use it to serialize progress events.
+func (r SpanRecord) AttrMap() map[string]any { return attrMap(r.Attrs) }

@@ -1,0 +1,96 @@
+package obs
+
+import (
+	"context"
+	"sync"
+	"testing"
+)
+
+// TestProgressSinkWithoutTracing: a context-scoped sink receives every
+// span finished beneath it even with the global collector off, and
+// none of those spans reach the collector.
+func TestProgressSinkWithoutTracing(t *testing.T) {
+	if TracingEnabled() {
+		t.Skip("global tracing enabled (XRING_OBS); sink-only path not testable")
+	}
+	ResetTrace()
+	var (
+		mu  sync.Mutex
+		got []SpanRecord
+	)
+	ctx := WithProgress(context.Background(), func(r SpanRecord) {
+		mu.Lock()
+		got = append(got, r)
+		mu.Unlock()
+	})
+
+	ctx, root := Start(ctx, "job", String("id", "j1"))
+	if root == nil {
+		t.Fatal("Start returned nil span under a progress sink")
+	}
+	_, child := Start(ctx, "stage", Int("step", 2))
+	child.End()
+	root.End()
+
+	if len(got) != 2 {
+		t.Fatalf("sink saw %d spans, want 2", len(got))
+	}
+	if got[0].Name != "stage" || got[1].Name != "job" {
+		t.Fatalf("sink order = [%s, %s], want [stage, job]", got[0].Name, got[1].Name)
+	}
+	if got[0].Parent != got[1].ID {
+		t.Fatalf("child parent = %d, want root id %d", got[0].Parent, got[1].ID)
+	}
+	if m := got[0].AttrMap(); m["step"] != int64(2) {
+		t.Fatalf("child AttrMap = %v, want step=2", m)
+	}
+	if n := len(TraceSnapshot()); n != 0 {
+		t.Fatalf("collector recorded %d spans with tracing off, want 0", n)
+	}
+}
+
+// TestProgressSinkInheritance: the sink rides derived contexts, and a
+// nil fn detaches it.
+func TestProgressSinkInheritance(t *testing.T) {
+	if TracingEnabled() {
+		t.Skip("global tracing enabled (XRING_OBS)")
+	}
+	var n int
+	ctx := WithProgress(context.Background(), func(SpanRecord) { n++ })
+	sub, s1 := Start(ctx, "a")
+	_, s2 := Start(sub, "b")
+	s2.End()
+	s1.End()
+	if n != 2 {
+		t.Fatalf("inherited sink saw %d spans, want 2", n)
+	}
+	detached := WithProgress(ctx, nil)
+	if _, s := Start(detached, "c"); s != nil {
+		t.Fatal("Start under detached sink (tracing off) returned a live span")
+	}
+	if n != 2 {
+		t.Fatalf("detached sink still invoked: n = %d", n)
+	}
+}
+
+// TestProgressSinkWithTracing: with tracing on, spans go to both the
+// sink and the collector.
+func TestProgressSinkWithTracing(t *testing.T) {
+	if TracingEnabled() {
+		t.Skip("global tracing already on; flipping it would race other tests")
+	}
+	EnableTracing(true)
+	defer EnableTracing(false)
+	ResetTrace()
+	var n int
+	ctx := WithProgress(context.Background(), func(SpanRecord) { n++ })
+	_, s := Start(ctx, "both")
+	s.End()
+	if n != 1 {
+		t.Fatalf("sink saw %d spans, want 1", n)
+	}
+	snap := TraceSnapshot()
+	if len(snap) != 1 || snap[0].Name != "both" {
+		t.Fatalf("collector snapshot = %+v, want one span named both", snap)
+	}
+}

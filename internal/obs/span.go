@@ -75,8 +75,9 @@ func (a Attr) value() any {
 	}
 }
 
-// Span is one live timed operation. A nil *Span (tracing disabled) is
-// valid: every method is a no-op, so call sites need no branches.
+// Span is one live timed operation. A nil *Span (tracing disabled and
+// no progress sink) is valid: every method is a no-op, so call sites
+// need no branches.
 type Span struct {
 	id     uint64
 	parent uint64
@@ -84,6 +85,11 @@ type Span struct {
 	gid    uint64
 	start  time.Time
 	attrs  []Attr
+	// sink, when non-nil, receives the finished record (WithProgress).
+	sink ProgressFunc
+	// traced records whether the global collector was on at Start; a
+	// span created only for a progress sink never reaches the collector.
+	traced bool
 }
 
 // SpanRecord is one finished span as stored by the collector. Start
@@ -118,10 +124,13 @@ type spanCtxKey struct{}
 
 // Start begins a span named name as a child of the span carried by ctx
 // (a root span when ctx carries none). It returns a derived context
-// carrying the new span and the span itself. With tracing disabled it
-// returns ctx unchanged and a nil span without allocating.
+// carrying the new span and the span itself. With tracing disabled and
+// no progress sink on ctx (WithProgress) it returns ctx unchanged and
+// a nil span without allocating.
 func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *Span) {
-	if !tracingOn.Load() {
+	traced := tracingOn.Load()
+	sink := progressFrom(ctx)
+	if !traced && sink == nil {
 		return ctx, nil
 	}
 	if ctx == nil {
@@ -137,6 +146,8 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		name:   name,
 		gid:    goroutineID(),
 		start:  time.Now(),
+		sink:   sink,
+		traced: traced,
 	}
 	if len(attrs) > 0 {
 		s.attrs = append(s.attrs, attrs...)
@@ -162,12 +173,27 @@ func (s *Span) Set(attrs ...Attr) {
 	s.attrs = append(s.attrs, attrs...)
 }
 
-// End finishes the span and hands it to the collector.
+// End finishes the span, notifies the context's progress sink (if
+// any), and hands the record to the collector when tracing is on.
 func (s *Span) End() {
 	if s == nil {
 		return
 	}
 	end := time.Now()
+	if s.sink != nil {
+		s.sink(SpanRecord{
+			ID:        s.id,
+			Parent:    s.parent,
+			Name:      s.name,
+			Goroutine: s.gid,
+			StartNS:   s.start.Sub(processEpoch).Nanoseconds(),
+			DurNS:     end.Sub(s.start).Nanoseconds(),
+			Attrs:     s.attrs,
+		})
+	}
+	if !s.traced {
+		return
+	}
 	tracer.Lock()
 	if len(tracer.spans) >= maxSpans {
 		tracer.dropped++

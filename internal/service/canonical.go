@@ -1,0 +1,117 @@
+package service
+
+// Content addressing: two requests that mean the same synthesis
+// problem must map to the same cache key, however their JSON was
+// spelled. The key is a SHA-256 over a canonical binary encoding of
+// the *resolved* request — node specs already sorted by ID, traffic
+// sorted and deduplicated, candidates sorted — with every float hashed
+// by its IEEE-754 bit pattern, so "2", "2.0" and "2e0" are one key and
+// no decimal formatting ever splits the cache. The engine is
+// deterministic for a fixed request (see the determinism test suite),
+// which is what makes result reuse by content hash sound.
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"hash"
+	"math"
+
+	"xring/internal/core"
+	"xring/internal/phys"
+)
+
+// keySchema versions the canonical encoding itself; bump it whenever a
+// field is added so stale persistent caches can never alias.
+const keySchema = "xring-service-key-v1"
+
+// canonicalKey hashes a resolved request into its content address.
+func canonicalKey(r *resolved) string {
+	h := sha256.New()
+	h.Write([]byte(keySchema))
+	putF := func(f float64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+	putI := func(v int64) {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], uint64(v))
+		h.Write(b[:])
+	}
+	putB := func(v bool) {
+		if v {
+			h.Write([]byte{1})
+		} else {
+			h.Write([]byte{0})
+		}
+	}
+
+	putF(r.net.DieW)
+	putF(r.net.DieH)
+	putI(int64(r.net.N()))
+	for _, n := range r.net.Nodes { // sorted by ID in resolve
+		putI(int64(n.ID))
+		putStr(h, n.Name)
+		putF(n.Pos.X)
+		putF(n.Pos.Y)
+	}
+
+	o := r.opt
+	putI(int64(o.MaxWL))
+	putB(o.WithPDN)
+	putB(o.ShareWavelengths)
+	putB(o.DisableShortcuts)
+	putB(o.NoCSE)
+	putB(o.NoOpenings)
+	putB(o.DisableConflicts)
+	putI(int64(o.RingMaxNodes))
+	hashParams(h, o)
+
+	putI(int64(len(o.Traffic)))
+	for _, s := range o.Traffic { // sorted + deduped in resolve
+		putI(int64(s.Src))
+		putI(int64(s.Dst))
+	}
+
+	putB(r.sweep)
+	if r.sweep {
+		putI(int64(r.objective))
+		putI(int64(len(r.cands)))
+		for _, wl := range r.cands { // sorted + deduped in resolve
+			putI(int64(wl))
+		}
+	}
+	return "sha256:" + hex.EncodeToString(h.Sum(nil))
+}
+
+// putStr writes a length-prefixed string (length prefix keeps the
+// encoding prefix-free, so adjacent fields can never alias).
+func putStr(h hash.Hash, s string) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], uint64(len(s)))
+	h.Write(b[:])
+	h.Write([]byte(s))
+}
+
+// hashParams folds the technology parameter set into the key. Requests
+// select parameters by preset name, but the key hashes the resolved
+// coefficient values, so a preset whose numbers change across builds
+// cannot serve stale cached designs.
+func hashParams(h hash.Hash, o core.Options) {
+	par := phys.Default()
+	if o.Par != nil {
+		par = *o.Par
+	}
+	for _, f := range []float64{
+		par.PropagationDBPerMM, par.CrossingDB, par.DropDB, par.ThroughDB,
+		par.BendDB, par.PhotodetectorDB, par.ReceiverSensitivityDBm,
+		par.XtalkCrossingDB, par.XtalkDropDB, par.XtalkThroughDB,
+		par.SplitterSplitDB, par.SplitterExcessDB,
+		par.ModulatorWidthMM, par.SplitterWidthMM, par.TuningMWPerMRR,
+	} {
+		var b [8]byte
+		binary.LittleEndian.PutUint64(b[:], math.Float64bits(f))
+		h.Write(b[:])
+	}
+}

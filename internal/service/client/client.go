@@ -1,0 +1,225 @@
+// Package client is the Go client for the xringd synthesis service:
+// typed wrappers over the HTTP JSON API with 429-aware retry, SSE
+// progress consumption, and raw design fetches that preserve the
+// service's byte-exact designio payloads.
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+
+	"xring/internal/service"
+)
+
+// APIError is a non-2xx service response.
+type APIError struct {
+	Status  int
+	Message string
+	// RetryAfter is the server's backoff hint (zero if absent).
+	RetryAfter time.Duration
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Temporary reports whether the request may succeed if retried
+// (admission-control rejections, not validation or synthesis failures).
+func (e *APIError) Temporary() bool {
+	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
+}
+
+// Client talks to one xringd instance.
+type Client struct {
+	base string
+	hc   *http.Client
+	// MaxRetries bounds automatic retries of admission-control
+	// rejections (429) in Synthesize; 0 disables retrying.
+	MaxRetries int
+}
+
+// New builds a client for the service at base (e.g.
+// "http://localhost:8418"). A nil httpClient uses http.DefaultClient.
+func New(base string, httpClient *http.Client) *Client {
+	if httpClient == nil {
+		httpClient = http.DefaultClient
+	}
+	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient, MaxRetries: 8}
+}
+
+func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		return apiError(resp, data)
+	}
+	if out == nil {
+		return nil
+	}
+	if raw, ok := out.(*[]byte); ok {
+		*raw = data
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+func apiError(resp *http.Response, data []byte) *APIError {
+	e := &APIError{Status: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	var body struct {
+		Error string `json:"error"`
+	}
+	if json.Unmarshal(data, &body) == nil && body.Error != "" {
+		e.Message = body.Error
+	}
+	if s := resp.Header.Get("Retry-After"); s != "" {
+		if secs, err := strconv.Atoi(s); err == nil {
+			e.RetryAfter = time.Duration(secs) * time.Second
+		}
+	}
+	return e
+}
+
+// Synthesize submits a request and returns the completed result (or
+// the 202 acknowledgement when req.Async is set). Queue-full 429
+// rejections are retried with the server's Retry-After backoff, up to
+// MaxRetries times; every other error returns immediately.
+func (c *Client) Synthesize(ctx context.Context, req *service.Request) (*service.Response, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	for attempt := 0; ; attempt++ {
+		var out service.Response
+		err := c.do(ctx, http.MethodPost, "/v1/synthesize", body, &out)
+		var apiErr *APIError
+		if err == nil {
+			return &out, nil
+		}
+		if !(isAPIStatus(err, http.StatusTooManyRequests, &apiErr) && attempt < c.MaxRetries) {
+			return nil, err
+		}
+		backoff := apiErr.RetryAfter
+		if backoff <= 0 {
+			backoff = 100 * time.Millisecond
+		}
+		select {
+		case <-time.After(backoff):
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+}
+
+func isAPIStatus(err error, status int, out **APIError) bool {
+	if e, ok := err.(*APIError); ok && e.Status == status {
+		*out = e
+		return true
+	}
+	return false
+}
+
+// Job fetches a job's status.
+func (c *Client) Job(ctx context.Context, id string) (*service.JobStatus, error) {
+	var out service.JobStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// JobDesign fetches the exact designio.Save bytes of a finished job.
+func (c *Client) JobDesign(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"/design", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Design fetches a cached design by its content key.
+func (c *Client) Design(ctx context.Context, key string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/designs/"+key, nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Stats fetches the service's always-on counters.
+func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
+	var out service.Stats
+	if err := c.do(ctx, http.MethodGet, "/v1/stats", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// Ready probes /readyz (an error means not serving or draining).
+func (c *Client) Ready(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Events streams a job's progress, invoking fn for every event —
+// replayed history first, live events after — until the job reaches a
+// terminal state, the stream ends, or ctx is cancelled.
+func (c *Client) Events(ctx context.Context, id string, fn func(service.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	if err != nil {
+		return err
+	}
+	resp, err := c.hc.Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		return apiError(resp, data)
+	}
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	for sc.Scan() {
+		line := sc.Text()
+		if !strings.HasPrefix(line, "data: ") {
+			continue
+		}
+		var ev service.Event
+		if err := json.Unmarshal([]byte(line[len("data: "):]), &ev); err != nil {
+			return fmt.Errorf("service: bad event payload: %w", err)
+		}
+		fn(ev)
+		if ev.Type == "done" || ev.Type == "failed" {
+			return nil
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return err
+	}
+	return fmt.Errorf("service: event stream ended before the job finished")
+}

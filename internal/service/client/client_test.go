@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"xring/internal/service"
+)
+
+func intp(v int) *int { return &v }
+
+func testRequest() *service.Request {
+	return &service.Request{
+		Network: service.NetworkSpec{Nodes: []service.NodeSpec{
+			{ID: intp(0), X: 0, Y: 0},
+			{ID: intp(1), X: 2.5, Y: 0},
+			{ID: intp(2), X: 0, Y: 2.5},
+			{ID: intp(3), X: 3, Y: 2.5},
+		}},
+		Options: service.OptionsSpec{MaxWL: 4},
+	}
+}
+
+func newClientServer(t *testing.T, cfg service.Config) *Client {
+	t.Helper()
+	s := service.New(cfg)
+	ts := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ts.Close()
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		if err := s.Drain(ctx); err != nil {
+			t.Errorf("drain: %v", err)
+		}
+	})
+	return New(ts.URL, nil)
+}
+
+func TestClientRoundTrip(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	if err := c.Ready(ctx); err != nil {
+		t.Fatalf("ready: %v", err)
+	}
+	resp, err := c.Synthesize(ctx, testRequest())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if resp.Summary == nil || resp.Summary.Nodes != 4 {
+		t.Fatalf("summary = %+v, want 4-node design", resp.Summary)
+	}
+
+	st, err := c.Job(ctx, resp.JobID)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Errorf("job state = %s, want done", st.State)
+	}
+
+	byJob, err := c.JobDesign(ctx, resp.JobID)
+	if err != nil {
+		t.Fatalf("job design: %v", err)
+	}
+	byKey, err := c.Design(ctx, resp.Key)
+	if err != nil {
+		t.Fatalf("design by key: %v", err)
+	}
+	if string(byJob) != string(byKey) {
+		t.Error("design bytes differ between job and key endpoints")
+	}
+
+	var types []string
+	if err := c.Events(ctx, resp.JobID, func(ev service.Event) {
+		types = append(types, ev.Type)
+	}); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+	if len(types) == 0 || types[len(types)-1] != "done" {
+		t.Errorf("event types = %v, want trailing done", types)
+	}
+
+	stats, err := c.Stats(ctx)
+	if err != nil {
+		t.Fatalf("stats: %v", err)
+	}
+	if stats.Synthesized != 1 {
+		t.Errorf("stats.Synthesized = %d, want 1", stats.Synthesized)
+	}
+}
+
+func TestClientErrorsAreTyped(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	bad := testRequest()
+	bad.Options.MaxWL = 99
+	_, err := c.Synthesize(context.Background(), bad)
+	apiErr, ok := err.(*APIError)
+	if !ok {
+		t.Fatalf("err = %v (%T), want *APIError", err, err)
+	}
+	if apiErr.Status != http.StatusBadRequest || apiErr.Temporary() {
+		t.Errorf("got status %d temporary=%v, want permanent 400", apiErr.Status, apiErr.Temporary())
+	}
+	if _, err := c.Job(context.Background(), "nope"); err == nil {
+		t.Error("unknown job lookup succeeded")
+	}
+}
+
+func TestClientRetriesQueueFull(t *testing.T) {
+	var rejected bool
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		if !rejected {
+			rejected = true
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			w.Write([]byte(`{"error": "job queue full"}`))
+			return
+		}
+		w.Write([]byte(`{"jobID": "j1", "key": "k", "source": "synthesized"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	resp, err := c.Synthesize(context.Background(), testRequest())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if !rejected || resp.JobID != "j1" {
+		t.Errorf("rejected=%v resp=%+v, want one 429 then success", rejected, resp)
+	}
+}

@@ -1,0 +1,181 @@
+package service
+
+// End-to-end acceptance: a mixed concurrent load against a deliberately
+// tight admission queue, checked for correctness (every request
+// eventually completes with the right design), efficiency (dedup/cache
+// hits observed), byte-identity with the library, and clean shutdown
+// (no goroutine leaks after drain).
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"runtime"
+	"sync"
+	"testing"
+	"time"
+
+	"xring/internal/core"
+	"xring/internal/designio"
+)
+
+func TestE2EConcurrentMixedLoad(t *testing.T) {
+	baseline := runtime.NumGoroutine()
+
+	s := New(Config{QueueDepth: 4, Workers: 2})
+	ts := httptest.NewServer(s.Handler())
+	client := &http.Client{}
+
+	// 32 requests over 4 distinct designs: plenty of identical
+	// concurrent submissions to exercise singleflight and the cache
+	// while the depth-4 queue forces admission control.
+	const total, variants = 32, 4
+	type outcome struct {
+		variant int
+		resp    *Response
+		err     error
+	}
+	outcomes := make([]outcome, total)
+	var wg sync.WaitGroup
+	for i := 0; i < total; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			variant := i % variants
+			body, err := json.Marshal(quadRequest(variant))
+			if err != nil {
+				outcomes[i] = outcome{variant: variant, err: err}
+				return
+			}
+			// Honor 429 + Retry-After like a well-behaved client.
+			for attempt := 0; ; attempt++ {
+				resp, err := client.Post(ts.URL+"/v1/synthesize", "application/json", bytes.NewReader(body))
+				if err != nil {
+					outcomes[i] = outcome{variant: variant, err: err}
+					return
+				}
+				data, err := io.ReadAll(resp.Body)
+				resp.Body.Close()
+				if err != nil {
+					outcomes[i] = outcome{variant: variant, err: err}
+					return
+				}
+				switch {
+				case resp.StatusCode == http.StatusOK:
+					var r Response
+					if err := json.Unmarshal(data, &r); err != nil {
+						outcomes[i] = outcome{variant: variant, err: err}
+						return
+					}
+					outcomes[i] = outcome{variant: variant, resp: &r}
+					return
+				case resp.StatusCode == http.StatusTooManyRequests && attempt < 200:
+					time.Sleep(5 * time.Millisecond)
+				default:
+					outcomes[i] = outcome{variant: variant,
+						err: fmt.Errorf("status %d after %d attempts: %s", resp.StatusCode, attempt+1, data)}
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+
+	// Every request completed with a design, and all requests for the
+	// same variant got byte-identical payloads.
+	designs := make([][]byte, variants)
+	keys := make([]string, variants)
+	for i, o := range outcomes {
+		if o.err != nil {
+			t.Fatalf("request %d (variant %d): %v", i, o.variant, o.err)
+		}
+		if len(o.resp.Design) == 0 {
+			t.Fatalf("request %d (variant %d): empty design", i, o.variant)
+		}
+		if designs[o.variant] == nil {
+			designs[o.variant] = o.resp.Design
+			keys[o.variant] = o.resp.Key
+		} else if !bytes.Equal(designs[o.variant], o.resp.Design) {
+			t.Errorf("request %d (variant %d): design differs from earlier response for the same request", i, o.variant)
+		}
+	}
+
+	// The service computed each distinct design far fewer times than it
+	// was requested: dedup and cache hits must both have absorbed load.
+	st := s.Stats()
+	t.Logf("stats: %+v", st)
+	if st.CacheHits+st.DedupHits == 0 {
+		t.Error("no dedup or cache hits across 32 requests of 4 designs")
+	}
+	if st.Synthesized+st.Failed == 0 || st.Synthesized > total-1 {
+		t.Errorf("synthesized %d times; dedup/cache should absorb most of %d requests", st.Synthesized, total)
+	}
+
+	// The HTTP-fetched design bytes (the raw-bytes endpoint, not the
+	// response-embedded copy, which the envelope encoder re-indents)
+	// match running the library directly.
+	for v := 0; v < variants; v++ {
+		rr := mustResolve(t, quadRequest(v))
+		res, err := core.SynthesizeCtx(context.Background(), rr.net, rr.opt)
+		if err != nil {
+			t.Fatalf("library synthesis variant %d: %v", v, err)
+		}
+		want, err := designio.Save(res.Design)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dresp, err := client.Get(ts.URL + "/v1/designs/" + keys[v])
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := io.ReadAll(dresp.Body)
+		dresp.Body.Close()
+		if err != nil || dresp.StatusCode != http.StatusOK {
+			t.Fatalf("variant %d: GET design: status %d, err %v", v, dresp.StatusCode, err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("variant %d: HTTP-fetched design differs from library designio.Save", v)
+		}
+		if _, err := designio.Load(got); err != nil {
+			t.Errorf("variant %d: service design fails designio.Load: %v", v, err)
+		}
+		// The embedded copy must stay semantically identical.
+		var a, b any
+		if err := json.Unmarshal(designs[v], &a); err != nil {
+			t.Fatalf("variant %d: embedded design: %v", v, err)
+		}
+		if err := json.Unmarshal(want, &b); err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("variant %d: embedded design not semantically equal to library output", v)
+		}
+	}
+
+	// Drain and verify nothing leaked: workers exited, no stray
+	// handlers or subscriber goroutines.
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := s.Drain(ctx); err != nil {
+		t.Fatalf("drain: %v", err)
+	}
+	ts.Close()
+	client.CloseIdleConnections()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		runtime.GC()
+		if n := runtime.NumGoroutine(); n <= baseline+2 {
+			break
+		} else if time.Now().After(deadline) {
+			buf := make([]byte, 1<<16)
+			t.Fatalf("goroutine leak after drain: %d > baseline %d\n%s",
+				n, baseline, buf[:runtime.Stack(buf, true)])
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

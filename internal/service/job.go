@@ -1,0 +1,174 @@
+package service
+
+// Jobs and their event streams. A job is one admitted synthesis run;
+// identical concurrent requests share a single job (singleflight), and
+// every observer — the original submitter, deduplicated waiters, SSE
+// streams — consumes the same append-only event log.
+
+import (
+	"fmt"
+	"sync"
+	"time"
+)
+
+// JobState is the lifecycle of a job.
+type JobState string
+
+// Job lifecycle states.
+const (
+	StateQueued  JobState = "queued"
+	StateRunning JobState = "running"
+	StateDone    JobState = "done"
+	StateFailed  JobState = "failed"
+)
+
+// Event is one progress entry of a job's stream: lifecycle transitions
+// plus one "stage" event per engine span finished under the job's
+// context (obs.WithProgress).
+type Event struct {
+	Seq   int            `json:"seq"`
+	Type  string         `json:"type"` // queued | started | stage | done | failed
+	Stage string         `json:"stage,omitempty"`
+	DurMS float64        `json:"durMS,omitempty"`
+	Attrs map[string]any `json:"attrs,omitempty"`
+	Error string         `json:"error,omitempty"`
+}
+
+// job is the server-side record of one synthesis run.
+type job struct {
+	id  string
+	key string
+	req *resolved
+	// deadline is the per-job synthesis budget (0 = none).
+	deadline time.Duration
+
+	// done closes when the job reaches a terminal state.
+	done chan struct{}
+
+	mu     sync.Mutex
+	state  JobState
+	events []Event
+	subs   map[chan Event]struct{}
+	// result payload on success; err on failure.
+	summary *Summary
+	design  []byte
+	err     error
+	// dedupWaiters counts requests that attached to this job instead of
+	// starting their own (singleflight hits).
+	dedupWaiters int
+}
+
+func newJob(id, key string, req *resolved, deadline time.Duration) *job {
+	j := &job{
+		id:       id,
+		key:      key,
+		req:      req,
+		deadline: deadline,
+		done:     make(chan struct{}),
+		state:    StateQueued,
+		subs:     map[chan Event]struct{}{},
+	}
+	j.publish(Event{Type: "queued"})
+	return j
+}
+
+// publish appends an event (stamping its sequence number) and fans it
+// out to every subscriber. Subscriber channels are buffered; a slow
+// consumer that fills its buffer loses the event rather than stalling
+// the engine — the full log remains replayable via snapshot.
+func (j *job) publish(ev Event) {
+	j.mu.Lock()
+	ev.Seq = len(j.events)
+	j.events = append(j.events, ev)
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+			mEventsDropped.Inc()
+		}
+	}
+	j.mu.Unlock()
+	mEventsPublished.Inc()
+}
+
+// subscribe registers a live event channel and returns it together
+// with a replay of everything published so far (the caller sends the
+// replay first, so streams are gapless: replay ends where live events
+// begin or overlap, and Seq de-duplicates overlaps).
+func (j *job) subscribe() (replay []Event, ch chan Event) {
+	ch = make(chan Event, 64)
+	j.mu.Lock()
+	replay = append([]Event(nil), j.events...)
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+	return replay, ch
+}
+
+func (j *job) unsubscribe(ch chan Event) {
+	j.mu.Lock()
+	delete(j.subs, ch)
+	j.mu.Unlock()
+}
+
+// setRunning transitions queued -> running.
+func (j *job) setRunning() {
+	j.mu.Lock()
+	j.state = StateRunning
+	j.mu.Unlock()
+	j.publish(Event{Type: "started"})
+}
+
+// finish transitions to the terminal state, publishes the final event
+// and wakes every waiter.
+func (j *job) finish(summary *Summary, design []byte, err error) {
+	j.mu.Lock()
+	if err != nil {
+		j.state = StateFailed
+		j.err = err
+	} else {
+		j.state = StateDone
+		j.summary = summary
+		j.design = design
+	}
+	j.mu.Unlock()
+	if err != nil {
+		j.publish(Event{Type: "failed", Error: err.Error()})
+	} else {
+		j.publish(Event{Type: "done"})
+	}
+	close(j.done)
+}
+
+// snapshot returns the job's state for the status endpoint.
+func (j *job) snapshot() (state JobState, events int, summary *Summary, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state, len(j.events), j.summary, j.err
+}
+
+// terminal reports whether the job has finished.
+func (j *job) terminal() bool {
+	select {
+	case <-j.done:
+		return true
+	default:
+		return false
+	}
+}
+
+// attach counts a deduplicated waiter.
+func (j *job) attach() {
+	j.mu.Lock()
+	j.dedupWaiters++
+	j.mu.Unlock()
+}
+
+// jobID builds a short stable identifier from an admission sequence
+// number and the content key.
+func jobID(seq uint64, key string) string {
+	suffix := key
+	if i := len("sha256:"); len(suffix) > i+12 {
+		suffix = suffix[i : i+12]
+	}
+	return fmt.Sprintf("j%d-%s", seq, suffix)
+}

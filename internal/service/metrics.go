@@ -1,0 +1,71 @@
+package service
+
+// Service telemetry, following the repo-wide obs conventions
+// (OBSERVABILITY.md): queue and in-flight gauges for capacity
+// planning, cache and dedup counters for hit-rate dashboards, and a
+// job-duration histogram. All instruments are registered once at
+// package init and gated on the obs metrics flag; the Stats struct
+// below duplicates the admission-critical counters with always-on
+// atomics so tests and the drain path never depend on the global flag.
+
+import (
+	"sync/atomic"
+
+	"xring/internal/obs"
+)
+
+var (
+	mRequests        = obs.NewCounter("service.requests")
+	mRequestsInvalid = obs.NewCounter("service.requests.invalid")
+	mRejectedFull    = obs.NewCounter("service.admission.queue_full")
+	mRejectedDrain   = obs.NewCounter("service.admission.draining")
+	mCacheHits       = obs.NewCounter("service.cache.hits")
+	mCacheMisses     = obs.NewCounter("service.cache.misses")
+	mCacheEvicts     = obs.NewCounter("service.cache.evictions")
+	mCacheSize       = obs.NewGauge("service.cache.size")
+	mDedupHits       = obs.NewCounter("service.dedup.hits")
+	mQueueDepth      = obs.NewGauge("service.queue.depth")
+	mInflight        = obs.NewGauge("service.jobs.inflight")
+	mJobsDone        = obs.NewCounter("service.jobs.done")
+	mJobsFailed      = obs.NewCounter("service.jobs.failed")
+	mEventsPublished = obs.NewCounter("service.events.published")
+	mEventsDropped   = obs.NewCounter("service.events.dropped")
+	mJobDurationMS   = obs.NewHistogram("service.job.duration_ms", "ms",
+		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+)
+
+// Stats are the server's own always-on counters (independent of the
+// obs metrics flag). The e2e acceptance test and xbench's load mode
+// read them to assert measured dedup/cache hit counts.
+type Stats struct {
+	Requests    int64 `json:"requests"`
+	CacheHits   int64 `json:"cacheHits"`
+	DedupHits   int64 `json:"dedupHits"`
+	Rejected    int64 `json:"rejected"` // 429s (queue full)
+	Drained     int64 `json:"drained"`  // 503s (shutting down)
+	Synthesized int64 `json:"synthesized"`
+	Failed      int64 `json:"failed"`
+}
+
+// stats is the internal atomic mirror of Stats.
+type stats struct {
+	requests    atomic.Int64
+	cacheHits   atomic.Int64
+	dedupHits   atomic.Int64
+	rejected    atomic.Int64
+	drained     atomic.Int64
+	synthesized atomic.Int64
+	failed      atomic.Int64
+}
+
+func (s *stats) snapshot() Stats {
+	return Stats{
+		Requests:    s.requests.Load(),
+		CacheHits:   s.cacheHits.Load(),
+		DedupHits:   s.dedupHits.Load(),
+		Rejected:    s.rejected.Load(),
+		Drained:     s.drained.Load(),
+		Synthesized: s.synthesized.Load(),
+		Failed:      s.failed.Load(),
+	}
+}

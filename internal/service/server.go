@@ -1,0 +1,449 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"math"
+	"net/http"
+	"time"
+
+	"xring/internal/core"
+	"xring/internal/designio"
+	"xring/internal/obs"
+)
+
+// Summary is the headline metrics of a synthesized design, mirroring
+// the CLI's result table. WorstSNRdB is omitted for noise-free designs
+// (+Inf is not representable in JSON).
+type Summary struct {
+	Nodes         int      `json:"nodes"`
+	MaxWL         int      `json:"maxWL"`
+	Policy        string   `json:"policy"` // fresh | share
+	Waveguides    int      `json:"waveguides"`
+	Shortcuts     int      `json:"shortcuts"`
+	Wavelengths   int      `json:"wavelengths"`
+	WorstILdB     float64  `json:"worstIL_dB"`
+	WorstLenMM    float64  `json:"worstLen_mm"`
+	Crossings     int      `json:"crossingsOnWorstPath"`
+	PowerMW       float64  `json:"laserPower_mW"`
+	NumNoisy      int      `json:"signalsWithNoise"`
+	NoiseFreeFrac float64  `json:"noiseFreeFraction"`
+	WorstSNRdB    *float64 `json:"worstSNR_dB,omitempty"`
+	SynthMS       float64  `json:"synthesisMS"`
+}
+
+// Response is the POST /v1/synthesize result envelope. Design carries
+// the designio.Save payload (fetch /v1/jobs/{id}/design for its exact
+// uncompacted bytes).
+type Response struct {
+	JobID     string          `json:"jobID"`
+	Key       string          `json:"key"`
+	Source    string          `json:"source"` // synthesized | cache | dedup
+	Summary   *Summary        `json:"summary,omitempty"`
+	Design    json.RawMessage `json:"design,omitempty"`
+	ElapsedMS float64         `json:"elapsedMS"`
+}
+
+// JobStatus is the GET /v1/jobs/{id} body.
+type JobStatus struct {
+	JobID   string   `json:"jobID"`
+	Key     string   `json:"key"`
+	State   JobState `json:"state"`
+	Events  int      `json:"events"`
+	Summary *Summary `json:"summary,omitempty"`
+	Error   string   `json:"error,omitempty"`
+}
+
+func summarize(res *core.Result) *Summary {
+	s := &Summary{
+		Nodes:         res.Design.N(),
+		MaxWL:         res.Opt.MaxWL,
+		Policy:        "fresh",
+		Waveguides:    len(res.Design.Waveguides),
+		Shortcuts:     len(res.Design.Shortcuts),
+		Wavelengths:   res.Loss.WavelengthCount,
+		WorstILdB:     res.Loss.WorstIL,
+		WorstLenMM:    res.Loss.WorstLen,
+		Crossings:     res.Loss.WorstCrossings,
+		PowerMW:       res.Loss.TotalPowerMW,
+		NumNoisy:      res.Xtalk.NumNoisy,
+		NoiseFreeFrac: res.Xtalk.NoiseFreeFrac,
+		SynthMS:       float64(res.SynthTime.Microseconds()) / 1000,
+	}
+	if res.Opt.ShareWavelengths {
+		s.Policy = "share"
+	}
+	if snr := res.Xtalk.WorstSNR; !math.IsInf(snr, 0) && !math.IsNaN(snr) {
+		s.WorstSNRdB = &snr
+	}
+	return s
+}
+
+// run executes one admitted job on a worker goroutine: per-job
+// deadline, span-to-event progress bridge, synthesis, serialization,
+// cache fill, singleflight release.
+func (s *Server) run(j *job) {
+	j.setRunning()
+	mInflight.Add(1)
+	defer mInflight.Add(-1)
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if j.deadline > 0 {
+		ctx, cancel = context.WithTimeout(ctx, j.deadline)
+	}
+	defer cancel()
+	// Bridge engine spans into the job's event stream: every stage that
+	// finishes under this context (shortcut.construct, mapping.run,
+	// pdn.design, loss.analyze, sweep.candidate, ...) becomes one
+	// progress event, scoped to exactly this job.
+	ctx = obs.WithProgress(ctx, func(rec obs.SpanRecord) {
+		j.publish(Event{
+			Type:  "stage",
+			Stage: rec.Name,
+			DurMS: float64(rec.DurNS) / 1e6,
+			Attrs: rec.AttrMap(),
+		})
+	})
+
+	t0 := time.Now()
+	res, err := s.cfg.Synth(ctx, j.req)
+	dur := time.Since(t0)
+	mJobDurationMS.Observe(float64(dur.Microseconds()) / 1000)
+
+	var summary *Summary
+	var design []byte
+	if err == nil {
+		summary = summarize(res)
+		design, err = designio.Save(res.Design)
+	}
+	if err == nil {
+		s.st.synthesized.Add(1)
+		mJobsDone.Inc()
+		s.cache.put(&cached{key: j.key, jobID: j.id, summary: summary, design: design})
+	} else {
+		s.st.failed.Add(1)
+		mJobsFailed.Inc()
+	}
+	// Release the singleflight slot before waking waiters, so a request
+	// arriving after completion sees the cache entry rather than
+	// attaching to a finished job.
+	s.mu.Lock()
+	if s.inflight[j.key] == j {
+		delete(s.inflight, j.key)
+	}
+	s.mu.Unlock()
+	j.finish(summary, design, err)
+}
+
+// routes builds the HTTP surface.
+func (s *Server) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", s.handleSynthesize)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
+	mux.HandleFunc("GET /v1/jobs/{id}/design", s.handleJobDesign)
+	mux.HandleFunc("GET /v1/designs/{key}", s.handleDesignByKey)
+	mux.HandleFunc("GET /v1/stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if s.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+	})
+	return mux
+}
+
+// maxRequestBody bounds POST bodies (a 32-node all-to-all request is
+// well under 64 KiB; the margin admits large explicit traffic lists).
+const maxRequestBody = 8 << 20
+
+func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
+	s.st.requests.Add(1)
+	mRequests.Inc()
+	var req Request
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		mRequestsInvalid.Inc()
+		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	rr, err := req.resolve()
+	if err != nil {
+		mRequestsInvalid.Inc()
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	key := canonicalKey(rr)
+
+	// Content-addressed fast path.
+	if c, ok := s.cache.get(key); ok {
+		s.st.cacheHits.Add(1)
+		mCacheHits.Inc()
+		writeJSON(w, http.StatusOK, &Response{
+			JobID: c.jobID, Key: key, Source: "cache",
+			Summary: c.summary, Design: c.design,
+		})
+		return
+	}
+	mCacheMisses.Inc()
+
+	deadline := s.cfg.DefaultDeadline
+	if req.DeadlineMS > 0 {
+		deadline = time.Duration(req.DeadlineMS) * time.Millisecond
+	}
+
+	// Admission under the lock: singleflight attach, drain rejection,
+	// then a non-blocking enqueue against the bounded queue.
+	s.mu.Lock()
+	j, attached := s.inflight[key]
+	attached = attached && !j.terminal()
+	if attached {
+		j.attach()
+		s.mu.Unlock()
+		s.st.dedupHits.Add(1)
+		mDedupHits.Inc()
+	} else {
+		if s.draining.Load() {
+			s.mu.Unlock()
+			s.st.drained.Add(1)
+			mRejectedDrain.Inc()
+			w.Header().Set("Retry-After", "5")
+			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			return
+		}
+		j = newJob(jobID(s.seq.Add(1), key), key, rr, deadline)
+		select {
+		case s.queue <- j:
+		default:
+			s.mu.Unlock()
+			s.st.rejected.Add(1)
+			mRejectedFull.Inc()
+			w.Header().Set("Retry-After", "1")
+			writeError(w, http.StatusTooManyRequests,
+				fmt.Errorf("job queue full (depth %d)", s.cfg.QueueDepth))
+			return
+		}
+		mQueueDepth.Set(int64(len(s.queue)))
+		s.inflight[key] = j
+		s.retainJobLocked(j)
+		s.mu.Unlock()
+	}
+
+	source := "synthesized"
+	if attached {
+		source = "dedup"
+	}
+	if req.Async {
+		w.Header().Set("Location", "/v1/jobs/"+j.id)
+		writeJSON(w, http.StatusAccepted, &Response{JobID: j.id, Key: key, Source: source})
+		return
+	}
+
+	t0 := time.Now()
+	select {
+	case <-j.done:
+	case <-r.Context().Done():
+		// Client gone; the job keeps running and fills the cache.
+		return
+	}
+	if _, _, _, jerr := j.snapshot(); jerr != nil {
+		status := http.StatusUnprocessableEntity
+		if errors.Is(jerr, context.DeadlineExceeded) {
+			status = http.StatusGatewayTimeout
+		}
+		writeError(w, status, jerr)
+		return
+	}
+	j.mu.Lock()
+	resp := &Response{
+		JobID: j.id, Key: key, Source: source,
+		Summary: j.summary, Design: j.design,
+		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// retainJobLocked registers a job record and evicts the oldest
+// finished records beyond the retention cap. Callers hold s.mu.
+func (s *Server) retainJobLocked(j *job) {
+	s.jobs[j.id] = j
+	s.jobOrder = append(s.jobOrder, j.id)
+	for len(s.jobOrder) > s.cfg.MaxJobs {
+		evicted := false
+		for i, id := range s.jobOrder {
+			if old, ok := s.jobs[id]; ok && old.terminal() {
+				delete(s.jobs, id)
+				s.jobOrder = append(s.jobOrder[:i], s.jobOrder[i+1:]...)
+				evicted = true
+				break
+			}
+		}
+		if !evicted {
+			break // every retained job is still live; retain them all
+		}
+	}
+}
+
+func (s *Server) lookup(id string) *job {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.jobs[id]
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	state, events, summary, jerr := j.snapshot()
+	st := &JobStatus{JobID: j.id, Key: j.key, State: state, Events: events, Summary: summary}
+	if jerr != nil {
+		st.Error = jerr.Error()
+	}
+	writeJSON(w, http.StatusOK, st)
+}
+
+// handleEvents streams the job's progress as Server-Sent Events:
+// a gapless replay of everything published so far, then live events
+// until the job finishes or the client disconnects.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	flusher, ok := w.(http.Flusher)
+	if !ok {
+		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.WriteHeader(http.StatusOK)
+
+	replay, ch := j.subscribe()
+	defer j.unsubscribe(ch)
+	lastSeq := -1
+	for _, ev := range replay {
+		if writeSSE(w, ev) != nil {
+			return
+		}
+		lastSeq = ev.Seq
+		if ev.Type == "done" || ev.Type == "failed" {
+			flusher.Flush()
+			return
+		}
+	}
+	flusher.Flush()
+	for {
+		select {
+		case ev := <-ch:
+			if ev.Seq <= lastSeq {
+				continue // replay/live overlap
+			}
+			if writeSSE(w, ev) != nil {
+				return
+			}
+			lastSeq = ev.Seq
+			flusher.Flush()
+			if ev.Type == "done" || ev.Type == "failed" {
+				return
+			}
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// writeSSE emits one event in SSE framing: the event name is the
+// lifecycle type, the data line its JSON body.
+func writeSSE(w http.ResponseWriter, ev Event) error {
+	body, err := json.Marshal(ev)
+	if err != nil {
+		return err
+	}
+	_, err = fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, body)
+	return err
+}
+
+// handleJobDesign serves the job result's exact designio.Save bytes —
+// byte-identical to running the same request through the library.
+func (s *Server) handleJobDesign(w http.ResponseWriter, r *http.Request) {
+	j := s.lookup(r.PathValue("id"))
+	if j == nil {
+		writeError(w, http.StatusNotFound, errors.New("unknown job"))
+		return
+	}
+	state, _, _, jerr := j.snapshot()
+	switch state {
+	case StateDone:
+		j.mu.Lock()
+		design := j.design
+		j.mu.Unlock()
+		w.Header().Set("Content-Type", "application/json")
+		w.Header().Set("X-Design-Key", j.key)
+		_, _ = w.Write(design)
+	case StateFailed:
+		writeError(w, http.StatusUnprocessableEntity, jerr)
+	default:
+		w.Header().Set("Retry-After", "1")
+		writeError(w, http.StatusConflict, fmt.Errorf("job is %s; no design yet", state))
+	}
+}
+
+// handleDesignByKey serves a cached design by its content key.
+func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.cache.get(r.PathValue("key"))
+	if !ok {
+		writeError(w, http.StatusNotFound, errors.New("design not cached"))
+		return
+	}
+	s.st.cacheHits.Add(1)
+	mCacheHits.Inc()
+	w.Header().Set("Content-Type", "application/json")
+	w.Header().Set("X-Job-ID", c.jobID)
+	_, _ = w.Write(c.design)
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, s.Stats())
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+func writeError(w http.ResponseWriter, status int, err error) {
+	msg := "unknown error"
+	if err != nil {
+		msg = err.Error()
+	}
+	writeJSON(w, status, errorBody{Error: msg})
+}

@@ -1,0 +1,176 @@
+// Package service turns the xring synthesis library into a
+// long-running daemon: an HTTP JSON API that accepts Network + Options
+// requests, canonicalizes and hashes each one into a content-addressed
+// key, deduplicates concurrent identical requests (singleflight),
+// serves repeats from a bounded LRU result cache, and runs misses on a
+// bounded job queue with admission control — queue-full requests get
+// 429 + Retry-After instead of unbounded latency, and per-request
+// deadlines cancel into core's stage boundaries. Per-stage progress
+// streams to clients over SSE, derived from the engine's obs spans via
+// obs.WithProgress.
+//
+// Endpoints (see SERVICE.md for the full contract):
+//
+//	POST /v1/synthesize        submit (sync by default; "async": true -> 202)
+//	GET  /v1/jobs/{id}         job status + summary
+//	GET  /v1/jobs/{id}/events  SSE progress stream (replay + live)
+//	GET  /v1/jobs/{id}/design  exact designio.Save bytes of the result
+//	GET  /v1/designs/{key}     cached design by content key
+//	GET  /v1/stats             always-on admission/cache counters
+//	GET  /healthz, /readyz     liveness / readiness (readyz 503 while draining)
+//	GET  /metrics              obs metrics registry snapshot (JSON)
+//
+// Results embed the designio.Save payload, and the design endpoints
+// serve its exact bytes, so a service response is byte-comparable with
+// xring.Synthesize + designio.Save run locally — the property the e2e
+// test pins and the cache relies on for soundness.
+package service
+
+import (
+	"context"
+	"fmt"
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"xring/internal/core"
+)
+
+// SynthFunc runs one resolved request. The default is the engine
+// (core.SynthesizeCtx / core.SweepCtx); tests substitute stubs to
+// control timing without paying for real synthesis.
+type SynthFunc func(ctx context.Context, r *resolved) (*core.Result, error)
+
+// Config sizes the server. Zero values select the defaults.
+type Config struct {
+	// QueueDepth bounds jobs admitted but not yet running; a full
+	// queue rejects with 429 + Retry-After (default 64).
+	QueueDepth int
+	// Workers is the number of concurrent synthesis runs (default 2 —
+	// each run already fans out internally over the shared worker
+	// pool, so a small number of jobs saturates the machine).
+	Workers int
+	// CacheEntries bounds the LRU result cache (default 256; 0 uses
+	// the default, negative disables caching).
+	CacheEntries int
+	// DefaultDeadline applies when a request sets no deadlineMS
+	// (default none).
+	DefaultDeadline time.Duration
+	// MaxJobs bounds retained job records for status/event queries;
+	// the oldest finished jobs are evicted beyond it (default 1024).
+	MaxJobs int
+	// Synth overrides the engine call (tests only).
+	Synth SynthFunc
+}
+
+func (c Config) withDefaults() Config {
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.Workers <= 0 {
+		c.Workers = 2
+	}
+	if c.CacheEntries == 0 {
+		c.CacheEntries = 256
+	}
+	if c.CacheEntries < 0 {
+		c.CacheEntries = 0
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 1024
+	}
+	if c.Synth == nil {
+		c.Synth = engineSynth
+	}
+	return c
+}
+
+// engineSynth is the production SynthFunc.
+func engineSynth(ctx context.Context, r *resolved) (*core.Result, error) {
+	if r.sweep {
+		res, _, err := core.SweepCtx(ctx, r.net, r.opt, r.objective, r.cands)
+		return res, err
+	}
+	return core.SynthesizeCtx(ctx, r.net, r.opt)
+}
+
+// Server is the synthesis service: admission queue, workers, result
+// cache and HTTP surface. Create with New, serve Handler(), stop with
+// Drain.
+type Server struct {
+	cfg   Config
+	mux   *http.ServeMux
+	queue chan *job
+
+	mu       sync.Mutex
+	inflight map[string]*job // content key -> running/queued job (singleflight)
+	jobs     map[string]*job // job id -> record
+	jobOrder []string        // admission order, for bounded retention
+
+	cache    *resultCache
+	draining atomic.Bool
+	seq      atomic.Uint64
+	wg       sync.WaitGroup
+	st       stats
+}
+
+// New builds a server and starts its worker goroutines.
+func New(cfg Config) *Server {
+	cfg = cfg.withDefaults()
+	s := &Server{
+		cfg:      cfg,
+		queue:    make(chan *job, cfg.QueueDepth),
+		inflight: map[string]*job{},
+		jobs:     map[string]*job{},
+		cache:    newResultCache(cfg.CacheEntries),
+	}
+	s.mux = s.routes()
+	s.wg.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.worker()
+	}
+	return s
+}
+
+// Handler returns the HTTP surface.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Stats returns the always-on admission/cache counters.
+func (s *Server) Stats() Stats { return s.st.snapshot() }
+
+// Draining reports whether the server has begun shutting down.
+func (s *Server) Draining() bool { return s.draining.Load() }
+
+// Drain begins graceful shutdown: new submissions are rejected with
+// 503, every already-admitted job (queued or running) completes, and
+// Drain returns when the workers have exited — or when ctx expires,
+// in which case the remaining jobs keep running in the background and
+// an error is returned. Drain is idempotent.
+func (s *Server) Drain(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.draining.Swap(true) {
+		close(s.queue) // workers drain the remaining buffered jobs, then exit
+	}
+	s.mu.Unlock()
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		return nil
+	case <-ctx.Done():
+		return fmt.Errorf("service: drain interrupted: %w", ctx.Err())
+	}
+}
+
+// worker consumes admitted jobs until the queue closes at drain.
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for j := range s.queue {
+		mQueueDepth.Set(int64(len(s.queue)))
+		s.run(j)
+	}
+}
