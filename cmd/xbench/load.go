@@ -61,9 +61,10 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	variants := loadVariants(cfg.nodes)
 
 	type sample struct {
-		lat    time.Duration
-		source string
-		err    error
+		lat      time.Duration
+		source   string
+		degraded bool
+		err      error
 	}
 	samples := make([]sample, cfg.total)
 	sem := make(chan struct{}, cfg.conc)
@@ -80,6 +81,7 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 			s := sample{lat: time.Since(start), err: err}
 			if err == nil {
 				s.source = resp.Source
+				s.degraded = resp.Summary != nil && resp.Summary.Degraded
 			}
 			samples[i] = s
 		}(i)
@@ -93,11 +95,18 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 
 	var lats []time.Duration
 	sources := map[string]int{}
-	failures := 0
+	failures, degraded := 0, 0
+	var failureSamples []string
 	for _, s := range samples {
 		if s.err != nil {
 			failures++
+			if len(failureSamples) < 3 {
+				failureSamples = append(failureSamples, s.err.Error())
+			}
 			continue
+		}
+		if s.degraded {
+			degraded++
 		}
 		lats = append(lats, s.lat)
 		sources[s.source]++
@@ -119,12 +128,20 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Fprintf(w, "  sources          synthesized %d, dedup %d, cache %d\n",
 		sources["synthesized"], sources["dedup"], sources["cache"])
-	fmt.Fprintf(w, "  server counters  +%d requests, +%d synthesized, +%d cache hits, +%d dedup hits, +%d rejected\n",
+	if degraded > 0 {
+		fmt.Fprintf(w, "  degraded         %d responses used the heuristic fallback\n", degraded)
+	}
+	fmt.Fprintf(w, "  server counters  +%d requests, +%d synthesized, +%d cache hits, +%d dedup hits, +%d rejected, +%d degraded\n",
 		after.Requests-before.Requests, after.Synthesized-before.Synthesized,
 		after.CacheHits-before.CacheHits, after.DedupHits-before.DedupHits,
-		after.Rejected-before.Rejected)
+		after.Rejected-before.Rejected, after.Degraded-before.Degraded)
+	for _, msg := range failureSamples {
+		fmt.Fprintf(w, "  failure          %s\n", msg)
+	}
+	// A load run that lost requests is a failed run: the caller (xbench
+	// main, CI) must exit nonzero, not just print a sad number.
 	if failures > 0 {
-		return fmt.Errorf("%d/%d load requests failed", failures, cfg.total)
+		return fmt.Errorf("%d/%d load requests ultimately failed", failures, cfg.total)
 	}
 	return nil
 }

@@ -11,7 +11,10 @@ import (
 )
 
 func TestRunLoadAgainstInProcessService(t *testing.T) {
-	s := service.New(service.Config{QueueDepth: 4, Workers: 2})
+	s, err := service.New(service.Config{QueueDepth: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer func() {
 		ts.Close()

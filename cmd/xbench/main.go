@@ -141,11 +141,12 @@ func main() {
 		// Render every section concurrently into its own buffer, print
 		// in order.
 		sections := []func(io.Writer){table1, table2, table3, runAblation}
-		bufs, _ := parallel.Map(nil, len(sections), func(i int) (string, error) {
+		bufs, err := parallel.Map(nil, len(sections), func(i int) (string, error) {
 			var b bytes.Buffer
 			sections[i](&b)
 			return b.String(), nil
 		})
+		mustFanout(err)
 		for i, s := range bufs {
 			if i > 0 {
 				fmt.Println()
@@ -197,10 +198,10 @@ func sweepBaseline(name string, synth func(maxWL int) (*xring.BaselineResult, er
 			eval(i)
 		}
 	} else {
-		_ = parallel.ForEach(nil, len(cands), func(i int) error {
+		mustFanout(parallel.ForEach(nil, len(cands), func(i int) error {
 			eval(i)
 			return nil
-		})
+		}))
 	}
 	var best *baselineRun
 	for _, r := range runs {
@@ -212,6 +213,17 @@ func sweepBaseline(name string, synth func(maxWL int) (*xring.BaselineResult, er
 		panic("no feasible setting for " + name)
 	}
 	return best
+}
+
+// mustFanout re-raises a fan-out failure. xbench's table closures
+// signal fatal setup errors by panicking; the worker pool contains
+// panics as *resilience.PanicError task failures, and a benchmark
+// binary still wants those to fail loudly rather than print a table
+// with silently missing rows.
+func mustFanout(err error) {
+	if err != nil {
+		panic(err)
+	}
 }
 
 func minIL(a, b *xring.BaselineResult) bool { return a.Loss.WorstIL < b.Loss.WorstIL }
@@ -234,10 +246,10 @@ func addRows(tb *report.Table, jobs []func() []string) {
 			rows[i] = job()
 		}
 	} else {
-		_ = parallel.ForEach(nil, len(jobs), func(i int) error {
+		mustFanout(parallel.ForEach(nil, len(jobs), func(i int) error {
 			rows[i] = jobs[i]()
 			return nil
-		})
+		}))
 	}
 	for _, r := range rows {
 		if r != nil {
@@ -383,7 +395,7 @@ func table2(w io.Writer) {
 			subs = append(subs, sub{n, s})
 		}
 	}
-	bufs, _ := parallel.Map(nil, len(subs), func(i int) (string, error) {
+	bufs, err := parallel.Map(nil, len(subs), func(i int) (string, error) {
 		var b bytes.Buffer
 		n := subs[i].n
 		pdnComparisonTable(&b,
@@ -394,6 +406,7 @@ func table2(w io.Writer) {
 			})
 		return b.String(), nil
 	})
+	mustFanout(err)
 	for _, s := range bufs {
 		fmt.Fprint(w, s)
 	}
@@ -403,7 +416,7 @@ func table2(w io.Writer) {
 func table3(w io.Writer) {
 	fmt.Fprintln(w, "TABLE III — ORing vs XRing with PDNs (16-node network)")
 	par := xring.DefaultParams()
-	bufs, _ := parallel.Map(nil, len(pdnSettings), func(i int) (string, error) {
+	bufs, err := parallel.Map(nil, len(pdnSettings), func(i int) (string, error) {
 		var b bytes.Buffer
 		pdnComparisonTable(&b,
 			fmt.Sprintf("\nThe setting for %s", pdnSettings[i].name),
@@ -413,6 +426,7 @@ func table3(w io.Writer) {
 			})
 		return b.String(), nil
 	})
+	mustFanout(err)
 	for _, s := range bufs {
 		fmt.Fprint(w, s)
 	}

@@ -11,6 +11,9 @@
 //	xringd -addr :9000 -workers 4   # custom listen address and parallelism
 //	xringd -queue 16 -cache 512     # admission queue depth, result cache size
 //	xringd -deadline 2m             # default per-request synthesis deadline
+//	xringd -persist /var/lib/xring  # crash-safe on-disk result cache
+//	xringd -stage-timeout 30s       # per-stage progress watchdog (504 on stall)
+//	xringd -fault 'core.ring=error:budget'  # deterministic fault injection
 //
 // Shutdown: SIGINT/SIGTERM starts a graceful drain — new submissions
 // are rejected with 503 (and /readyz flips, so load balancers stop
@@ -41,6 +44,10 @@ func main() {
 	cache := flag.Int("cache", 256, "result cache entries (0 default, negative disables)")
 	deadline := flag.Duration("deadline", 0, "default per-request synthesis deadline (0 = none)")
 	drainTimeout := flag.Duration("drain-timeout", 2*time.Minute, "max time to finish admitted jobs at shutdown")
+	persist := flag.String("persist", "", "directory for the crash-safe persistent result cache (empty disables)")
+	persistEntries := flag.Int("persist-entries", 0, "max on-disk cache entries (0 = default 1024)")
+	stageTimeout := flag.Duration("stage-timeout", 0, "fail a job if no synthesis stage completes within this long (0 = off)")
+	fault := flag.String("fault", "", "fault-injection spec, e.g. 'core.ring=error:budget;seed=7' (testing)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -49,6 +56,10 @@ func main() {
 		Workers:         *workers,
 		CacheEntries:    *cache,
 		DefaultDeadline: *deadline,
+		PersistDir:      *persist,
+		PersistEntries:  *persistEntries,
+		StageTimeout:    *stageTimeout,
+		FaultSpec:       *fault,
 	}, *drainTimeout, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "xringd:", err)
 		os.Exit(1)
@@ -78,7 +89,17 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, obsFlags *
 // closes. Split from run so tests can drive it on an ephemeral port.
 func serve(ln net.Listener, cfg service.Config, drainTimeout time.Duration) error {
 	logger := obs.Logger("service")
-	svc := service.New(cfg)
+	svc, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	if cfg.PersistDir != "" {
+		st := svc.Stats()
+		logger.Info("persistent cache opened", "dir", cfg.PersistDir,
+			"recovered", st.PersistRecovered, "discarded", st.PersistDiscarded)
+		fmt.Fprintf(os.Stderr, "xringd: persistent cache %s (recovered %d, discarded %d)\n",
+			cfg.PersistDir, st.PersistRecovered, st.PersistDiscarded)
+	}
 	httpServer := &http.Server{Handler: svc.Handler()}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)

@@ -18,11 +18,16 @@ import (
 	"container/list"
 	"context"
 	"encoding/binary"
+	"errors"
+	"fmt"
 	"math"
 	"sync"
+	"time"
 
+	"xring/internal/milp"
 	"xring/internal/noc"
 	"xring/internal/obs"
+	"xring/internal/resilience"
 	"xring/internal/ring"
 )
 
@@ -124,6 +129,63 @@ func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ri
 		return nil, err
 	}
 	return cacheInsert(key, r), nil
+}
+
+// ringDeadlineSlack is the remaining-deadline threshold below which
+// constructRingResilient skips the exact branch-and-bound entirely:
+// with less budget than this left, spending it on a search that will
+// be cancelled mid-way serves nobody, while the polynomial heuristic
+// still fits.
+const ringDeadlineSlack = 250 * time.Millisecond
+
+// constructRingResilient is constructRing with degraded-mode fallback.
+// It fires the "core.ring" fault point (before the cache, so injection
+// beats a warm entry), then: on a near-expired deadline or a solver
+// budget exhaustion (errors.Is milp.ErrBudget), it falls back to the
+// paper's heuristic ring constructor and returns a non-empty reason.
+// Heuristic results are NOT inserted into the ring cache — a later
+// un-degraded request for the same floorplan must still get the exact
+// tour. With noFallback set the original error is returned instead.
+func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Options, noFallback bool) (*ring.Result, string, error) {
+	if err := resilience.Fire(ctx, "core.ring"); err != nil {
+		if noFallback || !errors.Is(err, milp.ErrBudget) {
+			return nil, "", err
+		}
+		mFallbackBudget.Inc()
+		res, herr := ring.ConstructHeuristic(ctx, net, opt)
+		if herr != nil {
+			return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
+		}
+		return res, "ring solver budget exhausted; heuristic constructor used", nil
+	}
+	if !noFallback && ctx != nil {
+		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < ringDeadlineSlack {
+			// Serve what the remaining budget can afford. A warm cache
+			// entry is still preferred: it is both exact and free.
+			if r, ok := cacheLookup(floorplanKey(net, opt)); ok {
+				return r, "", nil
+			}
+			mFallbackDeadline.Inc()
+			res, herr := ring.ConstructHeuristic(ctx, net, opt)
+			if herr != nil {
+				return nil, "", herr
+			}
+			return res, "deadline nearly expired; heuristic ring constructor used", nil
+		}
+	}
+	res, err := constructRing(ctx, net, opt)
+	if err == nil {
+		return res, "", nil
+	}
+	if noFallback || !errors.Is(err, milp.ErrBudget) {
+		return nil, "", err
+	}
+	mFallbackBudget.Inc()
+	hres, herr := ring.ConstructHeuristic(ctx, net, opt)
+	if herr != nil {
+		return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
+	}
+	return hres, "ring solver budget exhausted; heuristic constructor used", nil
 }
 
 // ResetRingCache empties the Step-1 result cache. Benchmarks call it

@@ -13,6 +13,8 @@ import (
 	"sort"
 	"time"
 
+	"xring/internal/resilience"
+
 	"xring/internal/loss"
 	"xring/internal/mapping"
 	"xring/internal/noc"
@@ -34,6 +36,10 @@ var (
 	mSweepWinnerWL    = obs.NewGauge("core.sweep.winner.wl")
 	mSynthesizeCalls  = obs.NewCounter("core.synthesize.calls")
 	mSynthesizeErrors = obs.NewCounter("core.synthesize.errors")
+	// Degraded-mode fallbacks: Step-1 requests that fell back to the
+	// heuristic ring constructor, split by trigger.
+	mFallbackBudget   = obs.NewCounter("core.fallback.budget")
+	mFallbackDeadline = obs.NewCounter("core.fallback.deadline")
 )
 
 // Options configures a synthesis run.
@@ -77,6 +83,14 @@ type Options struct {
 
 	// RingMaxNodes caps the Step-1 branch and bound (0 = default).
 	RingMaxNodes int
+
+	// NoFallback disables degraded-mode synthesis: when the Step-1
+	// exact solver exhausts its budget (milp.ErrBudget) or the deadline
+	// is nearly spent, the flow normally falls back to the heuristic
+	// ring constructor and marks the result Degraded. With NoFallback
+	// the original error is returned instead — for callers that would
+	// rather fail than serve a non-optimal ring.
+	NoFallback bool
 }
 
 // Result is a fully synthesized and analyzed XRing router.
@@ -93,6 +107,12 @@ type Result struct {
 	// SynthTime covers synthesis only (Steps 1-4), excluding analyses,
 	// matching the paper's T column.
 	SynthTime time.Duration
+	// Degraded marks a result produced through a fallback path (the
+	// heuristic ring constructor stood in for the exact solver);
+	// DegradedReason says why. The design is still fully routed and
+	// validated — only Step-1 optimality is forfeited.
+	Degraded       bool
+	DegradedReason string
 }
 
 // Synthesize runs the full flow on a network. Step 1 results are
@@ -111,10 +131,10 @@ func SynthesizeCtx(ctx context.Context, net *noc.Network, opt Options) (*Result,
 		obs.Bool("share", opt.ShareWavelengths), obs.Bool("pdn", opt.WithPDN))
 	defer span.End()
 	t0 := time.Now()
-	rres, err := constructRing(ctx, net, ring.Options{
+	rres, degradedReason, err := constructRingResilient(ctx, net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
-	})
+	}, opt.NoFallback)
 	ringTime := time.Since(t0)
 	if err != nil {
 		return nil, err
@@ -124,6 +144,8 @@ func SynthesizeCtx(ctx context.Context, net *noc.Network, opt Options) (*Result,
 		return nil, err
 	}
 	res.SynthTime += ringTime
+	res.Degraded = degradedReason != ""
+	res.DegradedReason = degradedReason
 	return res, nil
 }
 
@@ -143,11 +165,22 @@ func ctxErr(ctx context.Context) error {
 	return ctx.Err()
 }
 
+// stageGate is the per-stage boundary check: cancellation first (so
+// deadlines keep their stage-boundary promptness), then the named
+// "core.stage.<stage>" fault point, which lets tests force failures,
+// panics, or latency at any boundary of the pipeline.
+func stageGate(ctx context.Context, stage string) error {
+	if err := ctxErr(ctx); err != nil {
+		return err
+	}
+	return resilience.Fire(ctx, "core.stage."+stage)
+}
+
 // SynthesizeOnRingCtx is SynthesizeOnRing under a context (cancellation
 // between stages and before each analysis, nested trace spans).
 func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
 	mSynthesizeCalls.Inc()
-	if err := ctxErr(ctx); err != nil {
+	if err := stageGate(ctx, "entry"); err != nil {
 		return nil, err
 	}
 	par := phys.Default()
@@ -177,7 +210,7 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	if err := ctxErr(ctx); err != nil {
+	if err := stageGate(ctx, "mapping"); err != nil {
 		return nil, err
 	}
 	noOpenings := opt.NoOpenings || !opt.WithPDN
@@ -200,7 +233,7 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	if err := ctxErr(ctx); err != nil {
+	if err := stageGate(ctx, "pdn"); err != nil {
 		return nil, err
 	}
 	// Step 4 always gets a span so a trace shows the decision even when
@@ -236,7 +269,7 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 	// Poll before each analysis as well: loss and crosstalk dominate the
 	// per-candidate cost at larger N, so a deadline that fires during
 	// Step 4 must not pay for them.
-	if err := ctxErr(ctx); err != nil {
+	if err := stageGate(ctx, "loss"); err != nil {
 		return nil, err
 	}
 	lrep, err := loss.AnalyzeCtx(ctx, d, plan)
@@ -244,7 +277,7 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	if err := ctxErr(ctx); err != nil {
+	if err := stageGate(ctx, "xtalk"); err != nil {
 		return nil, err
 	}
 	xrep, err := xtalk.AnalyzeCtx(ctx, d, plan, lrep)
@@ -401,10 +434,10 @@ func SweepCtx(ctx context.Context, net *noc.Network, opt Options, objective Obje
 	ctx, span := obs.Start(ctx, "core.sweep",
 		obs.String("objective", objective.String()), obs.Int("candidates", len(cands)))
 	defer span.End()
-	rres, err := constructRing(ctx, net, ring.Options{
+	rres, degradedReason, err := constructRingResilient(ctx, net, ring.Options{
 		MaxNodes:         opt.RingMaxNodes,
 		DisableConflicts: opt.DisableConflicts,
-	})
+	}, opt.NoFallback)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -443,7 +476,10 @@ func SweepCtx(ctx context.Context, net *noc.Network, opt Options, objective Obje
 			results[i] = synth(i)
 			return nil
 		}); err != nil {
-			return nil, 0, err // only a context error: synth never fails the fan-out
+			// A context error, an injected parallel.task fault, or a
+			// contained candidate panic: synth itself never fails the
+			// fan-out.
+			return nil, 0, err
 		}
 	}
 	// Reduce in canonical candidate order, then explain the winner: the
@@ -464,6 +500,9 @@ func SweepCtx(ctx context.Context, net *noc.Network, opt Options, objective Obje
 	if best == nil {
 		return nil, 0, fmt.Errorf("core: no feasible #wl setting among %v", candidates)
 	}
+	// A degraded ring degrades every candidate equally; stamp the winner.
+	best.Degraded = degradedReason != ""
+	best.DegradedReason = degradedReason
 	_, decidedBy := compareResults(objective, best, runnerUp)
 	if runnerUp == nil {
 		decidedBy = "only-feasible"

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"xring/internal/milp"
+	"xring/internal/noc"
+	"xring/internal/resilience"
+)
+
+// degradedCtx returns a context whose Step-1 exact solve fails with an
+// injected milp.ErrBudget, forcing the heuristic fallback.
+func degradedCtx() context.Context {
+	in := resilience.NewInjector(1, resilience.Rule{Point: "core.ring", Err: milp.ErrBudget})
+	return resilience.WithInjector(context.Background(), in)
+}
+
+func TestSynthesizeFallsBackOnBudget(t *testing.T) {
+	net := noc.Floorplan16()
+	res, err := SynthesizeCtx(degradedCtx(), net, Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatalf("degraded synthesis failed outright: %v", err)
+	}
+	if !res.Degraded {
+		t.Fatal("result not marked degraded")
+	}
+	if !strings.Contains(res.DegradedReason, "budget") {
+		t.Errorf("DegradedReason = %q, want a budget-exhaustion reason", res.DegradedReason)
+	}
+	if res.Ring.Optimal {
+		t.Error("heuristic ring claims optimality")
+	}
+	if err := res.Design.Validate(); err != nil {
+		t.Errorf("degraded design invalid: %v", err)
+	}
+
+	// The fallback must not have poisoned the ring cache: the same
+	// floorplan without injection gets the exact solve again.
+	clean, err := SynthesizeCtx(context.Background(), net, Options{MaxWL: 14, WithPDN: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if clean.Degraded || !clean.Ring.Optimal {
+		t.Errorf("clean re-run degraded=%v optimal=%v; fallback leaked into the ring cache",
+			clean.Degraded, clean.Ring.Optimal)
+	}
+}
+
+func TestNoFallbackSurfacesBudgetError(t *testing.T) {
+	net := noc.Floorplan16()
+	_, err := SynthesizeCtx(degradedCtx(), net, Options{MaxWL: 14, NoFallback: true})
+	if !errors.Is(err, milp.ErrBudget) {
+		t.Fatalf("err = %v, want errors.Is(err, milp.ErrBudget)", err)
+	}
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Errorf("err = %v should still be recognizable as injected", err)
+	}
+}
+
+func TestSynthesizeFallsBackNearDeadline(t *testing.T) {
+	ResetRingCache() // a warm exact entry would (correctly) dodge the fallback
+	net := noc.Floorplan8()
+	ctx, cancel := context.WithTimeout(context.Background(), 200*time.Millisecond)
+	defer cancel()
+	res, err := SynthesizeCtx(ctx, net, Options{MaxWL: 7})
+	if err != nil {
+		t.Fatalf("near-deadline synthesis failed: %v", err)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradedReason, "deadline") {
+		t.Fatalf("degraded=%v reason=%q, want a deadline fallback", res.Degraded, res.DegradedReason)
+	}
+	if err := res.Design.Validate(); err != nil {
+		t.Errorf("degraded design invalid: %v", err)
+	}
+}
+
+func TestSweepStampsDegradedWinner(t *testing.T) {
+	net := noc.Floorplan8()
+	res, wl, err := SweepCtx(degradedCtx(), net, Options{}, MinWorstIL, []int{7, 8})
+	if err != nil {
+		t.Fatalf("degraded sweep failed: %v", err)
+	}
+	if wl < 1 {
+		t.Errorf("winner #wl = %d", wl)
+	}
+	if !res.Degraded || !strings.Contains(res.DegradedReason, "budget") {
+		t.Errorf("sweep winner degraded=%v reason=%q", res.Degraded, res.DegradedReason)
+	}
+}
+
+func TestStageFaultPointsCoverPipeline(t *testing.T) {
+	// An injector with no rules records hit counts: every stage gate of
+	// the full PDN-enabled flow must be exercised.
+	in := resilience.NewInjector(1)
+	ctx := resilience.WithInjector(context.Background(), in)
+	if _, err := SynthesizeCtx(ctx, noc.Floorplan8(), Options{MaxWL: 7, WithPDN: true}); err != nil {
+		t.Fatal(err)
+	}
+	for _, point := range []string{
+		"core.ring",
+		"core.stage.entry",
+		"core.stage.mapping",
+		"core.stage.pdn",
+		"core.stage.loss",
+		"core.stage.xtalk",
+	} {
+		if in.Hits(point) == 0 {
+			t.Errorf("fault point %q never reached", point)
+		}
+	}
+}
+
+func TestStageFaultAbortsPipeline(t *testing.T) {
+	in := resilience.NewInjector(1, resilience.Rule{Point: "core.stage.loss", Err: resilience.ErrInjected})
+	ctx := resilience.WithInjector(context.Background(), in)
+	_, err := SynthesizeCtx(ctx, noc.Floorplan8(), Options{MaxWL: 7})
+	if !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("err = %v, want the injected stage fault", err)
+	}
+}

@@ -160,6 +160,21 @@ func Save(d *router.Design) ([]byte, error) {
 	return json.MarshalIndent(f, "", " ")
 }
 
+// PayloadVersion reports the format version stamped into a serialized
+// design without rebuilding it. The service's persistent cache uses it
+// during crash recovery to discard version-stale entries cheaply — a
+// payload that does not even parse reports an error, which recovery
+// treats the same as a stale version.
+func PayloadVersion(data []byte) (int, error) {
+	var v struct {
+		Version int `json:"version"`
+	}
+	if err := json.Unmarshal(data, &v); err != nil {
+		return 0, fmt.Errorf("designio: %w", err)
+	}
+	return v.Version, nil
+}
+
 // Load rebuilds a design from its serialized form and validates it.
 func Load(data []byte) (*router.Design, error) {
 	var f file

@@ -1,6 +1,7 @@
 package mapping
 
 import (
+	"errors"
 	"fmt"
 
 	"xring/internal/milp"
@@ -88,7 +89,7 @@ func colorable(conflict [][]bool, k int) (bool, error) {
 		}
 	}
 	_, err := milp.Solve(m, milp.Options{MaxNodes: 2_000_000})
-	if err == milp.ErrInfeasible {
+	if errors.Is(err, milp.ErrInfeasible) {
 		return false, nil
 	}
 	if err != nil {

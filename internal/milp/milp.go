@@ -210,10 +210,13 @@ func Solve(m *Model, opt Options) (*Solution, error) {
 	feasible := s.search()
 	sol := &Solution{Nodes: s.nodes, Optimal: s.nodes < s.maxNodes}
 	if !s.haveBest {
+		// Wrap the sentinels with solve-state context; callers must match
+		// with errors.Is, not ==.
 		if !feasible && sol.Optimal {
-			return nil, ErrInfeasible
+			return nil, fmt.Errorf("%w (%d vars, %d constraints, %d nodes explored)",
+				ErrInfeasible, m.NumVars(), m.NumConstraints(), s.nodes)
 		}
-		return nil, ErrBudget
+		return nil, fmt.Errorf("%w (explored %d of %d nodes)", ErrBudget, s.nodes, s.maxNodes)
 	}
 	sol.Values = s.bestVals
 	sol.Objective = s.best

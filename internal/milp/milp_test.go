@@ -1,6 +1,7 @@
 package milp
 
 import (
+	"errors"
 	"math"
 	"math/rand"
 	"testing"
@@ -33,7 +34,7 @@ func TestConflictConstraint(t *testing.T) {
 	m.ExactlyOne("ga", a)
 	m.AtMostOne("conflict", a, b)
 	m.AddConstraint("need-b", []Term{{b, 1}}, GE, 1)
-	if _, err := Solve(m, Options{}); err != ErrInfeasible {
+	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -43,7 +44,7 @@ func TestInfeasibleEquality(t *testing.T) {
 	a := m.Binary("a")
 	b := m.Binary("b")
 	m.AddConstraint("impossible", []Term{{a, 1}, {b, 1}}, EQ, 3)
-	if _, err := Solve(m, Options{}); err != ErrInfeasible {
+	if _, err := Solve(m, Options{}); !errors.Is(err, ErrInfeasible) {
 		t.Fatalf("err = %v, want ErrInfeasible", err)
 	}
 }
@@ -210,7 +211,7 @@ func TestNodeBudget(t *testing.T) {
 	for i := 0; i < 12; i += 3 {
 		m.ExactlyOne("g", vars[i], vars[i+1], vars[i+2])
 	}
-	if _, err := Solve(m, Options{MaxNodes: 1}); err != ErrBudget {
+	if _, err := Solve(m, Options{MaxNodes: 1}); !errors.Is(err, ErrBudget) {
 		t.Fatalf("err = %v, want ErrBudget", err)
 	}
 }

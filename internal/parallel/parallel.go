@@ -24,11 +24,13 @@ package parallel
 
 import (
 	"context"
+	"errors"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
 	"xring/internal/obs"
+	"xring/internal/resilience"
 )
 
 // Pool telemetry (all updates gated on the obs metrics flag):
@@ -43,6 +45,7 @@ var (
 	mBorrows    = obs.NewCounter("parallel.borrows")
 	mBusy       = obs.NewGauge("parallel.workers.busy")
 	mTokensFree = obs.NewGauge("parallel.tokens.free")
+	mPanics     = obs.NewCounter("parallel.panics")
 )
 
 // tokens is the global borrowable-worker budget. A fan-out borrows
@@ -106,6 +109,12 @@ func borrow() chan struct{} {
 // shared budget. After a cancellation or error no further task starts,
 // but in-flight tasks run to completion before ForEach returns.
 //
+// A panicking task never unwinds through the pool: the panic is
+// recovered into a *resilience.PanicError task failure carrying the
+// panic value and stack, borrowed tokens are returned, and the fan-out
+// reports it like any other error. Callers that rely on panics for
+// fail-loudly semantics must check the returned error and re-panic.
+//
 // ctx may be nil, meaning no cancellation.
 func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 	if n <= 0 {
@@ -127,6 +136,18 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 		mu.Unlock()
 		stopped.Store(true)
 	}
+	// call isolates one task: a panicking fn surfaces as a
+	// *resilience.PanicError task failure (stack captured) instead of
+	// unwinding through the pool and killing the process, and the
+	// "parallel.task" fault point lets tests force failures, panics, or
+	// latency into arbitrary tasks.
+	call := func(i int) (err error) {
+		defer resilience.RecoverTo(&err, "parallel.task")
+		if err := resilience.Fire(ctx, "parallel.task"); err != nil {
+			return err
+		}
+		return fn(i)
+	}
 	run := func() {
 		mBusy.Add(1)
 		defer mBusy.Add(-1)
@@ -145,7 +166,11 @@ func ForEach(ctx context.Context, n int, fn func(i int) error) error {
 				return
 			}
 			mTasks.Inc()
-			if err := fn(i); err != nil {
+			if err := call(i); err != nil {
+				var pe *resilience.PanicError
+				if errors.As(err, &pe) {
+					mPanics.Inc()
+				}
 				fail(i, err)
 				return
 			}

@@ -7,6 +7,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"xring/internal/resilience"
 )
 
 func TestMapOrdered(t *testing.T) {
@@ -136,5 +138,96 @@ func TestMapError(t *testing.T) {
 	})
 	if err == nil || out != nil {
 		t.Fatal("want error and nil slice")
+	}
+}
+
+func TestForEachContainsPanics(t *testing.T) {
+	// A panicking task must surface as a *resilience.PanicError task
+	// failure — never unwind through the pool — and the remaining
+	// in-flight tasks must drain.
+	var ran atomic.Int64
+	err := ForEach(nil, 64, func(i int) error {
+		ran.Add(1)
+		if i == 7 {
+			panic("task 7 exploded")
+		}
+		return nil
+	})
+	var pe *resilience.PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("err = %v (%T), want *resilience.PanicError", err, err)
+	}
+	if pe.Value != "task 7 exploded" || pe.Point != "parallel.task" {
+		t.Errorf("PanicError = {Point: %q, Value: %v}", pe.Point, pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("panic stack not captured")
+	}
+	if ran.Load() == 0 {
+		t.Error("no tasks ran")
+	}
+}
+
+func TestForEachPanicDoesNotLeakTokens(t *testing.T) {
+	// Borrowed workers must return their tokens even when tasks panic:
+	// after many panicking fan-outs the budget still allows a full
+	// complement of borrows.
+	for round := 0; round < 20; round++ {
+		_ = ForEach(nil, 8, func(i int) error { panic(i) })
+	}
+	if got, want := Workers(), Workers(); got != want {
+		t.Fatalf("Workers() inconsistent: %d != %d", got, want)
+	}
+	var maxBusy atomic.Int64
+	var busy atomic.Int64
+	_ = ForEach(nil, 1024, func(i int) error {
+		b := busy.Add(1)
+		defer busy.Add(-1)
+		for {
+			m := maxBusy.Load()
+			if b <= m || maxBusy.CompareAndSwap(m, b) {
+				break
+			}
+		}
+		time.Sleep(10 * time.Microsecond)
+		return nil
+	})
+	if w := Workers(); w > 1 && maxBusy.Load() < 2 {
+		t.Errorf("after panicking rounds parallelism collapsed: max busy %d with %d workers", maxBusy.Load(), w)
+	}
+}
+
+func TestForEachMapPanic(t *testing.T) {
+	out, err := Map(nil, 4, func(i int) (int, error) {
+		if i == 2 {
+			panic("boom")
+		}
+		return i, nil
+	})
+	if err == nil || out != nil {
+		t.Fatal("want contained panic error and nil slice")
+	}
+}
+
+func TestForEachFaultPoint(t *testing.T) {
+	// The parallel.task fault point injects task failures and panics
+	// through the context, deterministically.
+	sentinel := errors.New("injected task failure")
+	in := resilience.NewInjector(1, resilience.Rule{Point: "parallel.task", Err: sentinel, After: 3, Times: 1})
+	ctx := resilience.WithInjector(context.Background(), in)
+	err := ForEach(ctx, 16, func(i int) error { return nil })
+	if !errors.Is(err, sentinel) || !errors.Is(err, resilience.ErrInjected) {
+		t.Fatalf("err = %v, want the injected sentinel", err)
+	}
+	if in.Hits("parallel.task") < 4 {
+		t.Errorf("fault point hit %d times, want >= 4", in.Hits("parallel.task"))
+	}
+
+	pin := resilience.NewInjector(1, resilience.Rule{Point: "parallel.task", Panic: true, Times: 1})
+	pctx := resilience.WithInjector(context.Background(), pin)
+	perr := ForEach(pctx, 16, func(i int) error { return nil })
+	var pe *resilience.PanicError
+	if !errors.As(perr, &pe) {
+		t.Fatalf("injected panic surfaced as %v (%T), want *resilience.PanicError", perr, perr)
 	}
 }

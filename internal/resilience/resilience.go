@@ -1,0 +1,221 @@
+// Package resilience provides a context-scoped, deterministic
+// fault-injection harness and typed panic capture for the synthesis
+// pipeline.
+//
+// The harness follows the same pattern as obs.WithProgress: an
+// *Injector rides a request's context into the engine, and
+// instrumented code calls Fire(ctx, point) at named fault points —
+// solver budgets, cache I/O, stage boundaries, worker-pool tasks.
+// With no injector installed Fire is a nil-map lookup away from free,
+// so production paths stay uninstrumented-cost.
+//
+// Determinism: an Injector is seeded, and probabilistic rules draw
+// from its private PRNG under a mutex, so a given (seed, sequence of
+// Fire calls) replays identically — including under -race, where the
+// only shared state is the injector's own lock-protected counters.
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime/debug"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the sentinel matched by errors.Is for every error the
+// harness injects, regardless of the rule's wrapped error.
+var ErrInjected = errors.New("resilience: injected fault")
+
+// Rule describes one fault to inject at a named point. Exactly one of
+// Err, Panic, or Delay should be set (Delay may also be combined with
+// Err or Panic to model a slow failure).
+type Rule struct {
+	// Point names the fault point this rule arms, e.g. "core.ring" or
+	// "service.cache.write".
+	Point string
+	// Err, when non-nil, is returned (wrapped in *InjectedError) from
+	// Fire at the point.
+	Err error
+	// Panic, when true, makes Fire panic with *InjectedPanic.
+	Panic bool
+	// Delay, when positive, makes Fire sleep before acting.
+	Delay time.Duration
+	// After skips the first After hits of the point before the rule
+	// starts firing.
+	After int
+	// Times bounds how many times the rule fires; 0 means unlimited.
+	Times int
+	// Prob, when in (0,1), fires the rule with that probability per
+	// eligible hit, drawn from the injector's seeded PRNG. 0 or >=1
+	// means always fire.
+	Prob float64
+}
+
+// InjectedError wraps the error a rule injects, tagging it with the
+// fault point. errors.Is(err, ErrInjected) is always true, and the
+// rule's error remains reachable through Unwrap, so callers matching
+// e.g. milp.ErrBudget see the injected failure as the real thing.
+type InjectedError struct {
+	Point string
+	Err   error
+}
+
+func (e *InjectedError) Error() string {
+	return fmt.Sprintf("resilience: injected fault at %q: %v", e.Point, e.Err)
+}
+
+func (e *InjectedError) Unwrap() error { return e.Err }
+
+// Is reports true for the ErrInjected sentinel; matching the wrapped
+// error is handled by Unwrap.
+func (e *InjectedError) Is(target error) bool { return target == ErrInjected }
+
+// InjectedPanic is the value Fire panics with for panic rules, so
+// recovery sites can distinguish injected panics in assertions.
+type InjectedPanic struct {
+	Point string
+}
+
+func (p *InjectedPanic) String() string {
+	return fmt.Sprintf("resilience: injected panic at %q", p.Point)
+}
+
+// ruleState tracks per-rule firing bookkeeping.
+type ruleState struct {
+	rule  Rule
+	seen  int // hits of the point observed by this rule
+	fired int // times the rule actually fired
+}
+
+// Injector holds armed rules and per-point hit counters. The zero
+// value is unusable; use NewInjector. A nil *Injector is valid and
+// inert, so call sites never nil-check.
+type Injector struct {
+	mu    sync.Mutex
+	rng   *rand.Rand
+	rules map[string][]*ruleState
+	hits  map[string]int
+}
+
+// NewInjector builds an injector with the given PRNG seed and rules.
+func NewInjector(seed int64, rules ...Rule) *Injector {
+	in := &Injector{
+		rng:   rand.New(rand.NewSource(seed)),
+		rules: make(map[string][]*ruleState),
+		hits:  make(map[string]int),
+	}
+	for _, r := range rules {
+		in.rules[r.Point] = append(in.rules[r.Point], &ruleState{rule: r})
+	}
+	return in
+}
+
+// Hits reports how many times the named point has been reached through
+// this injector (whether or not any rule fired).
+func (in *Injector) Hits(point string) int {
+	if in == nil {
+		return 0
+	}
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.hits[point]
+}
+
+// Fire records a hit of the named point and applies the first eligible
+// rule: sleeping for its delay, panicking with *InjectedPanic, or
+// returning an *InjectedError. With no eligible rule (or a nil
+// injector) it returns nil.
+func (in *Injector) Fire(point string) error {
+	if in == nil {
+		return nil
+	}
+	in.mu.Lock()
+	in.hits[point]++
+	var armed *Rule
+	for _, st := range in.rules[point] {
+		st.seen++
+		if st.seen <= st.rule.After {
+			continue
+		}
+		if st.rule.Times > 0 && st.fired >= st.rule.Times {
+			continue
+		}
+		if p := st.rule.Prob; p > 0 && p < 1 && in.rng.Float64() >= p {
+			continue
+		}
+		st.fired++
+		armed = &st.rule
+		break
+	}
+	in.mu.Unlock()
+	if armed == nil {
+		return nil
+	}
+	if armed.Delay > 0 {
+		time.Sleep(armed.Delay)
+	}
+	if armed.Panic {
+		panic(&InjectedPanic{Point: point})
+	}
+	if armed.Err != nil {
+		return &InjectedError{Point: point, Err: armed.Err}
+	}
+	return nil
+}
+
+type injectorCtxKey struct{}
+
+// WithInjector returns a context carrying the injector; every fault
+// point reached beneath it consults the injector's rules. Passing nil
+// detaches any inherited injector.
+func WithInjector(ctx context.Context, in *Injector) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, injectorCtxKey{}, in)
+}
+
+// FromContext extracts the injector carried by ctx, if any.
+func FromContext(ctx context.Context) *Injector {
+	if ctx == nil {
+		return nil
+	}
+	in, _ := ctx.Value(injectorCtxKey{}).(*Injector)
+	return in
+}
+
+// Fire is the call-site entry point: it resolves the context's
+// injector (if any) and fires the named point on it. Free when no
+// injector is installed beyond the context lookup.
+func Fire(ctx context.Context, point string) error {
+	return FromContext(ctx).Fire(point)
+}
+
+// PanicError is a recovered panic converted into an error: the fault
+// point (or goroutine role) where it was caught, the panic value, and
+// the stack captured at recovery. It is how worker pools and the
+// service report "a task panicked" without dying.
+type PanicError struct {
+	Point string
+	Value any
+	Stack []byte
+}
+
+func (e *PanicError) Error() string {
+	return fmt.Sprintf("panic at %q: %v", e.Point, e.Value)
+}
+
+// RecoverTo is a deferred helper: it recovers an in-flight panic and
+// stores a *PanicError into *errp (preserving an already-set error by
+// wrapping order: the panic wins, since it is the more fundamental
+// failure). Usage:
+//
+//	defer resilience.RecoverTo(&err, "service.job")
+func RecoverTo(errp *error, point string) {
+	if r := recover(); r != nil {
+		*errp = &PanicError{Point: point, Value: r, Stack: debug.Stack()}
+	}
+}

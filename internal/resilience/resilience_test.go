@@ -1,0 +1,234 @@
+package resilience
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestNilInjectorIsInert(t *testing.T) {
+	var in *Injector
+	if err := in.Fire("any.point"); err != nil {
+		t.Fatalf("nil injector fired: %v", err)
+	}
+	if got := in.Hits("any.point"); got != 0 {
+		t.Fatalf("nil injector counted hits: %d", got)
+	}
+	if err := Fire(context.Background(), "any.point"); err != nil {
+		t.Fatalf("Fire with no injector in context: %v", err)
+	}
+}
+
+func TestErrorRuleWrapsAndMatches(t *testing.T) {
+	sentinel := errors.New("domain failure")
+	in := NewInjector(1, Rule{Point: "p", Err: sentinel})
+	err := in.Fire("p")
+	if err == nil {
+		t.Fatal("rule did not fire")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Errorf("injected error does not match ErrInjected: %v", err)
+	}
+	if !errors.Is(err, sentinel) {
+		t.Errorf("injected error does not match the wrapped sentinel: %v", err)
+	}
+	var ie *InjectedError
+	if !errors.As(err, &ie) || ie.Point != "p" {
+		t.Errorf("want *InjectedError at point p, got %#v", err)
+	}
+}
+
+func TestAfterAndTimes(t *testing.T) {
+	in := NewInjector(1, Rule{Point: "p", Err: ErrInjected, After: 2, Times: 2})
+	var fired int
+	for i := 0; i < 6; i++ {
+		if in.Fire("p") != nil {
+			fired++
+		}
+	}
+	if fired != 2 {
+		t.Fatalf("after=2,times=2 over 6 hits fired %d times, want 2", fired)
+	}
+	if in.Hits("p") != 6 {
+		t.Fatalf("hits = %d, want 6", in.Hits("p"))
+	}
+}
+
+func TestProbIsSeededAndReplayable(t *testing.T) {
+	run := func(seed int64) []bool {
+		in := NewInjector(seed, Rule{Point: "p", Err: ErrInjected, Prob: 0.5})
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = in.Fire("p") != nil
+		}
+		return out
+	}
+	a, b := run(7), run(7)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at hit %d", i)
+		}
+	}
+	fired := 0
+	for _, f := range a {
+		if f {
+			fired++
+		}
+	}
+	if fired == 0 || fired == len(a) {
+		t.Fatalf("p=0.5 fired %d/%d times; want a mix", fired, len(a))
+	}
+}
+
+func TestPanicRuleAndRecoverTo(t *testing.T) {
+	in := NewInjector(1, Rule{Point: "p", Panic: true})
+	var err error
+	func() {
+		defer RecoverTo(&err, "worker")
+		_ = in.Fire("p")
+		t.Error("Fire should have panicked")
+	}()
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("recovered error is %T, want *PanicError", err)
+	}
+	if pe.Point != "worker" {
+		t.Errorf("PanicError.Point = %q, want worker", pe.Point)
+	}
+	ip, ok := pe.Value.(*InjectedPanic)
+	if !ok || ip.Point != "p" {
+		t.Errorf("panic value = %#v, want *InjectedPanic{Point: p}", pe.Value)
+	}
+	if len(pe.Stack) == 0 {
+		t.Error("PanicError.Stack is empty")
+	}
+}
+
+func TestRecoverToWithoutPanicLeavesErrorAlone(t *testing.T) {
+	want := errors.New("regular failure")
+	err := want
+	func() {
+		defer RecoverTo(&err, "worker")
+	}()
+	if err != want {
+		t.Fatalf("RecoverTo rewrote error without a panic: %v", err)
+	}
+}
+
+func TestDelayRule(t *testing.T) {
+	in := NewInjector(1, Rule{Point: "p", Delay: 30 * time.Millisecond})
+	start := time.Now()
+	if err := in.Fire("p"); err != nil {
+		t.Fatalf("delay-only rule returned error: %v", err)
+	}
+	if d := time.Since(start); d < 25*time.Millisecond {
+		t.Fatalf("delay rule slept %v, want >= ~30ms", d)
+	}
+}
+
+func TestContextPlumbing(t *testing.T) {
+	in := NewInjector(1, Rule{Point: "p", Err: ErrInjected})
+	ctx := WithInjector(context.Background(), in)
+	if err := Fire(ctx, "p"); !errors.Is(err, ErrInjected) {
+		t.Fatalf("Fire through context: %v", err)
+	}
+	if FromContext(ctx) != in {
+		t.Fatal("FromContext did not return the installed injector")
+	}
+	detached := WithInjector(ctx, nil)
+	if err := Fire(detached, "p"); err != nil {
+		t.Fatalf("detached context still fires: %v", err)
+	}
+}
+
+func TestConcurrentFireIsRaceFree(t *testing.T) {
+	in := NewInjector(1,
+		Rule{Point: "p", Err: ErrInjected, Prob: 0.5},
+		Rule{Point: "q", Err: ErrInjected, After: 10},
+	)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				_ = in.Fire("p")
+				_ = in.Fire("q")
+			}
+		}()
+	}
+	wg.Wait()
+	if got := in.Hits("p"); got != 1600 {
+		t.Fatalf("hits(p) = %d, want 1600", got)
+	}
+}
+
+func TestParseSpec(t *testing.T) {
+	sentinel := errors.New("registered sentinel")
+	RegisterFaultError("testsentinel", sentinel)
+
+	in, err := Parse("a=error;b=error:testsentinel,times=1;c=panic;d=delay:5ms,after=1;seed=9")
+	if err != nil {
+		t.Fatalf("Parse: %v", err)
+	}
+	if err := in.Fire("a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("point a: %v", err)
+	}
+	if err := in.Fire("b"); !errors.Is(err, sentinel) {
+		t.Errorf("point b should wrap the registered sentinel: %v", err)
+	}
+	if err := in.Fire("b"); err != nil {
+		t.Errorf("point b times=1 fired twice: %v", err)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("point c did not panic")
+			}
+		}()
+		_ = in.Fire("c")
+	}()
+	if err := in.Fire("d"); err != nil { // after=1: first hit passes
+		t.Errorf("point d fired on first hit: %v", err)
+	}
+}
+
+func TestParseSpecEmpty(t *testing.T) {
+	for _, spec := range []string{"", "  ", ";;"} {
+		in, err := Parse(spec)
+		if err != nil || in != nil {
+			t.Errorf("Parse(%q) = %v, %v; want nil, nil", spec, in, err)
+		}
+	}
+}
+
+func TestParseSpecErrors(t *testing.T) {
+	bad := []string{
+		"noequals",
+		"p=explode",
+		"p=error:nosuchname",
+		"p=delay",
+		"p=delay:xyz",
+		"p=error,bogus=1",
+		"p=error,after=-1",
+		"p=error,p=2",
+		"seed=notanumber",
+	}
+	for _, spec := range bad {
+		if _, err := Parse(spec); err == nil {
+			t.Errorf("Parse(%q) succeeded, want error", spec)
+		}
+	}
+}
+
+func ExampleParse() {
+	in, _ := Parse("demo.point=error,times=1")
+	fmt.Println(in.Fire("demo.point") != nil)
+	fmt.Println(in.Fire("demo.point") != nil)
+	// Output:
+	// true
+	// false
+}

@@ -1,0 +1,177 @@
+package resilience
+
+// Fault-spec DSL: the -fault flag of xringd (and anything else that
+// wants textual fault configuration) compiles to an Injector through
+// Parse. The grammar is a semicolon-separated list of items:
+//
+//	point=action[,opt=value...]
+//
+// where action is one of
+//
+//	error            inject a generic injected error
+//	error:NAME       inject the registered error NAME (e.g. "budget")
+//	panic            panic with *InjectedPanic
+//	delay:DURATION   sleep for DURATION (Go syntax, e.g. 50ms)
+//
+// and the options are
+//
+//	after=N   skip the first N hits
+//	times=N   fire at most N times (default unlimited)
+//	p=F       fire with probability F per hit (seeded, replayable)
+//
+// A bare "seed=N" item sets the injector's PRNG seed. Example:
+//
+//	core.ring=error:budget;service.cache.write=error,times=1;seed=7
+
+import (
+	"fmt"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+)
+
+var (
+	regMu     sync.RWMutex
+	errByName = map[string]error{}
+)
+
+// RegisterFaultError binds a name usable in "error:NAME" actions to a
+// concrete error value. Layers register their sentinels at init (the
+// service registers "budget" for milp.ErrBudget) so the DSL can
+// inject domain errors without this package importing the domain.
+func RegisterFaultError(name string, err error) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	errByName[name] = err
+}
+
+func lookupFaultError(name string) (error, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	err, ok := errByName[name]
+	return err, ok
+}
+
+// registeredFaultErrorNames lists the names usable in error:NAME, for
+// error messages.
+func registeredFaultErrorNames() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	names := make([]string, 0, len(errByName))
+	for n := range errByName {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Parse compiles a fault-spec string into a seeded Injector. An empty
+// spec returns (nil, nil): no injector, zero overhead.
+func Parse(spec string) (*Injector, error) {
+	spec = strings.TrimSpace(spec)
+	if spec == "" {
+		return nil, nil
+	}
+	var seed int64 = 1
+	var rules []Rule
+	for _, item := range strings.Split(spec, ";") {
+		item = strings.TrimSpace(item)
+		if item == "" {
+			continue
+		}
+		point, rest, ok := strings.Cut(item, "=")
+		if !ok {
+			return nil, fmt.Errorf("resilience: fault item %q: want point=action", item)
+		}
+		point = strings.TrimSpace(point)
+		if point == "seed" {
+			n, err := strconv.ParseInt(strings.TrimSpace(rest), 10, 64)
+			if err != nil {
+				return nil, fmt.Errorf("resilience: fault seed %q: %v", rest, err)
+			}
+			seed = n
+			continue
+		}
+		fields := strings.Split(rest, ",")
+		rule := Rule{Point: point}
+		if err := applyAction(&rule, strings.TrimSpace(fields[0])); err != nil {
+			return nil, fmt.Errorf("resilience: fault item %q: %v", item, err)
+		}
+		for _, f := range fields[1:] {
+			if err := applyOption(&rule, strings.TrimSpace(f)); err != nil {
+				return nil, fmt.Errorf("resilience: fault item %q: %v", item, err)
+			}
+		}
+		rules = append(rules, rule)
+	}
+	if len(rules) == 0 {
+		return nil, nil
+	}
+	return NewInjector(seed, rules...), nil
+}
+
+func applyAction(rule *Rule, action string) error {
+	kind, arg, hasArg := strings.Cut(action, ":")
+	switch kind {
+	case "error":
+		if !hasArg {
+			rule.Err = ErrInjected
+			return nil
+		}
+		err, ok := lookupFaultError(arg)
+		if !ok {
+			return fmt.Errorf("unknown error name %q (registered: %s)",
+				arg, strings.Join(registeredFaultErrorNames(), ", "))
+		}
+		rule.Err = err
+	case "panic":
+		if hasArg {
+			return fmt.Errorf("panic action takes no argument")
+		}
+		rule.Panic = true
+	case "delay":
+		if !hasArg {
+			return fmt.Errorf("delay action needs a duration, e.g. delay:50ms")
+		}
+		d, err := time.ParseDuration(arg)
+		if err != nil {
+			return fmt.Errorf("bad delay %q: %v", arg, err)
+		}
+		rule.Delay = d
+	default:
+		return fmt.Errorf("unknown action %q (want error, error:NAME, panic, or delay:DUR)", action)
+	}
+	return nil
+}
+
+func applyOption(rule *Rule, opt string) error {
+	key, val, ok := strings.Cut(opt, "=")
+	if !ok {
+		return fmt.Errorf("bad option %q: want key=value", opt)
+	}
+	switch key {
+	case "after":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad after=%q: want a non-negative integer", val)
+		}
+		rule.After = n
+	case "times":
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return fmt.Errorf("bad times=%q: want a non-negative integer", val)
+		}
+		rule.Times = n
+	case "p":
+		f, err := strconv.ParseFloat(val, 64)
+		if err != nil || f < 0 || f > 1 {
+			return fmt.Errorf("bad p=%q: want a probability in [0,1]", val)
+		}
+		rule.Prob = f
+	default:
+		return fmt.Errorf("unknown option %q (want after, times, or p)", key)
+	}
+	return nil
+}

@@ -114,7 +114,7 @@ func buildConflicts(net *noc.Network) *conflictTable {
 	if stripes == 0 {
 		return ct
 	}
-	found, _ := parallel.Map(nil, stripes, func(s int) ([][2]edgeKey, error) {
+	found, ferr := parallel.Map(nil, stripes, func(s int) ([][2]edgeKey, error) {
 		var local [][2]edgeKey
 		// Stripe s owns first-edge indices x ≡ s (mod stripes), which
 		// balances the triangular workload across stripes.
@@ -128,6 +128,12 @@ func buildConflicts(net *noc.Network) *conflictTable {
 		}
 		return local, nil
 	})
+	if ferr != nil {
+		// The stripes never return errors, so this can only be a panic
+		// the pool contained; an empty conflict table would silently
+		// produce wrong rings, so fail loudly instead.
+		panic(ferr)
+	}
 	pairs := 0
 	for _, local := range found {
 		pairs += len(local)
@@ -202,6 +208,52 @@ func ConstructCtx(ctx context.Context, net *noc.Network, opt Options) (*Result, 
 		Subcycles:      len(cycles),
 		Nodes:          nodes,
 		Optimal:        optimal,
+	}, nil
+}
+
+// ConstructHeuristic synthesizes a ring using only the paper's
+// heuristic machinery: nearest-neighbour + 2-opt tour construction
+// (HeuristicTour) followed by the same L-order embedding as the exact
+// path. It never branches, so it completes in polynomial time
+// regardless of MaxNodes — the degraded-mode fallback when the exact
+// solver exhausts its budget or the deadline is nearly spent. The
+// result is marked non-optimal.
+func ConstructHeuristic(ctx context.Context, net *noc.Network, opt Options) (*Result, error) {
+	n := net.N()
+	if n < 3 {
+		return nil, fmt.Errorf("ring: need at least 3 nodes, have %d", n)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, err
+	}
+	ctx, span := obs.Start(ctx, "ring.construct.heuristic", obs.Int("nodes", n))
+	defer span.End()
+
+	_, cspan := obs.Start(ctx, "ring.conflicts")
+	ct := buildConflicts(net)
+	cspan.Set(obs.Int("pairs", len(ct.conflict)/2))
+	cspan.End()
+	if opt.DisableConflicts {
+		ct.conflict = map[[2]edgeKey]bool{}
+	}
+	tour, err := HeuristicTour(net, ct)
+	if err != nil {
+		return nil, err
+	}
+	orders, err := chooseOrders(net, tour)
+	if err != nil {
+		return nil, err
+	}
+	length := tourLength(net, tour)
+	span.Set(obs.Bool("optimal", false))
+	return &Result{
+		Tour:           tour,
+		Orders:         orders,
+		Length:         length,
+		ModelObjective: length,
+		Subcycles:      1,
+		Nodes:          0,
+		Optimal:        false,
 	}, nil
 }
 
@@ -363,6 +415,14 @@ func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ [
 	mBBPruned.Add(int64(st.pruned))
 	mBBIncumbents.Add(int64(st.incumbents))
 	if st.bestSucc == nil {
+		if st.nodes >= st.maxNodes {
+			// The search stopped on the node budget, not on a proof of
+			// infeasibility: report it as a budget exhaustion so callers
+			// can fall back to the heuristic constructor (errors.Is
+			// against milp.ErrBudget).
+			return nil, 0, st.nodes, false,
+				fmt.Errorf("ring: %w (assignment B&B explored %d of %d nodes)", milp.ErrBudget, st.nodes, st.maxNodes)
+		}
 		return nil, 0, st.nodes, false, errors.New("ring: no feasible assignment found (conflict constraints unsatisfiable)")
 	}
 	return st.bestSucc, st.best, st.nodes, st.nodes < st.maxNodes, nil

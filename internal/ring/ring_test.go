@@ -1,9 +1,12 @@
 package ring
 
 import (
+	"context"
+	"errors"
 	"math"
 	"testing"
 
+	"xring/internal/milp"
 	"xring/internal/noc"
 	"xring/internal/phys"
 	"xring/internal/router"
@@ -265,5 +268,47 @@ func BenchmarkConstruct32(b *testing.B) {
 		if _, err := Construct(net, Options{}); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+func TestConstructHeuristic(t *testing.T) {
+	for _, net := range []*noc.Network{noc.Floorplan8(), noc.Floorplan16(), noc.Floorplan32()} {
+		res, err := ConstructHeuristic(context.Background(), net, Options{})
+		if err != nil {
+			t.Fatalf("n=%d: %v", net.N(), err)
+		}
+		checkTour(t, net, res)
+		if res.Optimal {
+			t.Errorf("n=%d: heuristic result claims optimality", net.N())
+		}
+		if res.Subcycles != 1 || res.Nodes != 0 {
+			t.Errorf("n=%d: got Subcycles=%d Nodes=%d, want 1 and 0", net.N(), res.Subcycles, res.Nodes)
+		}
+	}
+}
+
+func TestBudgetExhaustionWrapsErrBudget(t *testing.T) {
+	// Poison the conflict table so every pair of candidate edges
+	// conflicts: the heuristic warm start cannot produce a feasible
+	// assignment, and a 1-node budget exhausts before the B&B proves
+	// anything — the error must match milp.ErrBudget via errors.Is.
+	net := noc.Floorplan8()
+	ct := buildConflicts(net)
+	n := net.N()
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			for k := 0; k < n; k++ {
+				for l := k + 1; l < n; l++ {
+					e, f := edgeKey{i, j}, edgeKey{k, l}
+					if e != f {
+						ct.conflict[[2]edgeKey{e, f}] = true
+					}
+				}
+			}
+		}
+	}
+	_, _, _, _, err := solveAssignmentBB(net, ct, Options{MaxNodes: 1})
+	if !errors.Is(err, milp.ErrBudget) {
+		t.Fatalf("err = %v, want errors.Is(err, milp.ErrBudget)", err)
 	}
 }

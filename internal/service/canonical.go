@@ -22,8 +22,11 @@ import (
 )
 
 // keySchema versions the canonical encoding itself; bump it whenever a
-// field is added so stale persistent caches can never alias.
-const keySchema = "xring-service-key-v1"
+// field is added so stale persistent caches can never alias. The
+// persistent tier stamps it into every on-disk entry and recovery
+// discards mismatches, so a v1 cache can never serve a v2 request.
+// v2: added Options.NoFallback.
+const keySchema = "xring-service-key-v2"
 
 // canonicalKey hashes a resolved request into its content address.
 func canonicalKey(r *resolved) string {
@@ -65,6 +68,7 @@ func canonicalKey(r *resolved) string {
 	putB(o.NoCSE)
 	putB(o.NoOpenings)
 	putB(o.DisableConflicts)
+	putB(o.NoFallback)
 	putI(int64(o.RingMaxNodes))
 	hashParams(h, o)
 

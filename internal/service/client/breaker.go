@@ -1,0 +1,124 @@
+package client
+
+// Circuit breaker and retry backoff for the service client. The
+// breaker protects a struggling daemon from retry storms: transport
+// errors and 5xx responses count as failures, and once threshold
+// consecutive failures accumulate the circuit opens — calls fail fast
+// with ErrCircuitOpen instead of piling onto the server. After a
+// cooldown one probe request is let through (half-open); its outcome
+// closes the circuit again or re-opens it for another cooldown.
+// Responses the server produced deliberately (2xx-4xx, including 429
+// admission rejections) count as successes: the server is alive and
+// talking, however unhappy it is about the request.
+
+import (
+	"errors"
+	"math/rand"
+	"sync"
+	"time"
+)
+
+// ErrCircuitOpen is returned without any network traffic while the
+// client's circuit breaker is open. Callers can back off and retry
+// after the breaker's cooldown.
+var ErrCircuitOpen = errors.New("client: circuit breaker open")
+
+const (
+	breakerThreshold = 5
+	breakerCooldown  = 2 * time.Second
+
+	backoffBase = 100 * time.Millisecond
+	backoffMax  = 5 * time.Second
+)
+
+type breakerState int
+
+const (
+	breakerClosed breakerState = iota
+	breakerOpen
+	breakerHalfOpen
+)
+
+type breaker struct {
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time // test hook
+
+	mu        sync.Mutex
+	state     breakerState
+	failures  int       // consecutive failures while closed
+	openUntil time.Time // end of the cooldown while open
+	probing   bool      // half-open probe in flight
+}
+
+func newBreaker(threshold int, cooldown time.Duration) *breaker {
+	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
+}
+
+// acquire asks permission to issue a request. While open it fails
+// fast; when the cooldown has passed it admits exactly one probe.
+func (b *breaker) acquire() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	switch b.state {
+	case breakerClosed:
+		return nil
+	case breakerOpen:
+		if b.now().Before(b.openUntil) {
+			return ErrCircuitOpen
+		}
+		b.state = breakerHalfOpen
+		b.probing = true
+		return nil
+	default: // half-open
+		if b.probing {
+			return ErrCircuitOpen // one probe at a time
+		}
+		b.probing = true
+		return nil
+	}
+}
+
+// report records the outcome of an admitted request.
+func (b *breaker) report(success bool) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.state == breakerHalfOpen {
+		b.probing = false
+		if success {
+			b.state = breakerClosed
+			b.failures = 0
+		} else {
+			b.state = breakerOpen
+			b.openUntil = b.now().Add(b.cooldown)
+		}
+		return
+	}
+	if success {
+		b.failures = 0
+		return
+	}
+	b.failures++
+	if b.failures >= b.threshold {
+		b.state = breakerOpen
+		b.openUntil = b.now().Add(b.cooldown)
+	}
+}
+
+// retryDelay computes the sleep before retry number attempt (0-based):
+// exponential growth from backoffBase capped at backoffMax, with equal
+// jitter (half fixed, half uniformly random) so a fleet of rejected
+// clients does not retry in lockstep. The server's Retry-After hint is
+// a floor — never retry sooner than the server asked.
+func retryDelay(attempt int, hint time.Duration) time.Duration {
+	d := backoffBase << uint(attempt)
+	if d <= 0 || d > backoffMax { // <= 0 catches shift overflow
+		d = backoffMax
+	}
+	half := d / 2
+	d = half + time.Duration(rand.Int63n(int64(half)+1))
+	if d < hint {
+		d = hint
+	}
+	return d
+}

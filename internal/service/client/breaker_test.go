@@ -1,0 +1,115 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestBreakerOpensAfterThresholdAndRecovers(t *testing.T) {
+	clock := time.Unix(0, 0)
+	b := newBreaker(3, time.Second)
+	b.now = func() time.Time { return clock }
+
+	for i := 0; i < 3; i++ {
+		if err := b.acquire(); err != nil {
+			t.Fatalf("failure %d: acquire: %v", i, err)
+		}
+		b.report(false)
+	}
+	if err := b.acquire(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("post-threshold acquire err = %v, want ErrCircuitOpen", err)
+	}
+
+	// Cooldown passes: exactly one probe is admitted at a time.
+	clock = clock.Add(time.Second)
+	if err := b.acquire(); err != nil {
+		t.Fatalf("probe acquire: %v", err)
+	}
+	if err := b.acquire(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second concurrent probe err = %v, want ErrCircuitOpen", err)
+	}
+
+	// A failed probe re-opens for a full cooldown.
+	b.report(false)
+	if err := b.acquire(); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatal("circuit closed after failed probe")
+	}
+	clock = clock.Add(time.Second)
+	if err := b.acquire(); err != nil {
+		t.Fatalf("second probe acquire: %v", err)
+	}
+	b.report(true)
+
+	// Closed again: successes flow, and the failure count restarted.
+	for i := 0; i < 2; i++ {
+		if err := b.acquire(); err != nil {
+			t.Fatalf("closed acquire: %v", err)
+		}
+		b.report(false)
+	}
+	if err := b.acquire(); err != nil {
+		t.Errorf("2 failures after recovery tripped a threshold-3 breaker: %v", err)
+	}
+	b.report(true)
+}
+
+func TestBreakerIgnoresDeliberateRejections(t *testing.T) {
+	b := newBreaker(2, time.Second)
+	for i := 0; i < 10; i++ {
+		if err := b.acquire(); err != nil {
+			t.Fatalf("acquire %d: %v", i, err)
+		}
+		b.report(true) // what do() reports for any status < 500
+	}
+}
+
+func TestClientFailsFastWhenServerDown(t *testing.T) {
+	var hits atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		hits.Add(1)
+		w.WriteHeader(http.StatusInternalServerError)
+	}))
+	defer ts.Close()
+	c := New(ts.URL, nil)
+	c.br = newBreaker(2, time.Hour) // trip fast, never cool down in-test
+
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		if _, err := c.Stats(ctx); err == nil {
+			t.Fatal("500 response produced no error")
+		}
+	}
+	before := hits.Load()
+	if _, err := c.Stats(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("err = %v, want ErrCircuitOpen", err)
+	}
+	if hits.Load() != before {
+		t.Error("open circuit still sent a request")
+	}
+}
+
+func TestRetryDelayBoundsAndFloor(t *testing.T) {
+	for attempt := 0; attempt < 12; attempt++ {
+		d := retryDelay(attempt, 0)
+		if d <= 0 || d > backoffMax {
+			t.Errorf("attempt %d: delay %v out of (0, %v]", attempt, d, backoffMax)
+		}
+	}
+	// Growth: late attempts are never shorter than the early minimum.
+	if d := retryDelay(6, 0); d < backoffBase {
+		t.Errorf("attempt 6 delay %v below base %v", d, backoffBase)
+	}
+	// The server's Retry-After hint is a floor.
+	if d := retryDelay(0, 3*time.Second); d < 3*time.Second {
+		t.Errorf("delay %v below the 3s Retry-After floor", d)
+	}
+	// Overflow-prone attempts still cap at backoffMax.
+	if d := retryDelay(200, 0); d > backoffMax {
+		t.Errorf("attempt 200 delay %v above cap", d)
+	}
+}

@@ -37,10 +37,14 @@ func (e *APIError) Temporary() bool {
 	return e.Status == http.StatusTooManyRequests || e.Status == http.StatusServiceUnavailable
 }
 
-// Client talks to one xringd instance.
+// Client talks to one xringd instance. All typed calls go through a
+// shared circuit breaker: consecutive transport errors or 5xx
+// responses open it, and further calls fail fast with ErrCircuitOpen
+// until a post-cooldown probe succeeds.
 type Client struct {
 	base string
 	hc   *http.Client
+	br   *breaker
 	// MaxRetries bounds automatic retries of admission-control
 	// rejections (429) in Synthesize; 0 disables retrying.
 	MaxRetries int
@@ -52,7 +56,12 @@ func New(base string, httpClient *http.Client) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
-	return &Client{base: strings.TrimRight(base, "/"), hc: httpClient, MaxRetries: 8}
+	return &Client{
+		base:       strings.TrimRight(base, "/"),
+		hc:         httpClient,
+		br:         newBreaker(breakerThreshold, breakerCooldown),
+		MaxRetries: 8,
+	}
 }
 
 func (c *Client) do(ctx context.Context, method, path string, body []byte, out any) error {
@@ -67,11 +76,18 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if err := c.br.acquire(); err != nil {
+		return err
+	}
 	resp, err := c.hc.Do(req)
 	if err != nil {
+		c.br.report(false)
 		return err
 	}
 	defer resp.Body.Close()
+	// Any response the server composed on purpose — including 4xx
+	// rejections — proves it healthy; only 5xx counts against it.
+	c.br.report(resp.StatusCode < 500)
 	data, err := io.ReadAll(resp.Body)
 	if err != nil {
 		return err
@@ -107,8 +123,9 @@ func apiError(resp *http.Response, data []byte) *APIError {
 
 // Synthesize submits a request and returns the completed result (or
 // the 202 acknowledgement when req.Async is set). Queue-full 429
-// rejections are retried with the server's Retry-After backoff, up to
-// MaxRetries times; every other error returns immediately.
+// rejections are retried with jittered exponential backoff, floored
+// at the server's Retry-After hint, up to MaxRetries times; every
+// other error returns immediately.
 func (c *Client) Synthesize(ctx context.Context, req *service.Request) (*service.Response, error) {
 	body, err := json.Marshal(req)
 	if err != nil {
@@ -124,12 +141,8 @@ func (c *Client) Synthesize(ctx context.Context, req *service.Request) (*service
 		if !(isAPIStatus(err, http.StatusTooManyRequests, &apiErr) && attempt < c.MaxRetries) {
 			return nil, err
 		}
-		backoff := apiErr.RetryAfter
-		if backoff <= 0 {
-			backoff = 100 * time.Millisecond
-		}
 		select {
-		case <-time.After(backoff):
+		case <-time.After(retryDelay(attempt, apiErr.RetryAfter)):
 		case <-ctx.Done():
 			return nil, ctx.Err()
 		}

@@ -26,7 +26,10 @@ func testRequest() *service.Request {
 
 func newClientServer(t *testing.T, cfg service.Config) *Client {
 	t.Helper()
-	s := service.New(cfg)
+	s, err := service.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()

@@ -27,7 +27,10 @@ import (
 func TestE2EConcurrentMixedLoad(t *testing.T) {
 	baseline := runtime.NumGoroutine()
 
-	s := New(Config{QueueDepth: 4, Workers: 2})
+	s, err := New(Config{QueueDepth: 4, Workers: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	client := &http.Client{}
 

@@ -32,6 +32,19 @@ var (
 	mEventsDropped   = obs.NewCounter("service.events.dropped")
 	mJobDurationMS   = obs.NewHistogram("service.job.duration_ms", "ms",
 		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+
+	// Resilience layer (see OBSERVABILITY.md): degraded-mode completions,
+	// contained job panics, stage-watchdog expiries, and the persistent
+	// cache tier's disk traffic.
+	mDegraded         = obs.NewCounter("service.jobs.degraded")
+	mPanicsRecovered  = obs.NewCounter("service.jobs.panics_recovered")
+	mStageTimeouts    = obs.NewCounter("service.jobs.stage_timeouts")
+	mPersistWrites    = obs.NewCounter("service.persist.writes")
+	mPersistErrors    = obs.NewCounter("service.persist.write_errors")
+	mPersistHits      = obs.NewCounter("service.persist.hits")
+	mPersistRecovered = obs.NewCounter("service.persist.recovered")
+	mPersistDiscarded = obs.NewCounter("service.persist.discarded")
+	mPersistEvicts    = obs.NewCounter("service.persist.evictions")
 )
 
 // Stats are the server's own always-on counters (independent of the
@@ -45,27 +58,49 @@ type Stats struct {
 	Drained     int64 `json:"drained"`  // 503s (shutting down)
 	Synthesized int64 `json:"synthesized"`
 	Failed      int64 `json:"failed"`
+	// Resilience counters: jobs completed degraded (heuristic ring
+	// fallback), panics contained to their job, stage-watchdog expiries,
+	// and persistent-cache traffic (disk hits promoted to memory,
+	// entries recovered at startup, corrupt/stale entries discarded).
+	Degraded         int64 `json:"degraded"`
+	Panics           int64 `json:"panics"`
+	StageTimeouts    int64 `json:"stageTimeouts"`
+	PersistHits      int64 `json:"persistHits"`
+	PersistRecovered int64 `json:"persistRecovered"`
+	PersistDiscarded int64 `json:"persistDiscarded"`
 }
 
 // stats is the internal atomic mirror of Stats.
 type stats struct {
-	requests    atomic.Int64
-	cacheHits   atomic.Int64
-	dedupHits   atomic.Int64
-	rejected    atomic.Int64
-	drained     atomic.Int64
-	synthesized atomic.Int64
-	failed      atomic.Int64
+	requests         atomic.Int64
+	cacheHits        atomic.Int64
+	dedupHits        atomic.Int64
+	rejected         atomic.Int64
+	drained          atomic.Int64
+	synthesized      atomic.Int64
+	failed           atomic.Int64
+	degraded         atomic.Int64
+	panics           atomic.Int64
+	stageTimeouts    atomic.Int64
+	persistHits      atomic.Int64
+	persistRecovered atomic.Int64
+	persistDiscarded atomic.Int64
 }
 
 func (s *stats) snapshot() Stats {
 	return Stats{
-		Requests:    s.requests.Load(),
-		CacheHits:   s.cacheHits.Load(),
-		DedupHits:   s.dedupHits.Load(),
-		Rejected:    s.rejected.Load(),
-		Drained:     s.drained.Load(),
-		Synthesized: s.synthesized.Load(),
-		Failed:      s.failed.Load(),
+		Requests:         s.requests.Load(),
+		CacheHits:        s.cacheHits.Load(),
+		DedupHits:        s.dedupHits.Load(),
+		Rejected:         s.rejected.Load(),
+		Drained:          s.drained.Load(),
+		Synthesized:      s.synthesized.Load(),
+		Failed:           s.failed.Load(),
+		Degraded:         s.degraded.Load(),
+		Panics:           s.panics.Load(),
+		StageTimeouts:    s.stageTimeouts.Load(),
+		PersistHits:      s.persistHits.Load(),
+		PersistRecovered: s.persistRecovered.Load(),
+		PersistDiscarded: s.persistDiscarded.Load(),
 	}
 }

@@ -55,6 +55,11 @@ type OptionsSpec struct {
 	NoCSE            bool `json:"noCSE,omitempty"`
 	NoOpenings       bool `json:"noOpenings,omitempty"`
 	DisableConflicts bool `json:"disableConflicts,omitempty"`
+
+	// NoFallback disables degraded-mode synthesis: instead of falling
+	// back to the heuristic ring constructor on solver budget
+	// exhaustion, the request fails with the solver's error.
+	NoFallback bool `json:"noFallback,omitempty"`
 }
 
 // Request is the POST /v1/synthesize body.
@@ -112,6 +117,7 @@ func (r *Request) resolve() (*resolved, error) {
 	out.opt.NoCSE = o.NoCSE
 	out.opt.NoOpenings = o.NoOpenings
 	out.opt.DisableConflicts = o.DisableConflicts
+	out.opt.NoFallback = o.NoFallback
 
 	if len(o.Traffic) > 0 {
 		seen := map[noc.Signal]bool{}

@@ -7,11 +7,13 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"sync/atomic"
 	"time"
 
 	"xring/internal/core"
 	"xring/internal/designio"
 	"xring/internal/obs"
+	"xring/internal/resilience"
 )
 
 // Summary is the headline metrics of a synthesized design, mirroring
@@ -32,6 +34,12 @@ type Summary struct {
 	NoiseFreeFrac float64  `json:"noiseFreeFraction"`
 	WorstSNRdB    *float64 `json:"worstSNR_dB,omitempty"`
 	SynthMS       float64  `json:"synthesisMS"`
+	// Degraded marks a result produced by the heuristic fallback path
+	// (solver budget exhausted or deadline nearly expired) rather than
+	// the exact Step-1 solve; DegradedReason says why. The design is
+	// still valid and fully routed, just not provably optimal.
+	Degraded       bool   `json:"degraded,omitempty"`
+	DegradedReason string `json:"degradedReason,omitempty"`
 }
 
 // Response is the POST /v1/synthesize result envelope. Design carries
@@ -78,12 +86,31 @@ func summarize(res *core.Result) *Summary {
 	if snr := res.Xtalk.WorstSNR; !math.IsInf(snr, 0) && !math.IsNaN(snr) {
 		s.WorstSNRdB = &snr
 	}
+	s.Degraded = res.Degraded
+	s.DegradedReason = res.DegradedReason
 	return s
 }
 
+// StageTimeoutError reports a job killed by the per-stage watchdog:
+// no engine stage finished within Config.StageTimeout. LastStage is
+// the last stage that did complete ("" if none did), which is the one
+// to suspect. Mapped to HTTP 504.
+type StageTimeoutError struct {
+	LastStage string
+	Timeout   time.Duration
+}
+
+func (e *StageTimeoutError) Error() string {
+	if e.LastStage == "" {
+		return fmt.Sprintf("service: no stage completed within %v", e.Timeout)
+	}
+	return fmt.Sprintf("service: no stage completed within %v (last finished: %s)", e.Timeout, e.LastStage)
+}
+
 // run executes one admitted job on a worker goroutine: per-job
-// deadline, span-to-event progress bridge, synthesis, serialization,
-// cache fill, singleflight release.
+// deadline, fault-injection context, stage watchdog, span-to-event
+// progress bridge, synthesis (panics contained), serialization, cache
+// fill (memory and disk tiers), singleflight release.
 func (s *Server) run(j *job) {
 	j.setRunning()
 	mInflight.Add(1)
@@ -94,11 +121,41 @@ func (s *Server) run(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, j.deadline)
 	}
 	defer cancel()
+	if s.inj != nil {
+		ctx = resilience.WithInjector(ctx, s.inj)
+	}
+
+	// Stage watchdog: a job that stops producing progress events for
+	// StageTimeout is cancelled with a typed cause — a hung stage fails
+	// one job with a 504 instead of pinning a worker forever.
+	var lastStage atomic.Value
+	lastStage.Store("")
+	var watchdog *time.Timer
+	if s.cfg.StageTimeout > 0 {
+		var wcancel context.CancelCauseFunc
+		ctx, wcancel = context.WithCancelCause(ctx)
+		watchdog = time.AfterFunc(s.cfg.StageTimeout, func() {
+			s.st.stageTimeouts.Add(1)
+			mStageTimeouts.Inc()
+			wcancel(&StageTimeoutError{
+				LastStage: lastStage.Load().(string),
+				Timeout:   s.cfg.StageTimeout,
+			})
+		})
+		defer watchdog.Stop()
+		defer wcancel(nil)
+	}
+
 	// Bridge engine spans into the job's event stream: every stage that
 	// finishes under this context (shortcut.construct, mapping.run,
 	// pdn.design, loss.analyze, sweep.candidate, ...) becomes one
-	// progress event, scoped to exactly this job.
+	// progress event, scoped to exactly this job — and feeds the
+	// watchdog, so any forward progress resets the stage budget.
 	ctx = obs.WithProgress(ctx, func(rec obs.SpanRecord) {
+		lastStage.Store(rec.Name)
+		if watchdog != nil {
+			watchdog.Reset(s.cfg.StageTimeout)
+		}
 		j.publish(Event{
 			Type:  "stage",
 			Stage: rec.Name,
@@ -108,9 +165,18 @@ func (s *Server) run(j *job) {
 	})
 
 	t0 := time.Now()
-	res, err := s.cfg.Synth(ctx, j.req)
+	res, err := s.synthIsolated(ctx, j)
 	dur := time.Since(t0)
 	mJobDurationMS.Observe(float64(dur.Microseconds()) / 1000)
+
+	// Surface the watchdog's typed cause instead of the bare
+	// context.Canceled the engine unwinds with.
+	if err != nil {
+		var ste *StageTimeoutError
+		if errors.As(context.Cause(ctx), &ste) {
+			err = ste
+		}
+	}
 
 	var summary *Summary
 	var design []byte
@@ -121,10 +187,27 @@ func (s *Server) run(j *job) {
 	if err == nil {
 		s.st.synthesized.Add(1)
 		mJobsDone.Inc()
-		s.cache.put(&cached{key: j.key, jobID: j.id, summary: summary, design: design})
+		if summary.Degraded {
+			s.st.degraded.Add(1)
+			mDegraded.Inc()
+		}
+		c := &cached{key: j.key, jobID: j.id, summary: summary, design: design}
+		s.cache.put(c)
+		if s.persist != nil {
+			// A failed spill costs durability, not the request: the result
+			// is already in memory and on its way to the client.
+			if perr := s.persist.write(c); perr != nil {
+				mPersistErrors.Inc()
+			}
+		}
 	} else {
 		s.st.failed.Add(1)
 		mJobsFailed.Inc()
+		var pe *resilience.PanicError
+		if errors.As(err, &pe) {
+			s.st.panics.Add(1)
+			mPanicsRecovered.Inc()
+		}
 	}
 	// Release the singleflight slot before waking waiters, so a request
 	// arriving after completion sees the cache entry rather than
@@ -135,6 +218,37 @@ func (s *Server) run(j *job) {
 	}
 	s.mu.Unlock()
 	j.finish(summary, design, err)
+}
+
+// synthIsolated runs the engine with panic containment: a panic in
+// synthesis (or injected at the service.job fault point) becomes a
+// typed *resilience.PanicError carrying the stack, failing this job
+// with a 500 instead of crashing the daemon and its other jobs.
+func (s *Server) synthIsolated(ctx context.Context, j *job) (res *core.Result, err error) {
+	defer resilience.RecoverTo(&err, "service.job")
+	if ferr := resilience.Fire(ctx, "service.job"); ferr != nil {
+		return nil, ferr
+	}
+	return s.cfg.Synth(ctx, j.req)
+}
+
+// cacheGet is the two-tier cache lookup: the memory LRU first, then
+// the disk tier, promoting disk hits into memory so repeats are free.
+func (s *Server) cacheGet(key string) (*cached, bool) {
+	if c, ok := s.cache.get(key); ok {
+		return c, true
+	}
+	if s.persist == nil {
+		return nil, false
+	}
+	c, ok := s.persist.read(key)
+	if !ok {
+		return nil, false
+	}
+	s.st.persistHits.Add(1)
+	mPersistHits.Inc()
+	s.cache.put(c)
+	return c, true
 }
 
 // routes builds the HTTP surface.
@@ -191,8 +305,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	key := canonicalKey(rr)
 
-	// Content-addressed fast path.
-	if c, ok := s.cache.get(key); ok {
+	// Content-addressed fast path (memory, then the persisted tier).
+	if c, ok := s.cacheGet(key); ok {
 		s.st.cacheHits.Add(1)
 		mCacheHits.Inc()
 		writeJSON(w, http.StatusOK, &Response{
@@ -264,8 +378,13 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	if _, _, _, jerr := j.snapshot(); jerr != nil {
 		status := http.StatusUnprocessableEntity
-		if errors.Is(jerr, context.DeadlineExceeded) {
+		var ste *StageTimeoutError
+		var pe *resilience.PanicError
+		switch {
+		case errors.Is(jerr, context.DeadlineExceeded), errors.As(jerr, &ste):
 			status = http.StatusGatewayTimeout
+		case errors.As(jerr, &pe):
+			status = http.StatusInternalServerError
 		}
 		writeError(w, status, jerr)
 		return
@@ -409,9 +528,11 @@ func (s *Server) handleJobDesign(w http.ResponseWriter, r *http.Request) {
 	}
 }
 
-// handleDesignByKey serves a cached design by its content key.
+// handleDesignByKey serves a cached design by its content key, from
+// either cache tier. The persist tier validates the key shape itself,
+// so arbitrary path values never reach the filesystem.
 func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.cache.get(r.PathValue("key"))
+	c, ok := s.cacheGet(r.PathValue("key"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("design not cached"))
 		return

@@ -23,7 +23,10 @@ import (
 // with a generous deadline so tests never leak workers.
 func newTestServer(t *testing.T, cfg Config) (*Server, *httptest.Server) {
 	t.Helper()
-	s := New(cfg)
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	t.Cleanup(func() {
 		ts.Close()
@@ -215,7 +218,10 @@ func TestQueueFullRejects429(t *testing.T) {
 
 func TestDrainCompletesAdmittedJobsAndRejectsNew(t *testing.T) {
 	g := newGate()
-	s := New(Config{QueueDepth: 8, Workers: 1, Synth: g.synth})
+	s, err := New(Config{QueueDepth: 8, Workers: 1, Synth: g.synth})
+	if err != nil {
+		t.Fatal(err)
+	}
 	ts := httptest.NewServer(s.Handler())
 	defer ts.Close()
 

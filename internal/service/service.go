@@ -35,7 +35,15 @@ import (
 	"time"
 
 	"xring/internal/core"
+	"xring/internal/milp"
+	"xring/internal/resilience"
 )
+
+func init() {
+	// Lets operators force the degraded path from the fault DSL:
+	// xringd -fault 'core.ring=error:budget'.
+	resilience.RegisterFaultError("budget", milp.ErrBudget)
+}
 
 // SynthFunc runs one resolved request. The default is the engine
 // (core.SynthesizeCtx / core.SweepCtx); tests substitute stubs to
@@ -62,6 +70,25 @@ type Config struct {
 	MaxJobs int
 	// Synth overrides the engine call (tests only).
 	Synth SynthFunc
+
+	// PersistDir enables the crash-safe disk tier of the result cache:
+	// every completed synthesis is also written there (checksummed,
+	// atomic rename) and survives a restart — including kill -9.
+	// Empty disables persistence.
+	PersistDir string
+	// PersistEntries bounds the on-disk entry count; the oldest entries
+	// are deleted past it (default 1024).
+	PersistEntries int
+	// StageTimeout is the per-stage watchdog: if a job makes no engine
+	// progress (no stage span finishes) for this long, it is cancelled
+	// with a StageTimeoutError (HTTP 504). Zero disables the watchdog.
+	StageTimeout time.Duration
+	// FaultSpec is a resilience.Parse fault-injection DSL string applied
+	// to every job's context — for chaos drills and the CI smoke tests.
+	// Empty injects nothing.
+	FaultSpec string
+	// Injector overrides FaultSpec with a pre-built injector (tests).
+	Injector *resilience.Injector
 }
 
 func (c Config) withDefaults() Config {
@@ -82,6 +109,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.Synth == nil {
 		c.Synth = engineSynth
+	}
+	if c.PersistEntries <= 0 {
+		c.PersistEntries = 1024
 	}
 	return c
 }
@@ -109,28 +139,53 @@ type Server struct {
 	jobOrder []string        // admission order, for bounded retention
 
 	cache    *resultCache
+	persist  *persistStore // nil unless Config.PersistDir is set
+	inj      *resilience.Injector
 	draining atomic.Bool
 	seq      atomic.Uint64
 	wg       sync.WaitGroup
 	st       stats
 }
 
-// New builds a server and starts its worker goroutines.
-func New(cfg Config) *Server {
+// New builds a server and starts its worker goroutines. It fails if
+// the fault spec does not parse or the persist directory cannot be
+// opened; crash recovery of a persisted cache happens here, before any
+// request is admitted.
+func New(cfg Config) (*Server, error) {
 	cfg = cfg.withDefaults()
+	inj := cfg.Injector
+	if inj == nil && cfg.FaultSpec != "" {
+		var err error
+		if inj, err = resilience.Parse(cfg.FaultSpec); err != nil {
+			return nil, err
+		}
+	}
 	s := &Server{
 		cfg:      cfg,
 		queue:    make(chan *job, cfg.QueueDepth),
 		inflight: map[string]*job{},
 		jobs:     map[string]*job{},
 		cache:    newResultCache(cfg.CacheEntries),
+		inj:      inj,
+	}
+	if cfg.PersistDir != "" {
+		store, entries, err := newPersistStore(cfg.PersistDir, cfg.PersistEntries, inj, &s.st)
+		if err != nil {
+			return nil, err
+		}
+		s.persist = store
+		// Replay survivors oldest-first so the memory LRU ends up with
+		// the newest entries at the front, mirroring pre-crash order.
+		for _, c := range entries {
+			s.cache.put(c)
+		}
 	}
 	s.mux = s.routes()
 	s.wg.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.worker()
 	}
-	return s
+	return s, nil
 }
 
 // Handler returns the HTTP surface.
