@@ -82,6 +82,8 @@ func main() {
 	sweep := flag.Bool("sweep", false, "print the full #wl sweep curve for the 16-node XRing instead of the tables")
 	serial := flag.Bool("serial", false, "evaluate everything sequentially on one worker (baseline for -json)")
 	jsonOut := flag.String("json", "", "benchmark serial vs parallel passes and write the report to this file")
+	solver := flag.Bool("solver", false, "run the MILP solver micro-benchmark (writes -json if set, compares -check if set)")
+	solverCheck := flag.String("check", "", "with -solver: committed BENCH_solver.json to compare against; exits non-zero on regression")
 	loadURL := flag.String("load", "", "drive a running xringd at this base URL with a mixed concurrent workload")
 	loadN := flag.Int("load-n", 32, "total requests to send in -load mode")
 	loadC := flag.Int("load-c", 8, "concurrent senders in -load mode")
@@ -110,6 +112,13 @@ func main() {
 		if err := runLoad(os.Stdout, loadConfig{
 			base: *loadURL, total: *loadN, conc: *loadC, nodes: *loadNodes,
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *solver {
+		if err := runSolverBench(*jsonOut, *solverCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)
 			os.Exit(1)
 		}

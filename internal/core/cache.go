@@ -39,6 +39,8 @@ var (
 	mRingCacheMisses = obs.NewCounter("core.ringcache.misses")
 	mRingCacheEvicts = obs.NewCounter("core.ringcache.evictions")
 	mRingCacheSize   = obs.NewGauge("core.ringcache.size")
+	mHintStored      = obs.NewCounter("core.ringhint.stored")
+	mHintUsed        = obs.NewCounter("core.ringhint.used")
 )
 
 type ringCacheEntry struct {
@@ -52,7 +54,11 @@ var ringCache = struct {
 	lru *list.List               // front = most recently used
 }{m: map[string]*list.Element{}, lru: list.New()}
 
-// floorplanKey serializes everything ring.Construct reads.
+// floorplanKey serializes everything ring.Construct reads — except
+// Options.IncumbentHint, deliberately: a warm-start hint only narrows
+// the search, it cannot change the optimum, so hinted and hint-less
+// solves of the same floorplan must share one cache slot (and the hint
+// cache below must be addressable by the key of the retry it serves).
 func floorplanKey(net *noc.Network, opt ring.Options) string {
 	buf := make([]byte, 0, 16*(len(net.Nodes)+2))
 	put := func(f float64) {
@@ -147,6 +153,15 @@ const ringDeadlineSlack = 250 * time.Millisecond
 // un-degraded request for the same floorplan must still get the exact
 // tour. With noFallback set the original error is returned instead.
 func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Options, noFallback bool) (*ring.Result, string, error) {
+	key := floorplanKey(net, opt)
+	// Retry amnesty: if a previous request for this floorplan degraded,
+	// its heuristic tour warm-starts this attempt at the exact solve.
+	if len(opt.IncumbentHint) == 0 {
+		if tour, ok := hintLookup(key); ok {
+			opt.IncumbentHint = tour
+			mHintUsed.Inc()
+		}
+	}
 	if err := resilience.Fire(ctx, "core.ring"); err != nil {
 		if noFallback || !errors.Is(err, milp.ErrBudget) {
 			return nil, "", err
@@ -156,13 +171,14 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 		if herr != nil {
 			return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
 		}
+		hintStore(key, res.Tour)
 		return res, "ring solver budget exhausted; heuristic constructor used", nil
 	}
 	if !noFallback && ctx != nil {
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < ringDeadlineSlack {
 			// Serve what the remaining budget can afford. A warm cache
 			// entry is still preferred: it is both exact and free.
-			if r, ok := cacheLookup(floorplanKey(net, opt)); ok {
+			if r, ok := cacheLookup(key); ok {
 				return r, "", nil
 			}
 			mFallbackDeadline.Inc()
@@ -170,6 +186,7 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 			if herr != nil {
 				return nil, "", herr
 			}
+			hintStore(key, res.Tour)
 			return res, "deadline nearly expired; heuristic ring constructor used", nil
 		}
 	}
@@ -185,6 +202,7 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 	if herr != nil {
 		return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
 	}
+	hintStore(key, hres.Tour)
 	return hres, "ring solver budget exhausted; heuristic constructor used", nil
 }
 
@@ -196,4 +214,72 @@ func ResetRingCache() {
 	ringCache.lru = list.New()
 	mRingCacheSize.Set(0)
 	ringCache.Unlock()
+}
+
+// ---------------------------------------------------------------------
+// Warm-start hint cache
+// ---------------------------------------------------------------------
+
+// hintCacheCap bounds the warm-start hint cache. Hints are tiny (one
+// []int tour per degraded floorplan) but the set of floorplans that ever
+// degrade is also small, so a modest cap suffices.
+const hintCacheCap = 128
+
+// hintCache remembers the heuristic tour served for a floorplan whose
+// exact solve fell back (budget or deadline). A later exact attempt on
+// the same floorplan passes the tour as ring.Options.IncumbentHint: the
+// solver starts with a proven-feasible incumbent instead of an infinite
+// bound, which prunes harder and often turns a formerly budget-exhausted
+// solve into a completed one. Only fallback tours are stored — exact
+// results live in the ring cache and never need re-solving.
+var hintCache = struct {
+	sync.Mutex
+	m   map[string]*list.Element // value: *hintCacheEntry
+	lru *list.List
+}{m: map[string]*list.Element{}, lru: list.New()}
+
+type hintCacheEntry struct {
+	key  string
+	tour []int
+}
+
+func hintStore(key string, tour []int) {
+	if len(tour) == 0 {
+		return
+	}
+	cp := append([]int(nil), tour...)
+	hintCache.Lock()
+	if el, ok := hintCache.m[key]; ok {
+		el.Value.(*hintCacheEntry).tour = cp
+		hintCache.lru.MoveToFront(el)
+	} else {
+		for hintCache.lru.Len() >= hintCacheCap {
+			back := hintCache.lru.Back()
+			hintCache.lru.Remove(back)
+			delete(hintCache.m, back.Value.(*hintCacheEntry).key)
+		}
+		hintCache.m[key] = hintCache.lru.PushFront(&hintCacheEntry{key: key, tour: cp})
+	}
+	hintCache.Unlock()
+	mHintStored.Inc()
+}
+
+func hintLookup(key string) ([]int, bool) {
+	hintCache.Lock()
+	defer hintCache.Unlock()
+	el, ok := hintCache.m[key]
+	if !ok {
+		return nil, false
+	}
+	hintCache.lru.MoveToFront(el)
+	return el.Value.(*hintCacheEntry).tour, true
+}
+
+// ResetHintCache empties the warm-start hint cache (tests and
+// benchmarks, alongside ResetRingCache).
+func ResetHintCache() {
+	hintCache.Lock()
+	hintCache.m = map[string]*list.Element{}
+	hintCache.lru = list.New()
+	hintCache.Unlock()
 }

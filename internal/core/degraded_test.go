@@ -50,6 +50,48 @@ func TestSynthesizeFallsBackOnBudget(t *testing.T) {
 	}
 }
 
+// TestDegradedRetryWarmStarts pins the retry-amnesty loop: a synthesis
+// that degrades on budget exhaustion stores its heuristic tour in the
+// hint cache, and the next request for the same floorplan hands that
+// tour to the exact solver as an incumbent hint. The retry must come
+// back un-degraded AND report the warm start — the degraded rate across
+// the two runs drops from 1/1 to 1/2.
+func TestDegradedRetryWarmStarts(t *testing.T) {
+	ResetRingCache()
+	ResetHintCache()
+	net := noc.Floorplan8()
+	in := resilience.NewInjector(1,
+		resilience.Rule{Point: "core.ring", Err: milp.ErrBudget, Times: 1})
+	ctx := resilience.WithInjector(context.Background(), in)
+
+	first, err := SynthesizeCtx(ctx, net, Options{MaxWL: 7})
+	if err != nil {
+		t.Fatalf("first (degraded) synthesis failed: %v", err)
+	}
+	if !first.Degraded {
+		t.Fatal("first run not degraded — injection missed")
+	}
+	if first.Ring.WarmStarted {
+		t.Error("heuristic fallback must not claim a warm start")
+	}
+
+	// Same injector context, but the rule is spent (Times: 1): the exact
+	// solver runs this time, seeded with the stored heuristic tour.
+	second, err := SynthesizeCtx(ctx, net, Options{MaxWL: 7})
+	if err != nil {
+		t.Fatalf("retry failed: %v", err)
+	}
+	if second.Degraded {
+		t.Fatal("retry still degraded; hint cache did not help")
+	}
+	if !second.Ring.WarmStarted {
+		t.Fatal("retry did not warm-start from the stored degraded tour")
+	}
+	if !second.Ring.Optimal {
+		t.Error("warm-started retry should prove optimality")
+	}
+}
+
 func TestNoFallbackSurfacesBudgetError(t *testing.T) {
 	net := noc.Floorplan16()
 	_, err := SynthesizeCtx(degradedCtx(), net, Options{MaxWL: 14, NoFallback: true})

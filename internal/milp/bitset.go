@@ -1,0 +1,81 @@
+package milp
+
+import "math/bits"
+
+// bitset is a fixed-capacity bit vector over variable indices. The
+// solver keeps the free-variable set and every unit-row membership mask
+// as bitsets, so "the free members of this row" is a word-wise AND
+// instead of a slice walk — the occurrence structure the branch-and-
+// bound touches on every propagation step.
+type bitset []uint64
+
+func newBitset(n int) bitset { return make(bitset, (n+63)/64) }
+
+func (b bitset) set(i int32)      { b[i>>6] |= 1 << (uint(i) & 63) }
+func (b bitset) clear(i int32)    { b[i>>6] &^= 1 << (uint(i) & 63) }
+func (b bitset) has(i int32) bool { return b[i>>6]&(1<<(uint(i)&63)) != 0 }
+
+// count returns the number of set bits.
+func (b bitset) count() int {
+	n := 0
+	for _, w := range b {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// clone returns an independent copy.
+func (b bitset) clone() bitset {
+	c := make(bitset, len(b))
+	copy(c, b)
+	return c
+}
+
+// forEachAnd calls fn for every index set in both a and b, in
+// ascending order, stopping early if fn returns false.
+func forEachAnd(a, b bitset, fn func(i int32) bool) {
+	for wi := range a {
+		w := a[wi] & b[wi]
+		for w != 0 {
+			i := int32(wi<<6 + bits.TrailingZeros64(w))
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// forEachBit calls fn for every set index in ascending order, stopping
+// early if fn returns false.
+func forEachBit(b bitset, fn func(i int32) bool) {
+	for wi := range b {
+		w := b[wi]
+		for w != 0 {
+			i := int32(wi<<6 + bits.TrailingZeros64(w))
+			if !fn(i) {
+				return
+			}
+			w &= w - 1
+		}
+	}
+}
+
+// firstAnd returns the lowest index set in both a and b, or -1.
+func firstAnd(a, b bitset) int32 {
+	for wi := range a {
+		if w := a[wi] & b[wi]; w != 0 {
+			return int32(wi<<6 + bits.TrailingZeros64(w))
+		}
+	}
+	return -1
+}
+
+// countAnd returns the number of indices set in both a and b.
+func countAnd(a, b bitset) int {
+	n := 0
+	for wi := range a {
+		n += bits.OnesCount64(a[wi] & b[wi])
+	}
+	return n
+}

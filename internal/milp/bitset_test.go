@@ -1,0 +1,87 @@
+package milp
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBitsetBasics(t *testing.T) {
+	b := newBitset(130) // crosses two word boundaries
+	for _, i := range []int32{0, 63, 64, 100, 129} {
+		b.set(i)
+	}
+	if b.count() != 5 {
+		t.Fatalf("count = %d, want 5", b.count())
+	}
+	if !b.has(63) || !b.has(64) || b.has(65) {
+		t.Fatal("has broken around word boundary")
+	}
+	b.clear(64)
+	if b.has(64) || b.count() != 4 {
+		t.Fatal("clear broken")
+	}
+	var got []int32
+	forEachBit(b, func(i int32) bool { got = append(got, i); return true })
+	want := []int32{0, 63, 100, 129}
+	if len(got) != len(want) {
+		t.Fatalf("forEachBit = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("forEachBit = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestBitsetAndOps(t *testing.T) {
+	a, b := newBitset(200), newBitset(200)
+	rng := rand.New(rand.NewSource(11))
+	ref := map[int32]int{}
+	for k := 0; k < 80; k++ {
+		i := int32(rng.Intn(200))
+		a.set(i)
+		ref[i] |= 1
+	}
+	for k := 0; k < 80; k++ {
+		i := int32(rng.Intn(200))
+		b.set(i)
+		ref[i] |= 2
+	}
+	var both []int32
+	for i := int32(0); i < 200; i++ {
+		if ref[i] == 3 {
+			both = append(both, i)
+		}
+	}
+	if countAnd(a, b) != len(both) {
+		t.Fatalf("countAnd = %d, want %d", countAnd(a, b), len(both))
+	}
+	first := int32(-1)
+	if len(both) > 0 {
+		first = both[0]
+	}
+	if firstAnd(a, b) != first {
+		t.Fatalf("firstAnd = %d, want %d", firstAnd(a, b), first)
+	}
+	var got []int32
+	forEachAnd(a, b, func(i int32) bool { got = append(got, i); return true })
+	if len(got) != len(both) {
+		t.Fatalf("forEachAnd = %v, want %v", got, both)
+	}
+	for i := range both {
+		if got[i] != both[i] {
+			t.Fatalf("forEachAnd order wrong: %v vs %v", got, both)
+		}
+	}
+	// Early stop.
+	n := 0
+	forEachAnd(a, b, func(i int32) bool { n++; return n < 2 })
+	if len(both) >= 2 && n != 2 {
+		t.Fatalf("early stop visited %d", n)
+	}
+	c := a.clone()
+	c.clear(both[0])
+	if a.has(both[0]) != true {
+		t.Fatal("clone aliased the original")
+	}
+}

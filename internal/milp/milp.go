@@ -6,15 +6,19 @@
 //
 //   - a modelling API (binary variables, linear constraints, a linear
 //     minimization objective) mirroring how the paper states Eq. (1)-(4);
-//   - exact solvers: a depth-first branch-and-bound with unit
-//     propagation and partition lower bounds (Solve), and an exhaustive
-//     reference solver for cross-validation in tests (SolveBrute).
+//   - exact solvers: a propagating branch-and-bound with bitset-backed
+//     occurrence structures, dominance pruning and an optional
+//     deterministic parallel mode (Solve), the pre-overhaul depth-first
+//     solver kept as a benchmark/differential baseline (SolveBaseline),
+//     and an exhaustive reference solver for cross-validation in tests
+//     (SolveBrute).
 //
 // The branch-and-bound is exact: when it returns without hitting the
 // node budget, the solution is optimal. The paper's ring-construction
 // model — an assignment structure plus pairwise conflict constraints —
 // is well inside its comfort zone for the network sizes evaluated
-// (N ≤ 32).
+// (N ≤ 32). See DESIGN.md "Solver internals" for the propagation,
+// bounding and parallel-determinism machinery.
 package milp
 
 import (
@@ -23,6 +27,14 @@ import (
 	"math"
 	"sort"
 )
+
+// Eps is the single feasibility/optimality tolerance used throughout
+// the package: constraint checks, feasibility windows, lower-bound
+// pruning and incumbent comparisons all measure against it.
+const Eps = 1e-9
+
+// defaultMaxNodes is the node budget applied when Options.MaxNodes is 0.
+const defaultMaxNodes = 10_000_000
 
 // Var identifies a binary decision variable within a Model.
 type Var int
@@ -134,8 +146,27 @@ type Solution struct {
 	// Optimal reports whether the solver proved optimality (it did not
 	// stop early on the node budget).
 	Optimal bool
-	// Nodes is the number of branch-and-bound nodes explored.
+	// Nodes is the number of branch-and-bound nodes explored (across all
+	// subproblems in parallel mode, plus the canonical witness dive).
 	Nodes int
+	// Propagated counts variable fixings derived by unit propagation
+	// rather than branching.
+	Propagated int
+	// Pruned counts subtrees cut by the admissible lower bound.
+	Pruned int
+	// Incumbents counts improvements accepted into the shared incumbent
+	// (including a feasible IncumbentHint).
+	Incumbents int
+	// Subproblems is the number of frontier subproblems the parallel
+	// mode decomposed the search into (1 for a serial solve).
+	Subproblems int
+	// Steals counts subproblems observed running concurrently with at
+	// least one other — a proxy for how much of the frontier actually
+	// overlapped in time.
+	Steals int
+	// WarmStarted reports whether a feasible IncumbentHint primed the
+	// incumbent.
+	WarmStarted bool
 }
 
 // Value reports the value assigned to v.
@@ -154,8 +185,19 @@ type Options struct {
 	// default (10 million).
 	MaxNodes int
 	// IncumbentHint, when non-nil, primes the upper bound with a known
-	// feasible solution (e.g. from a heuristic warm start).
+	// feasible solution (e.g. from a heuristic warm start). Infeasible
+	// hints are ignored; a hint of the wrong length is an error.
 	IncumbentHint []bool
+	// Parallel fans the search frontier out over internal/parallel with
+	// a shared atomic incumbent. The returned solution is bit-identical
+	// to a serial solve of the same model and options: after the optimum
+	// value is proved, both modes re-derive the canonical witness with a
+	// deterministic serial dive.
+	Parallel bool
+	// NoPropagation disables derived fixings (unit propagation,
+	// dominance chains), leaving only feasibility checks — the search
+	// then relies on branching alone. For differential testing.
+	NoPropagation bool
 }
 
 const (
@@ -163,65 +205,6 @@ const (
 	zero
 	one
 )
-
-type solver struct {
-	m        *Model
-	opt      Options
-	fixed    []int8
-	obj      []float64
-	best     float64
-	bestVals []bool
-	haveBest bool
-	nodes    int
-	maxNodes int
-	// partitions: disjoint exactly-one variable groups used for bounding.
-	partitions [][]Var
-	inPart     []bool
-	// occur[v] = indices of constraints containing v.
-	occur [][]int
-}
-
-// Solve minimizes the model exactly via branch and bound.
-func Solve(m *Model, opt Options) (*Solution, error) {
-	s := &solver{
-		m:        m,
-		opt:      opt,
-		fixed:    make([]int8, m.NumVars()),
-		obj:      m.obj,
-		best:     math.Inf(1),
-		maxNodes: opt.MaxNodes,
-	}
-	if s.maxNodes == 0 {
-		s.maxNodes = 10_000_000
-	}
-	s.buildIndexes()
-	if opt.IncumbentHint != nil {
-		if len(opt.IncumbentHint) != m.NumVars() {
-			return nil, fmt.Errorf("milp: incumbent hint has %d values, model has %d vars",
-				len(opt.IncumbentHint), m.NumVars())
-		}
-		if obj, ok := m.Check(opt.IncumbentHint); ok {
-			s.best = obj
-			s.bestVals = append([]bool(nil), opt.IncumbentHint...)
-			s.haveBest = true
-		}
-	}
-
-	feasible := s.search()
-	sol := &Solution{Nodes: s.nodes, Optimal: s.nodes < s.maxNodes}
-	if !s.haveBest {
-		// Wrap the sentinels with solve-state context; callers must match
-		// with errors.Is, not ==.
-		if !feasible && sol.Optimal {
-			return nil, fmt.Errorf("%w (%d vars, %d constraints, %d nodes explored)",
-				ErrInfeasible, m.NumVars(), m.NumConstraints(), s.nodes)
-		}
-		return nil, fmt.Errorf("%w (explored %d of %d nodes)", ErrBudget, s.nodes, s.maxNodes)
-	}
-	sol.Values = s.bestVals
-	sol.Objective = s.best
-	return sol, nil
-}
 
 // Check evaluates an assignment against all constraints, returning the
 // objective and whether every constraint is satisfied.
@@ -240,318 +223,20 @@ func (m *Model) Check(values []bool) (obj float64, ok bool) {
 		}
 		switch c.Sense {
 		case LE:
-			if lhs > c.RHS+1e-9 {
+			if lhs > c.RHS+Eps {
 				return obj, false
 			}
 		case GE:
-			if lhs < c.RHS-1e-9 {
+			if lhs < c.RHS-Eps {
 				return obj, false
 			}
 		case EQ:
-			if math.Abs(lhs-c.RHS) > 1e-9 {
+			if math.Abs(lhs-c.RHS) > Eps {
 				return obj, false
 			}
 		}
 	}
 	return obj, true
-}
-
-func (s *solver) buildIndexes() {
-	m := s.m
-	s.occur = make([][]int, m.NumVars())
-	for ci, c := range m.cons {
-		for _, t := range c.Terms {
-			s.occur[t.Var] = append(s.occur[t.Var], ci)
-		}
-	}
-	// Collect disjoint exactly-one groups greedily (largest first) for
-	// the lower bound.
-	s.inPart = make([]bool, m.NumVars())
-	type group struct{ vars []Var }
-	var groups []group
-	for _, c := range m.cons {
-		if c.Sense != EQ || c.RHS != 1 {
-			continue
-		}
-		allUnit := true
-		for _, t := range c.Terms {
-			if t.Coef != 1 {
-				allUnit = false
-				break
-			}
-		}
-		if !allUnit {
-			continue
-		}
-		vars := make([]Var, len(c.Terms))
-		for i, t := range c.Terms {
-			vars[i] = t.Var
-		}
-		groups = append(groups, group{vars})
-	}
-	sort.Slice(groups, func(i, j int) bool { return len(groups[i].vars) > len(groups[j].vars) })
-	for _, g := range groups {
-		overlap := false
-		for _, v := range g.vars {
-			if s.inPart[v] {
-				overlap = true
-				break
-			}
-		}
-		if overlap {
-			continue
-		}
-		for _, v := range g.vars {
-			s.inPart[v] = true
-		}
-		s.partitions = append(s.partitions, g.vars)
-	}
-}
-
-// propagate applies unit propagation until fixpoint. It records every
-// variable it fixes in trail and reports false on contradiction.
-func (s *solver) propagate(trail *[]Var) bool {
-	changed := true
-	for changed {
-		changed = false
-		for ci := range s.m.cons {
-			c := &s.m.cons[ci]
-			fixedSum, minFree, maxFree := 0.0, 0.0, 0.0
-			freeCount := 0
-			for _, t := range c.Terms {
-				switch s.fixed[t.Var] {
-				case one:
-					fixedSum += t.Coef
-				case unset:
-					freeCount++
-					if t.Coef > 0 {
-						maxFree += t.Coef
-					} else {
-						minFree += t.Coef
-					}
-				}
-			}
-			// Feasibility windows.
-			if c.Sense == LE || c.Sense == EQ {
-				if fixedSum+minFree > c.RHS+1e-9 {
-					return false
-				}
-			}
-			if c.Sense == GE || c.Sense == EQ {
-				if fixedSum+maxFree < c.RHS-1e-9 {
-					return false
-				}
-			}
-			if freeCount == 0 {
-				continue
-			}
-			// Forcing: examine each free var.
-			for _, t := range c.Terms {
-				if s.fixed[t.Var] != unset {
-					continue
-				}
-				// Setting t.Var = 1.
-				if c.Sense == LE || c.Sense == EQ {
-					base := minFree
-					if t.Coef < 0 {
-						base -= t.Coef // exclude t from the min
-					}
-					if fixedSum+base+t.Coef > c.RHS+1e-9 {
-						if !s.fix(t.Var, zero, trail) {
-							return false
-						}
-						changed = true
-						continue
-					}
-				}
-				if c.Sense == GE || c.Sense == EQ {
-					base := maxFree
-					if t.Coef > 0 {
-						base -= t.Coef // exclude t from the max
-					}
-					if fixedSum+base+t.Coef < c.RHS-1e-9 {
-						if !s.fix(t.Var, zero, trail) {
-							return false
-						}
-						changed = true
-						continue
-					}
-					// Setting t.Var = 0: remaining max without t.
-					if fixedSum+base < c.RHS-1e-9 {
-						if !s.fix(t.Var, one, trail) {
-							return false
-						}
-						changed = true
-						continue
-					}
-				}
-			}
-		}
-	}
-	return true
-}
-
-func (s *solver) fix(v Var, val int8, trail *[]Var) bool {
-	if s.fixed[v] != unset {
-		return s.fixed[v] == val
-	}
-	s.fixed[v] = val
-	*trail = append(*trail, v)
-	return true
-}
-
-func (s *solver) undo(trail []Var, from int) {
-	for i := from; i < len(trail); i++ {
-		s.fixed[trail[i]] = unset
-	}
-}
-
-// lowerBound computes an admissible bound on the best completion of the
-// current partial assignment.
-func (s *solver) lowerBound() float64 {
-	lb := 0.0
-	for v, f := range s.fixed {
-		if f == one {
-			lb += s.obj[v]
-		}
-	}
-	for _, part := range s.partitions {
-		satisfied := false
-		minCoef := math.Inf(1)
-		anyFree := false
-		for _, v := range part {
-			switch s.fixed[v] {
-			case one:
-				satisfied = true
-			case unset:
-				anyFree = true
-				if s.obj[v] < minCoef {
-					minCoef = s.obj[v]
-				}
-			}
-		}
-		if satisfied {
-			continue
-		}
-		if anyFree {
-			lb += minCoef
-		}
-		// If no free var and none fixed to one the node is infeasible;
-		// propagation catches that, so the bound need not.
-	}
-	// Free variables outside partitions can only lower the objective if
-	// their coefficient is negative.
-	for v, f := range s.fixed {
-		if f == unset && !s.inPart[v] && s.obj[v] < 0 {
-			lb += s.obj[v]
-		}
-	}
-	return lb
-}
-
-// pickBranchVar chooses the next variable to branch on: the cheapest
-// free variable of the unsatisfied partition with the fewest free
-// variables; or, failing that, any free variable with the largest
-// absolute objective coefficient.
-func (s *solver) pickBranchVar() (Var, bool) {
-	bestPart := -1
-	bestFree := math.MaxInt
-	for pi, part := range s.partitions {
-		satisfied := false
-		free := 0
-		for _, v := range part {
-			switch s.fixed[v] {
-			case one:
-				satisfied = true
-			case unset:
-				free++
-			}
-		}
-		if satisfied || free == 0 {
-			continue
-		}
-		if free < bestFree {
-			bestFree = free
-			bestPart = pi
-		}
-	}
-	if bestPart >= 0 {
-		var bv Var = -1
-		bc := math.Inf(1)
-		for _, v := range s.partitions[bestPart] {
-			if s.fixed[v] == unset && s.obj[v] < bc {
-				bc = s.obj[v]
-				bv = v
-			}
-		}
-		return bv, true
-	}
-	var bv Var = -1
-	bc := -1.0
-	for v, f := range s.fixed {
-		if f != unset {
-			continue
-		}
-		if a := math.Abs(s.obj[v]); a > bc {
-			bc = a
-			bv = Var(v)
-		}
-	}
-	if bv < 0 {
-		return 0, false
-	}
-	return bv, true
-}
-
-func (s *solver) search() bool {
-	s.nodes++
-	if s.nodes >= s.maxNodes {
-		return false
-	}
-	var trail []Var
-	if !s.propagate(&trail) {
-		s.undo(trail, 0)
-		return false
-	}
-	lb := s.lowerBound()
-	if lb >= s.best-1e-9 && s.haveBest {
-		s.undo(trail, 0)
-		return false
-	}
-	v, any := s.pickBranchVar()
-	if !any {
-		// Complete assignment: validate and record.
-		vals := make([]bool, len(s.fixed))
-		for i, f := range s.fixed {
-			vals[i] = f == one
-		}
-		obj, ok := s.m.Check(vals)
-		s.undo(trail, 0)
-		if !ok {
-			return false
-		}
-		if obj < s.best {
-			s.best = obj
-			s.bestVals = vals
-			s.haveBest = true
-		}
-		return true
-	}
-
-	found := false
-	// Branch v=1 first (partition-driven models satisfy groups faster).
-	for _, val := range [2]int8{one, zero} {
-		mark := len(trail)
-		if s.fix(v, val, &trail) {
-			if s.search() {
-				found = true
-			}
-		}
-		s.undo(trail, mark)
-		trail = trail[:mark]
-	}
-	s.undo(trail, 0)
-	return found
 }
 
 // SolveBrute exhaustively enumerates all assignments. It is exponential

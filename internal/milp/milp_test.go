@@ -137,8 +137,11 @@ func TestCheck(t *testing.T) {
 }
 
 // randomModel builds a small random model with exactly-one partitions and
-// at-most-one conflicts, the same structural family as the paper's ring
-// model.
+// at-most-one conflicts — the same structural family as the paper's ring
+// model — plus occasional loose variables (negative objectives included),
+// at-least-one rows and non-unit generic rows so every solver code path
+// (partition bound, negative grouping, windowed propagation, dominance
+// over the interchangeable group members) sees corpus coverage.
 func randomModel(rng *rand.Rand) *Model {
 	m := NewModel()
 	nGroups := 2 + rng.Intn(3)
@@ -148,7 +151,7 @@ func randomModel(rng *rand.Rand) *Model {
 		var vars []Var
 		for k := 0; k < groupSize; k++ {
 			v := m.Binary("v")
-			m.SetObjectiveCoef(v, float64(rng.Intn(20)))
+			m.SetObjectiveCoef(v, float64(rng.Intn(20)-4))
 			vars = append(vars, v)
 			all = append(all, v)
 		}
@@ -162,7 +165,45 @@ func randomModel(rng *rand.Rand) *Model {
 			m.AtMostOne("conf", i, j)
 		}
 	}
+	// Loose variables outside every partition.
+	for k := rng.Intn(3); k > 0; k-- {
+		v := m.Binary("loose")
+		m.SetObjectiveCoef(v, float64(rng.Intn(20)-10))
+		all = append(all, v)
+	}
+	if rng.Intn(3) == 0 {
+		// An at-least-one row over a few distinct variables.
+		picks := map[Var]bool{}
+		for k := 0; k < 3; k++ {
+			picks[all[rng.Intn(len(all))]] = true
+		}
+		terms := make([]Term, 0, len(picks))
+		for v := range picks {
+			terms = append(terms, Term{v, 1})
+		}
+		m.AddConstraint("atleast", terms, GE, 1)
+	}
+	if rng.Intn(3) == 0 {
+		// A generic non-unit row: 2i + j <= 2.
+		i := all[rng.Intn(len(all))]
+		j := all[rng.Intn(len(all))]
+		if i != j {
+			m.AddConstraint("gen", []Term{{i, 2}, {j, 1}}, LE, 2)
+		}
+	}
 	return m
+}
+
+// solveConfigs is the option sweep the property tests run every corpus
+// model through: propagation on/off crossed with parallel on/off.
+var solveConfigs = []struct {
+	name string
+	opt  Options
+}{
+	{"default", Options{}},
+	{"noprop", Options{NoPropagation: true}},
+	{"parallel", Options{Parallel: true}},
+	{"parallel-noprop", Options{Parallel: true, NoPropagation: true}},
 }
 
 func TestSolveMatchesBruteForce(t *testing.T) {
@@ -173,18 +214,42 @@ func TestSolveMatchesBruteForce(t *testing.T) {
 			continue
 		}
 		want, errB := SolveBrute(m)
-		got, errS := Solve(m, Options{})
-		if (errB == nil) != (errS == nil) {
-			t.Fatalf("trial %d: brute err=%v solve err=%v", trial, errB, errS)
+		if base, errBase := SolveBaseline(m, Options{}); (errB == nil) != (errBase == nil) {
+			t.Fatalf("trial %d: brute err=%v baseline err=%v", trial, errB, errBase)
+		} else if errB == nil && math.Abs(want.Objective-base.Objective) > Eps {
+			t.Fatalf("trial %d: brute=%v baseline=%v", trial, want.Objective, base.Objective)
+		}
+		for _, cfg := range solveConfigs {
+			got, errS := Solve(m, cfg.opt)
+			if (errB == nil) != (errS == nil) {
+				t.Fatalf("trial %d [%s]: brute err=%v solve err=%v", trial, cfg.name, errB, errS)
+			}
+			if errB != nil {
+				continue
+			}
+			if math.Abs(want.Objective-got.Objective) > Eps {
+				t.Fatalf("trial %d [%s]: brute=%v solve=%v", trial, cfg.name, want.Objective, got.Objective)
+			}
+			if _, ok := m.Check(got.Values); !ok {
+				t.Fatalf("trial %d [%s]: solver returned infeasible assignment", trial, cfg.name)
+			}
 		}
 		if errB != nil {
 			continue
 		}
-		if math.Abs(want.Objective-got.Objective) > 1e-9 {
-			t.Fatalf("trial %d: brute=%v solve=%v", trial, want.Objective, got.Objective)
-		}
-		if _, ok := m.Check(got.Values); !ok {
-			t.Fatalf("trial %d: solver returned infeasible assignment", trial)
+		// Warm-started solves (the brute optimum as hint) must agree too
+		// and must report the warm start.
+		for _, par := range []bool{false, true} {
+			got, err := Solve(m, Options{IncumbentHint: want.Values, Parallel: par})
+			if err != nil {
+				t.Fatalf("trial %d: warm-started solve failed: %v", trial, err)
+			}
+			if math.Abs(want.Objective-got.Objective) > Eps {
+				t.Fatalf("trial %d: warm brute=%v solve=%v", trial, want.Objective, got.Objective)
+			}
+			if !got.WarmStarted {
+				t.Fatalf("trial %d: feasible hint not reported as warm start", trial)
+			}
 		}
 	}
 }

@@ -1,0 +1,128 @@
+package milp
+
+import (
+	"context"
+	"sync/atomic"
+
+	"xring/internal/parallel"
+)
+
+// decision is one branching step of a frontier prefix.
+type decision struct {
+	v   int32
+	val int8
+}
+
+// decomposeTarget picks how many frontier subproblems to aim for: a few
+// per worker so finished workers can pick up fresh subtrees (the
+// work-stealing effect), capped so decomposition replay stays cheap.
+func decomposeTarget() int {
+	t := 4 * parallel.Workers()
+	if t > 64 {
+		t = 64
+	}
+	return t
+}
+
+// solveParallel runs phase 1 of a parallel solve: decompose the top of
+// the tree into a deterministic frontier of subproblem prefixes, then
+// fan the subtrees out over internal/parallel with the shared atomic
+// incumbent. The returned slice is ordered: resolved prefixes (leaves
+// or contradictions hit during decomposition) first, then one result
+// per frontier prefix in decomposition order — the reduction in Solve
+// walks it in this fixed order regardless of completion timing.
+func solveParallel(c *compiled, sh *shared, opt Options) ([]subResult, bool) {
+	target := decomposeTarget()
+	prefixes, resolved, budgetHit := decompose(c, sh, opt, target)
+	if len(prefixes) == 0 {
+		if len(resolved) > 0 {
+			resolved[0].subproblems += int64(len(resolved))
+		}
+		return resolved, budgetHit
+	}
+
+	var inflight atomic.Int64
+	results, _ := parallel.Map(context.Background(), len(prefixes), func(i int) (subResult, error) {
+		cur := inflight.Add(1)
+		defer inflight.Add(-1)
+		s := newSearcher(c, sh, opt.NoPropagation)
+		if cur > 1 {
+			s.stolen = true
+		}
+		s.initRoot()
+		ok := s.propagate()
+		if ok {
+			for _, d := range prefixes[i] {
+				s.decisions++
+				s.pend = append(s.pend, pfix{d.v, d.val})
+				if ok = s.propagate(); !ok {
+					break
+				}
+			}
+		}
+		if ok {
+			s.search()
+		}
+		return s.result(), nil
+	})
+
+	out := append(resolved, results...)
+	if len(out) > 0 {
+		out[0].subproblems += int64(len(out))
+	}
+	for _, r := range out {
+		budgetHit = budgetHit || r.budgetHit
+	}
+	return out, budgetHit
+}
+
+// decompose expands the top of the search tree breadth-first until the
+// frontier reaches target prefixes. Prefixes that propagate to a
+// contradiction are dropped; prefixes the hint bound already dominates
+// are dropped; complete prefixes are resolved in place. Everything here
+// is serial and deterministic: the frontier order depends only on the
+// model, the options and the hint.
+func decompose(c *compiled, sh *shared, opt Options, target int) (prefixes [][]decision, resolved []subResult, budgetHit bool) {
+	frontier := [][]decision{nil}
+	for len(frontier) > 0 && len(frontier) < target {
+		pre := frontier[0]
+		frontier = frontier[1:]
+		s := newSearcher(c, sh, opt.NoPropagation)
+		s.initRoot()
+		ok := s.propagate()
+		if ok {
+			for _, d := range pre {
+				s.decisions++
+				s.pend = append(s.pend, pfix{d.v, d.val})
+				if ok = s.propagate(); !ok {
+					break
+				}
+			}
+		}
+		if !ok {
+			continue
+		}
+		if lb := s.lowerBound(); lb >= sh.bestObj()-Eps {
+			continue
+		}
+		v, any := s.pickBranch()
+		if !any {
+			if s.sh.nodes.Add(1) > s.sh.maxNodes {
+				budgetHit = true
+				resolved = append(resolved, subResult{budgetHit: true})
+				continue
+			}
+			s.nodes++
+			s.recordLeaf()
+			resolved = append(resolved, s.result())
+			continue
+		}
+		for _, val := range valueOrder {
+			np := make([]decision, len(pre)+1)
+			copy(np, pre)
+			np[len(pre)] = decision{v, val}
+			frontier = append(frontier, np)
+		}
+	}
+	return frontier, resolved, budgetHit
+}

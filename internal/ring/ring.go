@@ -45,6 +45,7 @@ var (
 	mBBPruned      = obs.NewCounter("ring.bb.pruned")
 	mBBIncumbents  = obs.NewCounter("ring.bb.incumbents")
 	mConflictPairs = obs.NewCounter("ring.conflict.pairs")
+	mWarmAccepted  = obs.NewCounter("ring.warmstart.accepted")
 )
 
 // Result is the outcome of ring construction.
@@ -66,6 +67,10 @@ type Result struct {
 	Nodes int
 	// Optimal reports whether the model was solved to proven optimality.
 	Optimal bool
+	// WarmStarted reports whether an external Options.IncumbentHint was
+	// valid, conflict-free and primed the incumbent. The always-on
+	// internal heuristic warm start does not count.
+	WarmStarted bool
 }
 
 // Options tunes the constructors.
@@ -74,6 +79,11 @@ type Options struct {
 	MaxNodes int
 	// DisableConflicts drops Eq. (3), for ablation studies.
 	DisableConflicts bool
+	// IncumbentHint, when non-nil, is a previously known feasible tour
+	// (a permutation of the node IDs) used to prime the incumbent — e.g.
+	// a prior degraded result on a retry. Invalid or conflicting hints
+	// are ignored rather than rejected.
+	IncumbentHint []int
 }
 
 type edgeKey struct{ a, b int } // undirected, a < b
@@ -180,7 +190,7 @@ func ConstructCtx(ctx context.Context, net *noc.Network, opt Options) (*Result, 
 	}
 
 	_, sspan := obs.Start(ctx, "ring.solve")
-	succ, objective, nodes, optimal, err := solveAssignmentBB(net, ct, opt)
+	succ, objective, nodes, optimal, warm, err := solveAssignmentBB(net, ct, opt)
 	sspan.Set(obs.Int("bb_nodes", nodes), obs.Bool("optimal", optimal))
 	sspan.End()
 	if err != nil {
@@ -208,6 +218,7 @@ func ConstructCtx(ctx context.Context, net *noc.Network, opt Options) (*Result, 
 		Subcycles:      len(cycles),
 		Nodes:          nodes,
 		Optimal:        optimal,
+		WarmStarted:    warm,
 	}, nil
 }
 
@@ -257,10 +268,37 @@ func ConstructHeuristic(ctx context.Context, net *noc.Network, opt Options) (*Re
 	}, nil
 }
 
-// ConstructMILP builds and solves the literal Eq. (1)-(4) model with the
-// generic 0/1 solver, then applies the same merging. It is exponential
-// in the worst case and intended for N ≲ 10 and cross-validation.
-func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
+// dedge is a directed edge i→j in the Eq. (1)-(4) assignment model.
+type dedge struct{ from, to int }
+
+// MILPInstance is a compiled Eq. (1)-(4) model for one network, ready to
+// hand to milp.Solve. Hint carries the warm-start incumbent (from the
+// construction heuristic, or the caller's Options.IncumbentHint when it
+// is a valid conflict-free tour); nil when no feasible tour is known.
+type MILPInstance struct {
+	Model *milp.Model
+	Hint  []bool
+
+	n            int
+	vars         map[dedge]milp.Var
+	ct           *conflictTable
+	externalHint bool // Hint derived from Options.IncumbentHint
+}
+
+// NewMILPInstance builds the literal paper model: Eq. (1) degree rows,
+// Eq. (2) 2-cycle bans, Eq. (3) conflict pairs, Eq. (4) Manhattan
+// objective — plus one symmetry-breaking row. Every directed tour has a
+// reversed twin with identical objective (Manhattan costs are symmetric
+// and conflicts are on undirected edges), so we keep only the
+// orientation with succ(0) < pred(0):
+//
+//	sum_j j·b_0j − sum_j j·b_j0 ≤ 0
+//
+// Equality is impossible (2-cycles are banned and n ≥ 3), so exactly one
+// orientation of each tour survives and the search space halves without
+// losing any optimum. Warm-start tours are reversed as needed to respect
+// the same orientation before being encoded as a hint.
+func NewMILPInstance(net *noc.Network, opt Options) (*MILPInstance, error) {
 	n := net.N()
 	if n < 3 {
 		return nil, fmt.Errorf("ring: need at least 3 nodes, have %d", n)
@@ -272,7 +310,6 @@ func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
 	pos := net.Positions()
 
 	m := milp.NewModel()
-	type dedge struct{ from, to int }
 	vars := map[dedge]milp.Var{}
 	for i := 0; i < n; i++ {
 		for j := 0; j < n; j++ {
@@ -316,24 +353,90 @@ func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
 			}
 		}
 	}
+	// Tour-direction symmetry break: succ(0) < pred(0).
+	var symb []milp.Term
+	for j := 1; j < n; j++ {
+		symb = append(symb,
+			milp.Term{Var: vars[dedge{0, j}], Coef: float64(j)},
+			milp.Term{Var: vars[dedge{j, 0}], Coef: -float64(j)})
+	}
+	m.AddConstraint("symbreak", symb, milp.LE, 0)
 
-	maxNodes := opt.MaxNodes
-	if maxNodes == 0 {
-		maxNodes = 2_000_000
+	inst := &MILPInstance{Model: m, n: n, vars: vars, ct: ct}
+	// Prefer the caller's hint when it is a valid conflict-free tour;
+	// otherwise fall back to the construction heuristic.
+	chk := &bbState{net: net, ct: ct, n: n}
+	if hint := opt.IncumbentHint; len(hint) > 0 && isPermutation(hint, n) && chk.feasible(tourSucc(hint)) {
+		inst.Hint = inst.encodeTour(hint)
+		inst.externalHint = true
+		mWarmAccepted.Inc()
+	} else if tour, err := HeuristicTour(net, ct); err == nil && chk.feasible(tourSucc(tour)) {
+		inst.Hint = inst.encodeTour(tour)
 	}
-	sol, err := milp.Solve(m, milp.Options{MaxNodes: maxNodes})
-	if err != nil {
-		return nil, fmt.Errorf("ring: MILP solve: %w", err)
+	return inst, nil
+}
+
+// encodeTour converts a node tour into a model incumbent, reversing the
+// tour first when its orientation violates the symmetry-break row.
+func (inst *MILPInstance) encodeTour(tour []int) []bool {
+	t := append([]int(nil), tour...)
+	succ := tourSucc(t)
+	pred := make([]int, inst.n)
+	for i, j := range succ {
+		pred[j] = i
 	}
-	succ := make([]int, n)
+	if succ[0] > pred[0] {
+		for i, j := 0, len(t)-1; i < j; i, j = i+1, j-1 {
+			t[i], t[j] = t[j], t[i]
+		}
+		succ = tourSucc(t)
+	}
+	hint := make([]bool, inst.Model.NumVars())
+	for i, j := range succ {
+		hint[inst.vars[dedge{i, j}]] = true
+	}
+	return hint
+}
+
+// Successors decodes a solver solution back into the succ array of the
+// selected directed Hamiltonian structure (-1 for unassigned rows).
+func (inst *MILPInstance) Successors(sol *milp.Solution) []int {
+	succ := make([]int, inst.n)
 	for i := range succ {
 		succ[i] = -1
 	}
-	for de, v := range vars {
+	for de, v := range inst.vars {
 		if sol.Value(v) {
 			succ[de.from] = de.to
 		}
 	}
+	return succ
+}
+
+// ConstructMILP builds and solves the literal Eq. (1)-(4) model with the
+// generic 0/1 solver, then applies the same merging. It is exponential
+// in the worst case and intended for N ≲ 10 and cross-validation. The
+// solve is warm-started from the construction heuristic (or the caller's
+// Options.IncumbentHint) and runs the deterministic parallel mode.
+func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
+	inst, err := NewMILPInstance(net, opt)
+	if err != nil {
+		return nil, err
+	}
+	maxNodes := opt.MaxNodes
+	if maxNodes == 0 {
+		maxNodes = 2_000_000
+	}
+	sol, err := milp.Solve(inst.Model, milp.Options{
+		MaxNodes:      maxNodes,
+		IncumbentHint: inst.Hint,
+		Parallel:      true,
+	})
+	if err != nil {
+		return nil, fmt.Errorf("ring: MILP solve: %w", err)
+	}
+	ct := inst.ct
+	succ := inst.Successors(sol)
 	cycles := extractCycles(succ)
 	tour, err := mergeCycles(net, ct, cycles)
 	if err != nil {
@@ -349,8 +452,9 @@ func ConstructMILP(net *noc.Network, opt Options) (*Result, error) {
 		Length:         tourLength(net, tour),
 		ModelObjective: sol.Objective,
 		Subcycles:      len(cycles),
-		Nodes:          sol.Nodes,
+		Nodes:          int(sol.Nodes),
 		Optimal:        sol.Optimal,
+		WarmStarted:    inst.externalHint && sol.WarmStarted,
 	}, nil
 }
 
@@ -380,7 +484,31 @@ type bbState struct {
 	incumbents int // times a new best assignment was adopted
 }
 
-func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ []int, objective float64, nodes int, optimal bool, err error) {
+// isPermutation reports whether tour is a permutation of 0..n-1.
+func isPermutation(tour []int, n int) bool {
+	if len(tour) != n {
+		return false
+	}
+	seen := make([]bool, n)
+	for _, v := range tour {
+		if v < 0 || v >= n || seen[v] {
+			return false
+		}
+		seen[v] = true
+	}
+	return true
+}
+
+// tourSucc converts a cyclic tour into a successor function.
+func tourSucc(tour []int) []int {
+	succ := make([]int, len(tour))
+	for i := range tour {
+		succ[tour[i]] = tour[(i+1)%len(tour)]
+	}
+	return succ
+}
+
+func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ []int, objective float64, nodes int, optimal, warmStarted bool, err error) {
 	n := net.N()
 	pos := net.Positions()
 	cost := make([][]float64, n)
@@ -410,6 +538,21 @@ func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ [
 			st.bestSucc = wsucc
 		}
 	}
+	// External tour hint (e.g. a prior degraded result): adopt if it is a
+	// valid, conflict-free permutation. It counts as a warm start even
+	// when the internal heuristic found something better — the caller
+	// only cares that its hint was usable.
+	if hint := opt.IncumbentHint; len(hint) > 0 && isPermutation(hint, n) {
+		hsucc := tourSucc(hint)
+		if st.feasible(hsucc) {
+			warmStarted = true
+			mWarmAccepted.Inc()
+			if c := succCost(cost, hsucc); c < st.best {
+				st.best = c
+				st.bestSucc = hsucc
+			}
+		}
+	}
 	st.search(cost)
 	mBBNodes.Add(int64(st.nodes))
 	mBBPruned.Add(int64(st.pruned))
@@ -420,12 +563,12 @@ func solveAssignmentBB(net *noc.Network, ct *conflictTable, opt Options) (succ [
 			// infeasibility: report it as a budget exhaustion so callers
 			// can fall back to the heuristic constructor (errors.Is
 			// against milp.ErrBudget).
-			return nil, 0, st.nodes, false,
+			return nil, 0, st.nodes, false, warmStarted,
 				fmt.Errorf("ring: %w (assignment B&B explored %d of %d nodes)", milp.ErrBudget, st.nodes, st.maxNodes)
 		}
-		return nil, 0, st.nodes, false, errors.New("ring: no feasible assignment found (conflict constraints unsatisfiable)")
+		return nil, 0, st.nodes, false, warmStarted, errors.New("ring: no feasible assignment found (conflict constraints unsatisfiable)")
 	}
-	return st.bestSucc, st.best, st.nodes, st.nodes < st.maxNodes, nil
+	return st.bestSucc, st.best, st.nodes, st.nodes < st.maxNodes, warmStarted, nil
 }
 
 func succCost(cost [][]float64, succ []int) float64 {
@@ -487,7 +630,7 @@ func (st *bbState) search(cost [][]float64) {
 		st.pruned++
 		return // infeasible branch
 	}
-	if total >= st.best-1e-9 {
+	if total >= st.best-milp.Eps {
 		st.pruned++
 		return // bound
 	}
@@ -714,7 +857,7 @@ func HeuristicTour(net *noc.Network, ct *conflictTable) ([]int, error) {
 				delta := dist(a, c) + dist(b, d) - dist(a, b) - dist(c, d)
 				conflictNow := ct != nil && ct.conflicts(mkEdge(a, b), mkEdge(c, d))
 				conflictAfter := ct != nil && ct.conflicts(mkEdge(a, c), mkEdge(b, d))
-				if delta < -1e-9 || (conflictNow && !conflictAfter && delta <= 1e-9) {
+				if delta < -milp.Eps || (conflictNow && !conflictAfter && delta <= milp.Eps) {
 					// Reverse tour[i+1..j].
 					for lo, hi := i+1, j; lo < hi; lo, hi = lo+1, hi-1 {
 						tour[lo], tour[hi] = tour[hi], tour[lo]

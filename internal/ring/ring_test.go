@@ -307,7 +307,7 @@ func TestBudgetExhaustionWrapsErrBudget(t *testing.T) {
 			}
 		}
 	}
-	_, _, _, _, err := solveAssignmentBB(net, ct, Options{MaxNodes: 1})
+	_, _, _, _, _, err := solveAssignmentBB(net, ct, Options{MaxNodes: 1})
 	if !errors.Is(err, milp.ErrBudget) {
 		t.Fatalf("err = %v, want errors.Is(err, milp.ErrBudget)", err)
 	}

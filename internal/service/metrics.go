@@ -37,6 +37,7 @@ var (
 	// contained job panics, stage-watchdog expiries, and the persistent
 	// cache tier's disk traffic.
 	mDegraded         = obs.NewCounter("service.jobs.degraded")
+	mWarmStarted      = obs.NewCounter("service.jobs.warmstarted")
 	mPanicsRecovered  = obs.NewCounter("service.jobs.panics_recovered")
 	mStageTimeouts    = obs.NewCounter("service.jobs.stage_timeouts")
 	mPersistWrites    = obs.NewCounter("service.persist.writes")
@@ -62,7 +63,11 @@ type Stats struct {
 	// fallback), panics contained to their job, stage-watchdog expiries,
 	// and persistent-cache traffic (disk hits promoted to memory,
 	// entries recovered at startup, corrupt/stale entries discarded).
-	Degraded         int64 `json:"degraded"`
+	Degraded int64 `json:"degraded"`
+	// WarmStarts counts jobs whose Step-1 exact solve was primed with a
+	// cached incumbent tour (typically a prior degraded result for the
+	// same floorplan) — the retry-amnesty loop working as intended.
+	WarmStarts       int64 `json:"warmStartUsed"`
 	Panics           int64 `json:"panics"`
 	StageTimeouts    int64 `json:"stageTimeouts"`
 	PersistHits      int64 `json:"persistHits"`
@@ -80,6 +85,7 @@ type stats struct {
 	synthesized      atomic.Int64
 	failed           atomic.Int64
 	degraded         atomic.Int64
+	warmStarts       atomic.Int64
 	panics           atomic.Int64
 	stageTimeouts    atomic.Int64
 	persistHits      atomic.Int64
@@ -97,6 +103,7 @@ func (s *stats) snapshot() Stats {
 		Synthesized:      s.synthesized.Load(),
 		Failed:           s.failed.Load(),
 		Degraded:         s.degraded.Load(),
+		WarmStarts:       s.warmStarts.Load(),
 		Panics:           s.panics.Load(),
 		StageTimeouts:    s.stageTimeouts.Load(),
 		PersistHits:      s.persistHits.Load(),

@@ -66,6 +66,64 @@ func TestDegradedSynthesisOverHTTP(t *testing.T) {
 	}
 }
 
+// TestWarmStartSurfacedOverHTTP follows a degraded job with a fresh
+// request for the same floorplan: the retry warm-starts the exact solve
+// from the stored heuristic tour, the summary carries warmStart, and
+// /v1/stats counts it under warmStartUsed.
+func TestWarmStartSurfacedOverHTTP(t *testing.T) {
+	core.ResetRingCache()
+	core.ResetHintCache()
+	inj := resilience.NewInjector(1,
+		resilience.Rule{Point: "core.ring", Err: milp.ErrBudget, Times: 1})
+	s, ts := newTestServer(t, Config{Workers: 1, Injector: inj})
+
+	resp, data := postSynth(t, ts.URL, quadRequest(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded synthesize: status %d, body %s", resp.StatusCode, data)
+	}
+	if r := decodeResponse(t, data); r.Summary == nil || !r.Summary.Degraded {
+		t.Fatalf("first summary = %+v, want degraded", r.Summary)
+	}
+
+	// Same floorplan, different content key (MaxWL), so the result cache
+	// and dedup are out of the way and the engine runs again — this time
+	// past the spent fault rule and seeded from the hint cache.
+	retry := quadRequest(0)
+	retry.Options.MaxWL = 3
+	resp, data = postSynth(t, ts.URL, retry)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("retry synthesize: status %d, body %s", resp.StatusCode, data)
+	}
+	r := decodeResponse(t, data)
+	if r.Summary == nil || r.Summary.Degraded {
+		t.Fatalf("retry summary = %+v, want un-degraded", r.Summary)
+	}
+	if !r.Summary.WarmStart {
+		t.Fatal("retry summary does not report the warm start")
+	}
+	if st := s.Stats(); st.WarmStarts != 1 {
+		t.Errorf("stats.WarmStarts = %d, want 1", st.WarmStarts)
+	}
+
+	// The raw JSON field name is API surface (clients and dashboards key
+	// off it).
+	var raw map[string]any
+	if err := json.Unmarshal(data, &raw); err != nil {
+		t.Fatal(err)
+	}
+	sum, _ := raw["summary"].(map[string]any)
+	if sum["warmStart"] != true {
+		t.Errorf(`response summary JSON lacks "warmStart": true: %v`, sum)
+	}
+	stats, err := json.Marshal(s.Stats())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(stats), `"warmStartUsed":1`) {
+		t.Errorf("stats JSON lacks warmStartUsed: %s", stats)
+	}
+}
+
 // TestFaultSpecWiring drives the same degraded path through the string
 // DSL, the way xringd -fault passes it in.
 func TestFaultSpecWiring(t *testing.T) {

@@ -40,6 +40,11 @@ type Summary struct {
 	// still valid and fully routed, just not provably optimal.
 	Degraded       bool   `json:"degraded,omitempty"`
 	DegradedReason string `json:"degradedReason,omitempty"`
+	// WarmStart marks a result whose exact Step-1 solve was primed with
+	// a previously known feasible tour (the retry path after a degraded
+	// result). Purely informational — warm starts never change the
+	// optimum, only how fast it is proven.
+	WarmStart bool `json:"warmStart,omitempty"`
 }
 
 // Response is the POST /v1/synthesize result envelope. Design carries
@@ -88,6 +93,7 @@ func summarize(res *core.Result) *Summary {
 	}
 	s.Degraded = res.Degraded
 	s.DegradedReason = res.DegradedReason
+	s.WarmStart = res.Ring != nil && res.Ring.WarmStarted
 	return s
 }
 
@@ -190,6 +196,10 @@ func (s *Server) run(j *job) {
 		if summary.Degraded {
 			s.st.degraded.Add(1)
 			mDegraded.Inc()
+		}
+		if summary.WarmStart {
+			s.st.warmStarts.Add(1)
+			mWarmStarted.Inc()
 		}
 		c := &cached{key: j.key, jobID: j.id, summary: summary, design: design}
 		s.cache.put(c)
