@@ -83,7 +83,8 @@ func main() {
 	serial := flag.Bool("serial", false, "evaluate everything sequentially on one worker (baseline for -json)")
 	jsonOut := flag.String("json", "", "benchmark serial vs parallel passes and write the report to this file")
 	solver := flag.Bool("solver", false, "run the MILP solver micro-benchmark (writes -json if set, compares -check if set)")
-	solverCheck := flag.String("check", "", "with -solver: committed BENCH_solver.json to compare against; exits non-zero on regression")
+	deltaBench := flag.Bool("delta", false, "run the placement delta-evaluation micro-benchmark (writes -json if set, compares -check if set)")
+	benchCheck := flag.String("check", "", "with -solver/-delta: committed BENCH_*.json to compare against; exits non-zero on regression")
 	loadURL := flag.String("load", "", "drive a running xringd at this base URL with a mixed concurrent workload")
 	loadN := flag.Int("load-n", 32, "total requests to send in -load mode")
 	loadC := flag.Int("load-c", 8, "concurrent senders in -load mode")
@@ -118,7 +119,14 @@ func main() {
 		return
 	}
 	if *solver {
-		if err := runSolverBench(*jsonOut, *solverCheck); err != nil {
+		if err := runSolverBench(*jsonOut, *benchCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *deltaBench {
+		if err := runDeltaBench(*jsonOut, *benchCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)
 			os.Exit(1)
 		}
@@ -535,6 +543,14 @@ type benchStage struct {
 	Speedup    float64 `json:"speedup"`
 }
 
+// placementThroughput records the placement hot-loop rate in proposals
+// evaluated per second: full re-synthesis per proposal vs the
+// incremental delta engine, both on the full worker pool.
+type placementThroughput struct {
+	FullProposalsPerSec  float64 `json:"fullProposalsPerSec"`
+	DeltaProposalsPerSec float64 `json:"deltaProposalsPerSec"`
+}
+
 // benchReport is the -json output: serial vs parallel wall-clock for
 // the paper tables and a 16-node placement search, stamped with the
 // toolchain and clock context needed to compare runs across machines.
@@ -549,18 +565,20 @@ type benchReport struct {
 	// MonotonicNS is the monotonic-clock offset from process start to
 	// report generation; unlike the wall clock it is immune to NTP steps,
 	// so stage times are comparable to it.
-	MonotonicNS int64        `json:"monotonicNS"`
-	Floorplan   string       `json:"floorplan"`
-	Stages      []benchStage `json:"stages"`
+	MonotonicNS int64                `json:"monotonicNS"`
+	Floorplan   string               `json:"floorplan"`
+	Stages      []benchStage         `json:"stages"`
+	Placement   *placementThroughput `json:"placementThroughput,omitempty"`
 }
 
 // runJSONBench times each stage twice — one worker with Serial options,
 // then the full pool — resetting the Step-1 cache between passes so a
 // warm cache cannot masquerade as concurrency speedup.
 func runJSONBench(path string) error {
+	var fullTrace *xring.PlacementTrace
 	placement16 := func() {
 		net := xring.Irregular(16, 16, 16, 2.5, 5)
-		_, _, _, err := xring.OptimizePlacement(net, xring.PlacementOptions{
+		_, _, trace, err := xring.OptimizePlacement(net, xring.PlacementOptions{
 			Objective:  xring.PlaceMinWorstIL,
 			Synth:      opts(xring.Options{MaxWL: 16}),
 			Iterations: 24,
@@ -570,6 +588,7 @@ func runJSONBench(path string) error {
 		if err != nil {
 			panic(err)
 		}
+		fullTrace = trace
 	}
 	stages := []struct {
 		name string
@@ -614,6 +633,31 @@ func runJSONBench(path string) error {
 		})
 		fmt.Fprintf(os.Stderr, "%-12s serial %.1f ms  parallel %.1f ms  speedup %.2fx\n",
 			st.name, serialMS, parallelMS, speedup)
+	}
+
+	// Placement hot-loop throughput: the last (parallel-pool) placement16
+	// pass recorded the full-mode rate; pair it with one delta-mode run
+	// of the same search on the same pool.
+	if fullTrace != nil {
+		net := xring.Irregular(16, 16, 16, 2.5, 5)
+		core.ResetRingCache()
+		_, _, dtrace, err := xring.OptimizePlacement(net, xring.PlacementOptions{
+			Objective:  xring.PlaceMinWorstIL,
+			Synth:      opts(xring.Options{MaxWL: 16}),
+			Iterations: 24,
+			StepMM:     1.5,
+			Seed:       1,
+			Delta:      true,
+		})
+		if err != nil {
+			return err
+		}
+		rep.Placement = &placementThroughput{
+			FullProposalsPerSec:  fullTrace.EvalRate(),
+			DeltaProposalsPerSec: dtrace.EvalRate(),
+		}
+		fmt.Fprintf(os.Stderr, "placement    full %.1f proposals/s  delta %.1f proposals/s\n",
+			rep.Placement.FullProposalsPerSec, rep.Placement.DeltaProposalsPerSec)
 	}
 
 	now := time.Now()

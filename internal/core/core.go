@@ -15,6 +15,7 @@ import (
 
 	"xring/internal/resilience"
 
+	"xring/internal/geom"
 	"xring/internal/loss"
 	"xring/internal/mapping"
 	"xring/internal/noc"
@@ -179,6 +180,38 @@ func stageGate(ctx context.Context, stage string) error {
 // SynthesizeOnRingCtx is SynthesizeOnRing under a context (cancellation
 // between stages and before each analysis, nested trace spans).
 func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options) (*Result, error) {
+	return synthesizeOnRing(ctx, net, rres, opt, nil)
+}
+
+// shortcutSkeleton is a precomputed Step-2 result: the selected
+// shortcuts before any channel is mapped onto them. Step 2 depends only
+// on the geometry, the traffic and the shortcut ablation switches —
+// never on the #wl budget or the sharing policy a sweep varies — so a
+// sweep constructs it once and hands every candidate a private clone.
+type shortcutSkeleton struct {
+	shortcuts []*router.Shortcut
+}
+
+// clone returns candidate-private shortcut structs: mapping appends
+// channels and must not see a sibling candidate's assignment.
+func (s *shortcutSkeleton) clone() []*router.Shortcut {
+	if s.shortcuts == nil {
+		return nil
+	}
+	out := make([]*router.Shortcut, len(s.shortcuts))
+	for i, sc := range s.shortcuts {
+		cp := *sc
+		cp.PathAB = append([]geom.Point(nil), sc.PathAB...)
+		cp.Channels = nil
+		out[i] = &cp
+	}
+	return out
+}
+
+// synthesizeOnRing runs Steps 2-4 and the analyses. With a non-nil
+// skeleton, Step 2 is skipped and the skeleton's shortcut clones are
+// installed instead (the sweep's shared-prefix path).
+func synthesizeOnRing(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options, skel *shortcutSkeleton) (*Result, error) {
 	mSynthesizeCalls.Inc()
 	if err := stageGate(ctx, "entry"); err != nil {
 		return nil, err
@@ -198,17 +231,21 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		mSynthesizeErrors.Inc()
 		return nil, err
 	}
-	_, scSpan := obs.Start(ctx, "shortcut.construct")
-	err = shortcut.Construct(d, shortcut.Options{
-		Disable: opt.DisableShortcuts,
-		NoCSE:   opt.NoCSE,
-		Traffic: opt.Traffic,
-	})
-	scSpan.Set(obs.Int("shortcuts", len(d.Shortcuts)))
-	scSpan.End()
-	if err != nil {
-		mSynthesizeErrors.Inc()
-		return nil, err
+	if skel != nil {
+		d.Shortcuts = skel.clone()
+	} else {
+		_, scSpan := obs.Start(ctx, "shortcut.construct")
+		err = shortcut.Construct(d, shortcut.Options{
+			Disable: opt.DisableShortcuts,
+			NoCSE:   opt.NoCSE,
+			Traffic: opt.Traffic,
+		})
+		scSpan.Set(obs.Int("shortcuts", len(d.Shortcuts)))
+		scSpan.End()
+		if err != nil {
+			mSynthesizeErrors.Inc()
+			return nil, err
+		}
 	}
 	if err := stageGate(ctx, "mapping"); err != nil {
 		return nil, err
@@ -295,6 +332,32 @@ func SynthesizeOnRingCtx(ctx context.Context, net *noc.Network, rres *ring.Resul
 		Opt:       opt,
 		SynthTime: synthTime,
 	}, nil
+}
+
+// buildShortcutSkeleton runs Step 2 once for a sweep: a throwaway
+// design carries the construction, and its shortcuts become the shared
+// skeleton every candidate clones.
+func buildShortcutSkeleton(ctx context.Context, net *noc.Network, rres *ring.Result, opt Options) (*shortcutSkeleton, error) {
+	par := phys.Default()
+	if opt.Par != nil {
+		par = *opt.Par
+	}
+	d, err := router.NewDesign(net, par, rres.Tour, rres.Orders)
+	if err != nil {
+		return nil, err
+	}
+	_, scSpan := obs.Start(ctx, "shortcut.construct")
+	err = shortcut.Construct(d, shortcut.Options{
+		Disable: opt.DisableShortcuts,
+		NoCSE:   opt.NoCSE,
+		Traffic: opt.Traffic,
+	})
+	scSpan.Set(obs.Int("shortcuts", len(d.Shortcuts)))
+	scSpan.End()
+	if err != nil {
+		return nil, err
+	}
+	return &shortcutSkeleton{shortcuts: d.Shortcuts}, nil
 }
 
 // Objective selects what a #wl sweep optimizes.
@@ -441,13 +504,22 @@ func SweepCtx(ctx context.Context, net *noc.Network, opt Options, objective Obje
 	if err != nil {
 		return nil, 0, err
 	}
+	// Shared Step-2 prefix: shortcut construction depends only on the
+	// geometry and traffic, not on the (#wl, policy) point a candidate
+	// sits at, so it runs once per sweep; every candidate maps onto a
+	// private clone of the skeleton. A construction failure fails every
+	// candidate identically, so it fails the sweep.
+	skel, err := buildShortcutSkeleton(ctx, net, rres, opt)
+	if err != nil {
+		return nil, 0, err
+	}
 	synth := func(i int) *Result {
 		o := opt
 		o.MaxWL = cands[i].WL
 		o.ShareWavelengths = cands[i].Share
 		cctx, cspan := obs.Start(ctx, "sweep.candidate",
 			obs.Int("wl", cands[i].WL), obs.Bool("share", cands[i].Share))
-		r, err := SynthesizeOnRingCtx(cctx, net, rres, o)
+		r, err := synthesizeOnRing(cctx, net, rres, o, skel)
 		mSweepCandidates.Inc()
 		if err != nil {
 			mSweepInfeasible.Inc()

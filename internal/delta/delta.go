@@ -1,0 +1,602 @@
+// Package delta implements the incremental (delta) evaluation engine
+// for the placement and sweep hot loops. A placement proposal moves one
+// node; re-synthesizing the whole design to score it repeats work that
+// the move cannot have changed. The Evaluator attaches to a synthesized
+// design, caches every contribution keyed by the structural facts it
+// depends on, and on a move recomputes only the dirty subset:
+//
+//   - structural counts (through MRRs, drops, the CSE crossing, MRR bank
+//     sizes, the crosstalk walker's node orders and receiver maps) depend
+//     only on the tour order and the channel assignment — they are never
+//     dirty across node moves and are cached once at attach;
+//   - a ring signal's bend count depends on the L-paths of the tour edges
+//     its arc covers — it is dirty only when the move touches one of the
+//     two tour edges adjacent to the moved node AND that edge lies inside
+//     the signal's covered interval;
+//   - a shortcut signal's path length and bends depend on its shortcut
+//     endpoints (plus the CSE partner's for merged traffic) — dirty only
+//     when the moved node is one of them;
+//   - everything else that is floating-point and position-derived (arc
+//     lengths, the perimeter-dependent radial scale, PDN feed losses,
+//     ring-crossing positions) shifts at the last bit whenever *any* node
+//     moves, so it is deliberately NOT cached: those inputs are cheap
+//     O(1) expressions recomputed from fresh geometry on every
+//     evaluation. Caching only exact integers and recomputing every
+//     float from the same expressions the full analysis uses is what
+//     makes a delta evaluation bit-identical to a full recompute.
+//
+// The synthesized structure (tour, waveguides, channels, routes,
+// shortcut pairings) is held fixed for the lifetime of an Evaluator;
+// "full recompute" means re-running the loss and crosstalk analyses on
+// that structure with refreshed geometry, which is exactly what the
+// placement search compares proposals with. A configurable periodic
+// cross-check (every K commits, default on) re-runs the full analyses
+// and hard-fails if any delta-maintained aggregate drifts beyond
+// milp.Eps — mirroring the serial-vs-parallel determinism gate in CI.
+package delta
+
+import (
+	"context"
+	"fmt"
+	"math"
+
+	"xring/internal/core"
+	"xring/internal/geom"
+	"xring/internal/loss"
+	"xring/internal/milp"
+	"xring/internal/noc"
+	"xring/internal/obs"
+	"xring/internal/pdn"
+	"xring/internal/router"
+	"xring/internal/xtalk"
+)
+
+// Metrics: evaluation counts and dirty-set sizes. delta.signals.clean /
+// delta.signals.dirty expose the cache economics (a healthy placement
+// run is overwhelmingly clean); delta.dirty_signals is the per-move
+// dirty-set size distribution.
+var (
+	mEvals       = obs.NewCounter("delta.evals")
+	mCommits     = obs.NewCounter("delta.commits")
+	mCrossChecks = obs.NewCounter("delta.crosschecks")
+	mClean       = obs.NewCounter("delta.signals.clean")
+	mDirty       = obs.NewCounter("delta.signals.dirty")
+	hDirty       = obs.NewHistogram("delta.dirty_signals", "signals",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128})
+)
+
+// DefaultCrossCheckEvery is the default cross-check cadence: one full
+// recompute per this many committed moves.
+const DefaultCrossCheckEvery = 16
+
+// Options configures an Evaluator.
+type Options struct {
+	// CrossCheckEvery runs a full-recompute cross-check every K
+	// committed moves. Zero selects DefaultCrossCheckEvery; negative
+	// disables periodic cross-checking.
+	CrossCheckEvery int
+	// Xtalk selects the crosstalk mechanism set; must match what the
+	// attached result was analyzed with (core uses the zero value).
+	Xtalk xtalk.Options
+}
+
+// Reports bundles the two analysis reports a proposal is scored with.
+type Reports struct {
+	Loss  *loss.Report
+	Xtalk *xtalk.Report
+}
+
+// pdnKind says how to rebuild the PDN after a geometry change.
+type pdnKind int
+
+const (
+	pdnNone pdnKind = iota
+	pdnTree
+	pdnComb
+)
+
+// sigEntry is the per-signal cache line.
+type sigEntry struct {
+	sig noc.Signal
+	r   *router.Route
+	// Structural counts — never dirty across node moves.
+	throughs  int
+	drops     int
+	crossings int // shortcut CSE crossing; ring crossings are recomputed
+	// Geometry-derived, dirty-tracked.
+	bends int     // ring: bends on the arc; shortcut: path bends
+	scLen float64 // shortcut only: travelled length
+	// Ring covered-edge interval [lo, lo+span) in tour-edge indices:
+	// the move of node m dirties tour edges (tm-1) and tm; the bends
+	// cache is stale iff one of them lies inside this interval.
+	lo, span int
+	// Shortcut dependency nodes (endpoint set, plus the CSE partner's
+	// endpoints for merged traffic). Empty for ring signals.
+	deps []int
+}
+
+// Evaluator incrementally evaluates single-node moves against a fixed
+// synthesized structure. It owns a private clone of the network, so
+// moves never touch the caller's data. Not safe for concurrent use.
+type Evaluator struct {
+	opt  Options
+	net  *noc.Network
+	d    *router.Design
+	kind pdnKind
+	plan *pdn.Plan
+
+	engine  *xtalk.Engine
+	sigs    []noc.Signal
+	entries []sigEntry
+	// scOrders[i] is the L-routing order shortcut i's PathAB was built
+	// with, so the path can be rebuilt when an endpoint moves.
+	scOrders []geom.LOrder
+
+	last    *Reports
+	commits int
+}
+
+// Attach builds an Evaluator over a synthesized result. The result's
+// structure (tour, channel assignment, routes, shortcut pairings) is
+// frozen; its geometry is cloned so the evaluator can move nodes freely.
+// The initial evaluation is cross-checked against a full recompute
+// unless cross-checking is disabled.
+func Attach(res *core.Result, opt Options) (*Evaluator, error) {
+	if res == nil || res.Design == nil {
+		return nil, fmt.Errorf("delta: nil result")
+	}
+	if opt.CrossCheckEvery == 0 {
+		opt.CrossCheckEvery = DefaultCrossCheckEvery
+	}
+	src := res.Design
+	net := &noc.Network{DieW: src.Net.DieW, DieH: src.Net.DieH}
+	net.Nodes = append([]noc.Node(nil), src.Net.Nodes...)
+
+	d, err := router.NewDesign(net, src.Par, src.Tour, src.EdgeOrders)
+	if err != nil {
+		return nil, err
+	}
+	d.MaxWL = src.MaxWL
+	// Own waveguide structs (the comb PDN rebuild mutates Crossings);
+	// channel slices are read-only and shared.
+	d.Waveguides = make([]*router.Waveguide, len(src.Waveguides))
+	for i, w := range src.Waveguides {
+		cp := *w
+		cp.Crossings = append([]router.Crossing(nil), w.Crossings...)
+		d.Waveguides[i] = &cp
+	}
+	// Own shortcut structs (moves rebuild PathAB); channels shared.
+	d.Shortcuts = make([]*router.Shortcut, len(src.Shortcuts))
+	orders := make([]geom.LOrder, len(src.Shortcuts))
+	for i, s := range src.Shortcuts {
+		cp := *s
+		cp.PathAB = append(geom.Polyline(nil), s.PathAB...)
+		d.Shortcuts[i] = &cp
+		orders[i] = geom.LOrderOf(s.PathAB)
+	}
+	d.Routes = src.Routes // read-only
+
+	e := &Evaluator{opt: opt, net: net, d: d, scOrders: orders}
+	switch {
+	case res.Plan == nil:
+		e.kind = pdnNone
+	case res.Plan.Kind == pdn.Tree:
+		e.kind = pdnTree
+	default:
+		e.kind = pdnComb
+	}
+	if err := e.rebuildPlan(); err != nil {
+		return nil, err
+	}
+	e.engine = xtalk.NewEngine(d)
+	if err := e.index(); err != nil {
+		return nil, err
+	}
+	rep, err := e.evaluate(-1, true)
+	if err != nil {
+		return nil, err
+	}
+	e.last = rep
+	if opt.CrossCheckEvery > 0 {
+		if err := e.CrossCheck(); err != nil {
+			return nil, fmt.Errorf("delta: attach cross-check: %w", err)
+		}
+	}
+	return e, nil
+}
+
+// index builds the per-signal cache lines. Structural counts are filled
+// here; geometry-derived fields are filled by the first evaluation.
+func (e *Evaluator) index() error {
+	d := e.d
+	banks := loss.NewBanks(d)
+	e.sigs = loss.CanonicalSignals(d)
+	e.entries = make([]sigEntry, len(e.sigs))
+	n := d.N()
+	for i, sig := range e.sigs {
+		r := d.Routes[sig]
+		ent := sigEntry{sig: sig, r: r}
+		switch r.Kind {
+		case router.OnRing:
+			w := d.Waveguides[r.WG]
+			ent.throughs = loss.RingThroughs(d, banks, sig, r)
+			ent.drops = 1
+			si, di := d.TourPos(sig.Src), d.TourPos(sig.Dst)
+			if w.Dir == router.CW {
+				ent.lo, ent.span = si, (di-si+n)%n
+			} else {
+				ent.lo, ent.span = di, (si-di+n)%n
+			}
+		case router.OnShortcut:
+			ent.throughs, ent.drops, ent.crossings = loss.ShortcutStructural(d, sig, r)
+			sc := d.Shortcuts[r.SC]
+			ent.deps = []int{sc.A, sc.B}
+			if r.ViaCSE {
+				p := d.Shortcuts[sc.Partner]
+				ent.deps = append(ent.deps, p.A, p.B)
+			}
+		default:
+			return fmt.Errorf("delta: unknown route kind for %v", sig)
+		}
+		e.entries[i] = ent
+	}
+	return nil
+}
+
+// rebuildPlan re-synthesizes the PDN from the current geometry. Both
+// builders are deterministic pure functions of structure and geometry,
+// so rebuilding after a revert restores the plan bit for bit.
+func (e *Evaluator) rebuildPlan() error {
+	var err error
+	switch e.kind {
+	case pdnNone:
+		e.plan = nil
+	case pdnTree:
+		e.plan, err = pdn.BuildTree(e.d)
+	case pdnComb:
+		e.plan, err = pdn.BuildComb(e.d)
+	}
+	return err
+}
+
+// applyGeometry moves one node and refreshes everything derived from
+// positions: the tour geometry, the paths of shortcuts ending at the
+// node, and the PDN plan. Pure recomputation — applying a position and
+// applying it again (as a revert does) produces identical state.
+func (e *Evaluator) applyGeometry(node int, p geom.Point) error {
+	e.net.Nodes[node].Pos = p
+	if err := e.d.RefreshGeometry(); err != nil {
+		return err
+	}
+	for si, s := range e.d.Shortcuts {
+		if s.A == node || s.B == node {
+			s.PathAB = geom.LPath(e.net.Nodes[s.A].Pos, e.net.Nodes[s.B].Pos, e.scOrders[si])
+		}
+	}
+	return e.rebuildPlan()
+}
+
+// ringDirty reports whether the move of node moved invalidates a ring
+// signal's cached bend count: one of the two tour edges adjacent to the
+// moved node lies inside the signal's covered interval.
+func (e *Evaluator) ringDirty(ent *sigEntry, moved int) bool {
+	n := e.d.N()
+	tm := e.d.TourPos(moved)
+	for _, edge := range [2]int{(tm + n - 1) % n, tm} {
+		if (edge-ent.lo+n)%n < ent.span {
+			return true
+		}
+	}
+	return false
+}
+
+// scDirty reports whether the move invalidates a shortcut signal's
+// cached geometry: the moved node is one of its dependency endpoints.
+func scDirty(ent *sigEntry, moved int) bool {
+	for _, dep := range ent.deps {
+		if dep == moved {
+			return true
+		}
+	}
+	return false
+}
+
+// evaluate produces the analysis reports for the current geometry.
+// moved identifies the node whose position differs from the cached
+// state (-1 treats every signal as dirty, as the initial evaluation
+// must). With commit set, recomputed geometry facts are written back to
+// the cache; a scratch evaluation (a proposal that may be rejected)
+// leaves the cache at the pre-move state.
+func (e *Evaluator) evaluate(moved int, commit bool) (*Reports, error) {
+	d, par := e.d, e.d.Par
+	losses := make([]*loss.SignalLoss, len(e.entries))
+	dirtyCount := 0
+	for i := range e.entries {
+		ent := &e.entries[i]
+		sig, r := ent.sig, ent.r
+		var c loss.Counts
+		switch r.Kind {
+		case router.OnRing:
+			bends := ent.bends
+			if moved < 0 || e.ringDirty(ent, moved) {
+				dirtyCount++
+				bends = d.BendsOnArc(sig.Src, sig.Dst, d.Waveguides[r.WG].Dir)
+				if commit {
+					ent.bends = bends
+				}
+			}
+			w := d.Waveguides[r.WG]
+			crossings := 0
+			if len(w.Crossings) > 0 {
+				// Crossing positions are arc coordinates — geometry, not
+				// structure — so a ring that has any (comb PDN baselines
+				// only; the XRing flow produces none) is recounted from
+				// the fresh interval every time.
+				crossings = d.CrossingsOnArc(w, sig.Src, sig.Dst)
+			}
+			c = loss.Counts{
+				PathLen:   loss.RingPathLen(d, sig, r),
+				Throughs:  ent.throughs,
+				Drops:     ent.drops,
+				Crossings: crossings,
+				Bends:     bends,
+			}
+		case router.OnShortcut:
+			scLen, bends := ent.scLen, ent.bends
+			if moved < 0 || scDirty(ent, moved) {
+				dirtyCount++
+				scLen, bends = loss.ShortcutGeometry(d, sig, r)
+				if commit {
+					ent.scLen, ent.bends = scLen, bends
+				}
+			}
+			c = loss.Counts{
+				PathLen:   scLen,
+				Throughs:  ent.throughs,
+				Drops:     ent.drops,
+				Crossings: ent.crossings,
+				Bends:     bends,
+			}
+		}
+		sl := loss.FromCounts(par, sig, r, c)
+		if e.plan != nil {
+			pl, err := e.plan.SenderLossDB(par, loss.FeedKeyFor(sig, r))
+			if err != nil {
+				return nil, err
+			}
+			sl.PDNLoss = pl
+		}
+		losses[i] = sl
+	}
+	lrep := loss.Summarize(d, e.sigs, losses)
+	xrep, err := e.engine.Analyze(e.plan, lrep, e.opt.Xtalk)
+	if err != nil {
+		return nil, err
+	}
+	mEvals.Inc()
+	mDirty.Add(int64(dirtyCount))
+	mClean.Add(int64(len(e.entries) - dirtyCount))
+	hDirty.Observe(float64(dirtyCount))
+	return &Reports{Loss: lrep, Xtalk: xrep}, nil
+}
+
+// EvalMove scores moving node to position p without committing: the
+// move is applied, the dirty subset evaluated, and the geometry
+// reverted. The revert is a pure recomputation from the restored
+// positions, so the evaluator state afterwards is bit-identical to the
+// state before.
+func (e *Evaluator) EvalMove(node int, p geom.Point) (*Reports, error) {
+	if node < 0 || node >= e.net.N() {
+		return nil, fmt.Errorf("delta: node %d out of range", node)
+	}
+	old := e.net.Nodes[node].Pos
+	if err := e.applyGeometry(node, p); err != nil {
+		return nil, err
+	}
+	rep, evalErr := e.evaluate(node, false)
+	if err := e.applyGeometry(node, old); err != nil {
+		return nil, err
+	}
+	return rep, evalErr
+}
+
+// Commit applies a move permanently: geometry is updated, the dirty
+// cache lines are rewritten, and the committed reports become the
+// evaluator's current reports. Every CrossCheckEvery commits, a full
+// recompute verifies the delta-maintained reports.
+func (e *Evaluator) Commit(node int, p geom.Point) (*Reports, error) {
+	if node < 0 || node >= e.net.N() {
+		return nil, fmt.Errorf("delta: node %d out of range", node)
+	}
+	if err := e.applyGeometry(node, p); err != nil {
+		return nil, err
+	}
+	rep, err := e.evaluate(node, true)
+	if err != nil {
+		return nil, err
+	}
+	e.last = rep
+	e.commits++
+	mCommits.Inc()
+	if e.opt.CrossCheckEvery > 0 && e.commits%e.opt.CrossCheckEvery == 0 {
+		if err := e.CrossCheck(); err != nil {
+			return nil, err
+		}
+	}
+	return rep, nil
+}
+
+// CheckMove is EvalMove plus an immediate full-recompute equivalence
+// check at the proposed geometry, for tests and the xbench gate. The
+// move is reverted either way; a non-nil error means the delta engine
+// and the full analysis disagree.
+func (e *Evaluator) CheckMove(node int, p geom.Point) (*Reports, error) {
+	if node < 0 || node >= e.net.N() {
+		return nil, fmt.Errorf("delta: node %d out of range", node)
+	}
+	old := e.net.Nodes[node].Pos
+	if err := e.applyGeometry(node, p); err != nil {
+		return nil, err
+	}
+	rep, evalErr := e.evaluate(node, false)
+	var checkErr error
+	if evalErr == nil {
+		var full *Reports
+		full, checkErr = e.FullRecompute()
+		if checkErr == nil {
+			checkErr = CompareReports(rep, full, 0)
+		}
+	}
+	if err := e.applyGeometry(node, old); err != nil {
+		return nil, err
+	}
+	if evalErr != nil {
+		return nil, evalErr
+	}
+	return rep, checkErr
+}
+
+// FullRecompute runs the full loss and crosstalk analyses on the
+// evaluator's structure at its current geometry — the reference every
+// delta evaluation must match bit for bit.
+func (e *Evaluator) FullRecompute() (*Reports, error) {
+	ctx := context.Background()
+	lrep, err := loss.AnalyzeCtx(ctx, e.d, e.plan)
+	if err != nil {
+		return nil, err
+	}
+	xrep, err := xtalk.AnalyzeOptsCtx(ctx, e.d, e.plan, lrep, e.opt.Xtalk)
+	if err != nil {
+		return nil, err
+	}
+	return &Reports{Loss: lrep, Xtalk: xrep}, nil
+}
+
+// CrossCheck verifies the current delta-maintained reports against a
+// full recompute, hard-failing on any mismatch beyond milp.Eps.
+func (e *Evaluator) CrossCheck() error {
+	mCrossChecks.Inc()
+	full, err := e.FullRecompute()
+	if err != nil {
+		return err
+	}
+	if err := CompareReports(e.last, full, milp.Eps); err != nil {
+		return fmt.Errorf("delta: cross-check failed after %d commits: %w", e.commits, err)
+	}
+	return nil
+}
+
+// Reports returns the evaluator's current (last committed) reports.
+func (e *Evaluator) Reports() *Reports { return e.last }
+
+// Network returns the evaluator's private network. Callers must treat
+// it as read-only; positions change through EvalMove/Commit only.
+func (e *Evaluator) Network() *noc.Network { return e.net }
+
+// Design returns the evaluator's private design (read-only).
+func (e *Evaluator) Design() *router.Design { return e.d }
+
+// Commits returns the number of committed moves.
+func (e *Evaluator) Commits() int { return e.commits }
+
+// CompareReports checks two report bundles for equality within eps
+// (eps 0 demands bit-identity). It compares every per-signal loss
+// field, the report aggregates, and the crosstalk noise maps.
+func CompareReports(a, b *Reports, eps float64) error {
+	if a == nil || b == nil {
+		return fmt.Errorf("delta: nil reports")
+	}
+	if err := compareLoss(a.Loss, b.Loss, eps); err != nil {
+		return err
+	}
+	return compareXtalk(a.Xtalk, b.Xtalk, eps)
+}
+
+func compareLoss(a, b *loss.Report, eps float64) error {
+	if len(a.Signals) != len(b.Signals) {
+		return fmt.Errorf("signal count %d vs %d", len(a.Signals), len(b.Signals))
+	}
+	for sig, sa := range a.Signals {
+		sb := b.Signals[sig]
+		if sb == nil {
+			return fmt.Errorf("signal %v missing from reference", sig)
+		}
+		if sa.Throughs != sb.Throughs || sa.Drops != sb.Drops ||
+			sa.Crossings != sb.Crossings || sa.Bends != sb.Bends || sa.WL != sb.WL {
+			return fmt.Errorf("signal %v counts %+v vs %+v", sig, *sa, *sb)
+		}
+		if !closeEnough(sa.IL, sb.IL, eps) {
+			return fmt.Errorf("signal %v IL %v vs %v", sig, sa.IL, sb.IL)
+		}
+		if !closeEnough(sa.ILBeforeDrop, sb.ILBeforeDrop, eps) {
+			return fmt.Errorf("signal %v ILBeforeDrop %v vs %v", sig, sa.ILBeforeDrop, sb.ILBeforeDrop)
+		}
+		if !closeEnough(sa.PDNLoss, sb.PDNLoss, eps) {
+			return fmt.Errorf("signal %v PDNLoss %v vs %v", sig, sa.PDNLoss, sb.PDNLoss)
+		}
+		if !closeEnough(sa.PathLen, sb.PathLen, eps) {
+			return fmt.Errorf("signal %v PathLen %v vs %v", sig, sa.PathLen, sb.PathLen)
+		}
+	}
+	if a.Worst != b.Worst || a.WorstCrossings != b.WorstCrossings ||
+		a.WavelengthCount != b.WavelengthCount {
+		return fmt.Errorf("worst/aggregate mismatch: %v/%d/%d vs %v/%d/%d",
+			a.Worst, a.WorstCrossings, a.WavelengthCount,
+			b.Worst, b.WorstCrossings, b.WavelengthCount)
+	}
+	if !closeEnough(a.WorstIL, b.WorstIL, eps) {
+		return fmt.Errorf("WorstIL %v vs %v", a.WorstIL, b.WorstIL)
+	}
+	if !closeEnough(a.WorstLen, b.WorstLen, eps) {
+		return fmt.Errorf("WorstLen %v vs %v", a.WorstLen, b.WorstLen)
+	}
+	if !closeEnough(a.TotalPowerMW, b.TotalPowerMW, eps) {
+		return fmt.Errorf("TotalPowerMW %v vs %v", a.TotalPowerMW, b.TotalPowerMW)
+	}
+	if len(a.WavelengthPower) != len(b.WavelengthPower) {
+		return fmt.Errorf("wavelength count %d vs %d", len(a.WavelengthPower), len(b.WavelengthPower))
+	}
+	for wl, pa := range a.WavelengthPower {
+		if !closeEnough(pa, b.WavelengthPower[wl], eps) {
+			return fmt.Errorf("wavelength %d power %v vs %v", wl, pa, b.WavelengthPower[wl])
+		}
+	}
+	return nil
+}
+
+func compareXtalk(a, b *xtalk.Report, eps float64) error {
+	if a.NumNoisy != b.NumNoisy || a.WorstSNRSignal != b.WorstSNRSignal {
+		return fmt.Errorf("noisy %d/%v vs %d/%v",
+			a.NumNoisy, a.WorstSNRSignal, b.NumNoisy, b.WorstSNRSignal)
+	}
+	if !closeEnough(a.WorstSNR, b.WorstSNR, eps) {
+		return fmt.Errorf("WorstSNR %v vs %v", a.WorstSNR, b.WorstSNR)
+	}
+	if !closeEnough(a.NoiseFreeFrac, b.NoiseFreeFrac, eps) {
+		return fmt.Errorf("NoiseFreeFrac %v vs %v", a.NoiseFreeFrac, b.NoiseFreeFrac)
+	}
+	if len(a.NoiseMW) != len(b.NoiseMW) || len(a.SignalMW) != len(b.SignalMW) {
+		return fmt.Errorf("noise/signal map sizes %d/%d vs %d/%d",
+			len(a.NoiseMW), len(a.SignalMW), len(b.NoiseMW), len(b.SignalMW))
+	}
+	for sig, na := range a.NoiseMW {
+		if !closeEnough(na, b.NoiseMW[sig], eps) {
+			return fmt.Errorf("noise for %v: %v vs %v", sig, na, b.NoiseMW[sig])
+		}
+	}
+	for sig, sa := range a.SignalMW {
+		if !closeEnough(sa, b.SignalMW[sig], eps) {
+			return fmt.Errorf("signal power for %v: %v vs %v", sig, sa, b.SignalMW[sig])
+		}
+	}
+	return nil
+}
+
+// closeEnough compares within eps; infinities must match exactly (a
+// noise-free design has WorstSNR = +Inf in both reports).
+func closeEnough(a, b, eps float64) bool {
+	if math.IsInf(a, 0) || math.IsInf(b, 0) {
+		return a == b
+	}
+	return math.Abs(a-b) <= eps
+}

@@ -1,0 +1,218 @@
+package delta
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/geom"
+	"xring/internal/noc"
+	"xring/internal/parallel"
+)
+
+// synthesize builds the attachment point for the tests: a synthesized
+// irregular floorplan (irregular placements are what the placement
+// optimizer perturbs).
+func synthesize(t *testing.T, n int, seed int64, opt core.Options) *core.Result {
+	t.Helper()
+	net := noc.Irregular(n, float64(n), float64(n), 2.0, seed)
+	res, err := core.Synthesize(net, opt)
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	return res
+}
+
+// randomMove draws a spacing-respecting proposal for one node, like the
+// placement optimizer does.
+func randomMove(rng *rand.Rand, net *noc.Network, stepMM float64) (int, geom.Point) {
+	for {
+		node := rng.Intn(net.N())
+		p := net.Nodes[node].Pos
+		p.X += (rng.Float64()*2 - 1) * stepMM
+		p.Y += (rng.Float64()*2 - 1) * stepMM
+		ok := true
+		for i, other := range net.Nodes {
+			if i != node && geom.Manhattan(p, other.Pos) < 0.5 {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			return node, p
+		}
+	}
+}
+
+// TestRandomMovesBitIdentical is the core property test: random move
+// sequences with accept/reject mixes, asserting every delta-evaluated
+// report is bit-identical (eps 0) to a full recompute of the same
+// structure at the same geometry. The full-recompute reference uses the
+// shared worker pool, so the property runs under both the serial and
+// the parallel pool configuration.
+func TestRandomMovesBitIdentical(t *testing.T) {
+	cases := []struct {
+		name string
+		opt  core.Options
+	}{
+		{"nopdn", core.Options{MaxWL: 8}},
+		{"tree", core.Options{MaxWL: 8, WithPDN: true}},
+		{"comb", core.Options{MaxWL: 8, WithPDN: true, NoOpenings: true}},
+	}
+	for _, workers := range []int{1, 0} { // serial pool, then default width
+		parallel.SetWorkers(workers)
+		for _, tc := range cases {
+			tc := tc
+			t.Run(fmt.Sprintf("%s-workers%d", tc.name, workers), func(t *testing.T) {
+				for _, seed := range []int64{1, 2, 3} {
+					res := synthesize(t, 8, seed, tc.opt)
+					ev, err := Attach(res, Options{CrossCheckEvery: 8})
+					if err != nil {
+						t.Fatalf("seed %d: attach: %v", seed, err)
+					}
+					rng := rand.New(rand.NewSource(seed))
+					for move := 0; move < 60; move++ {
+						node, p := randomMove(rng, ev.Network(), 1.0)
+						if rng.Float64() < 0.4 {
+							// Accepted move: commit (periodic cross-check
+							// fires inside), then verify the committed state.
+							if _, err := ev.Commit(node, p); err != nil {
+								t.Fatalf("seed %d move %d: commit: %v", seed, move, err)
+							}
+							full, err := ev.FullRecompute()
+							if err != nil {
+								t.Fatalf("seed %d move %d: full: %v", seed, move, err)
+							}
+							if err := CompareReports(ev.Reports(), full, 0); err != nil {
+								t.Fatalf("seed %d move %d: committed state diverged: %v", seed, move, err)
+							}
+						} else {
+							// Rejected move: CheckMove compares delta vs full
+							// at the tentative geometry and reverts.
+							if _, err := ev.CheckMove(node, p); err != nil {
+								t.Fatalf("seed %d move %d: check: %v", seed, move, err)
+							}
+							// The revert must restore the committed reports
+							// bit for bit.
+							full, err := ev.FullRecompute()
+							if err != nil {
+								t.Fatalf("seed %d move %d: full after revert: %v", seed, move, err)
+							}
+							if err := CompareReports(ev.Reports(), full, 0); err != nil {
+								t.Fatalf("seed %d move %d: revert diverged: %v", seed, move, err)
+							}
+						}
+					}
+				}
+			})
+		}
+	}
+}
+
+// TestEvalMoveMatchesCommit asserts a scratch evaluation of a move
+// produces the exact reports committing the same move produces.
+func TestEvalMoveMatchesCommit(t *testing.T) {
+	res := synthesize(t, 8, 5, core.Options{MaxWL: 8, WithPDN: true})
+	ev, err := Attach(res, Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for move := 0; move < 20; move++ {
+		node, p := randomMove(rng, ev.Network(), 1.2)
+		scratch, err := ev.EvalMove(node, p)
+		if err != nil {
+			t.Fatalf("move %d: eval: %v", move, err)
+		}
+		committed, err := ev.Commit(node, p)
+		if err != nil {
+			t.Fatalf("move %d: commit: %v", move, err)
+		}
+		if err := CompareReports(scratch, committed, 0); err != nil {
+			t.Fatalf("move %d: scratch vs committed: %v", move, err)
+		}
+	}
+}
+
+// TestAttachMatchesSynthesis asserts the evaluator's initial reports
+// equal the attached result's analyses (same structure, same geometry).
+func TestAttachMatchesSynthesis(t *testing.T) {
+	res := synthesize(t, 8, 1, core.Options{MaxWL: 8, WithPDN: true})
+	ev, err := Attach(res, Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if err := CompareReports(ev.Reports(), &Reports{Loss: res.Loss, Xtalk: res.Xtalk}, 0); err != nil {
+		t.Fatalf("attach reports differ from synthesis: %v", err)
+	}
+}
+
+// TestEvaluatorIsolation asserts moves never leak into the caller's
+// network or design.
+func TestEvaluatorIsolation(t *testing.T) {
+	res := synthesize(t, 8, 2, core.Options{MaxWL: 8, WithPDN: true})
+	before := append([]noc.Node(nil), res.Design.Net.Nodes...)
+	ev, err := Attach(res, Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	for move := 0; move < 10; move++ {
+		node, p := randomMove(rng, ev.Network(), 1.0)
+		if _, err := ev.Commit(node, p); err != nil {
+			t.Fatalf("commit: %v", err)
+		}
+	}
+	for i, n := range res.Design.Net.Nodes {
+		if !n.Pos.Eq(before[i].Pos) {
+			t.Fatalf("node %d of the caller's network moved: %v -> %v", i, before[i].Pos, n.Pos)
+		}
+	}
+}
+
+// TestCrossCheckCatchesCorruption corrupts a cached structural count
+// and asserts the periodic cross-check hard-fails instead of silently
+// drifting.
+func TestCrossCheckCatchesCorruption(t *testing.T) {
+	res := synthesize(t, 8, 3, core.Options{MaxWL: 8, WithPDN: true})
+	ev, err := Attach(res, Options{CrossCheckEvery: 1})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	if len(ev.entries) == 0 {
+		t.Fatal("no cached entries")
+	}
+	ev.entries[0].throughs += 3 // simulate a stale structural cache
+	rng := rand.New(rand.NewSource(4))
+	node, p := randomMove(rng, ev.Network(), 1.0)
+	_, err = ev.Commit(node, p)
+	if err == nil {
+		t.Fatal("commit with corrupted cache passed its cross-check")
+	}
+	if !strings.Contains(err.Error(), "cross-check failed") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+}
+
+// TestWorstSNRInfinity exercises the ±Inf comparison path: a design
+// with no noise has WorstSNR = +Inf in both reports.
+func TestWorstSNRInfinity(t *testing.T) {
+	res := synthesize(t, 8, 1, core.Options{MaxWL: 8}) // no PDN: no noise mechanisms
+	if !math.IsInf(res.Xtalk.WorstSNR, 1) {
+		t.Skip("fixture unexpectedly noisy")
+	}
+	ev, err := Attach(res, Options{})
+	if err != nil {
+		t.Fatalf("attach: %v", err)
+	}
+	full, err := ev.FullRecompute()
+	if err != nil {
+		t.Fatalf("full: %v", err)
+	}
+	if err := CompareReports(ev.Reports(), full, 0); err != nil {
+		t.Fatalf("infinite-SNR reports differ: %v", err)
+	}
+}

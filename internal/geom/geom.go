@@ -227,6 +227,16 @@ func LOptions(a, b Point) [2]Polyline {
 	return [2]Polyline{LPath(a, b, VH), LPath(a, b, HV)}
 }
 
+// LOrderOf recovers the leg order an LPath polyline was built with, so
+// the path can be rebuilt after one of its endpoints moves. Straight
+// paths report VH (both orders produce the identical polyline).
+func LOrderOf(p Polyline) LOrder {
+	if len(p) < 2 || math.Abs(p[0].X-p[1].X) <= Eps {
+		return VH // first leg vertical (or degenerate/straight)
+	}
+	return HV
+}
+
 // Polyline is an open rectilinear path given by its bend points.
 type Polyline []Point
 

@@ -88,38 +88,36 @@ func Analyze(d *router.Design, plan *pdn.Plan) (*Report, error) {
 	return AnalyzeCtx(context.Background(), d, plan)
 }
 
-// AnalyzeCtx is Analyze under a context: the per-signal fan-out stops
-// promptly on cancellation (returning the context error) and the
-// analysis records a trace span.
-func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report, error) {
-	if len(d.Routes) == 0 {
-		return nil, fmt.Errorf("loss: design has no routed signals; run the mapping step first")
-	}
-	ctx, span := obs.Start(ctx, "loss.analyze", obs.Int("signals", len(d.Routes)))
-	defer span.End()
-	par := d.Par
-	rep := &Report{
-		Signals:         map[noc.Signal]*SignalLoss{},
-		WavelengthPower: map[int]float64{},
-		WorstIL:         math.Inf(-1),
-		WavelengthCount: d.WavelengthsUsed(),
-	}
+// Banks is the per-waveguide MRR inventory: how many modulators
+// (senders) and receiver MRRs each node carries on each ring waveguide.
+// The counts are structural — they depend on the channel assignment
+// only, never on node positions — so the incremental evaluator caches
+// one Banks across a whole placement search.
+type Banks struct {
+	Senders   []map[int]int
+	Receivers []map[int]int
+}
 
-	// Per-waveguide MRR inventory.
-	type bank struct{ senders, receivers map[int]int }
-	banks := make([]bank, len(d.Waveguides))
+// NewBanks tallies the MRR inventory of a design.
+func NewBanks(d *router.Design) *Banks {
+	b := &Banks{
+		Senders:   make([]map[int]int, len(d.Waveguides)),
+		Receivers: make([]map[int]int, len(d.Waveguides)),
+	}
 	for i, w := range d.Waveguides {
-		banks[i] = bank{senders: map[int]int{}, receivers: map[int]int{}}
+		b.Senders[i] = map[int]int{}
+		b.Receivers[i] = map[int]int{}
 		for _, c := range w.Channels {
-			banks[i].senders[c.Sig.Src]++
-			banks[i].receivers[c.Sig.Dst]++
+			b.Senders[i][c.Sig.Src]++
+			b.Receivers[i][c.Sig.Dst]++
 		}
 	}
+	return b
+}
 
-	// The per-signal walks are independent: fan them out over the shared
-	// worker pool, then reduce in canonical (Src, Dst) order so worst-
-	// signal selection and the power sums are deterministic regardless
-	// of worker count and completion order.
+// CanonicalSignals returns the design's routed signals in canonical
+// (Src, Dst) order — the order every deterministic reduction uses.
+func CanonicalSignals(d *router.Design) []noc.Signal {
 	sigs := make([]noc.Signal, 0, len(d.Routes))
 	for sig := range d.Routes {
 		sigs = append(sigs, sig)
@@ -130,26 +128,40 @@ func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report,
 		}
 		return sigs[i].Dst < sigs[j].Dst
 	})
+	return sigs
+}
+
+// AnalyzeCtx is Analyze under a context: the per-signal fan-out stops
+// promptly on cancellation (returning the context error) and the
+// analysis records a trace span.
+func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report, error) {
+	if len(d.Routes) == 0 {
+		return nil, fmt.Errorf("loss: design has no routed signals; run the mapping step first")
+	}
+	ctx, span := obs.Start(ctx, "loss.analyze", obs.Int("signals", len(d.Routes)))
+	defer span.End()
+	par := d.Par
+	banks := NewBanks(d)
+
+	// The per-signal walks are independent: fan them out over the shared
+	// worker pool, then reduce in canonical (Src, Dst) order so worst-
+	// signal selection and the power sums are deterministic regardless
+	// of worker count and completion order.
+	sigs := CanonicalSignals(d)
 	losses, err := parallel.Map(ctx, len(sigs), func(i int) (*SignalLoss, error) {
 		sig := sigs[i]
 		r := d.Routes[sig]
 		var sl *SignalLoss
 		switch r.Kind {
 		case router.OnRing:
-			sl = ringSignalLoss(d, par, banks[r.WG].senders, banks[r.WG].receivers, sig, r)
+			sl = ringSignalLoss(d, par, banks, sig, r)
 		case router.OnShortcut:
 			sl = shortcutSignalLoss(d, par, sig, r)
 		default:
 			return nil, fmt.Errorf("loss: unknown route kind for %v", sig)
 		}
 		if plan != nil {
-			key := pdn.FeedKey{OnShortcut: r.Kind == router.OnShortcut, Node: sig.Src}
-			if r.Kind == router.OnShortcut {
-				key.Index = r.SC
-			} else {
-				key.Index = r.WG
-			}
-			pl, err := plan.SenderLossDB(par, key)
+			pl, err := plan.SenderLossDB(par, FeedKeyFor(sig, r))
 			if err != nil {
 				return nil, err
 			}
@@ -159,6 +171,37 @@ func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report,
 	})
 	if err != nil {
 		return nil, err
+	}
+	rep := Summarize(d, sigs, losses)
+	mSignals.Add(int64(len(sigs)))
+	span.Set(obs.Float("worst_il_db", rep.WorstIL),
+		obs.Float("power_mw", rep.TotalPowerMW),
+		obs.Int("wavelengths", rep.WavelengthCount))
+	return rep, nil
+}
+
+// FeedKeyFor returns the PDN feed key powering a signal's sender.
+func FeedKeyFor(sig noc.Signal, r *router.Route) pdn.FeedKey {
+	key := pdn.FeedKey{OnShortcut: r.Kind == router.OnShortcut, Node: sig.Src}
+	if r.Kind == router.OnShortcut {
+		key.Index = r.SC
+	} else {
+		key.Index = r.WG
+	}
+	return key
+}
+
+// Summarize folds per-signal losses — losses[i] belongs to sigs[i],
+// which must be in canonical (Src, Dst) order — into a Report: worst
+// signal selection, per-wavelength laser power and the total power sum,
+// all walked in fixed order so the folds are bit-reproducible.
+func Summarize(d *router.Design, sigs []noc.Signal, losses []*SignalLoss) *Report {
+	par := d.Par
+	rep := &Report{
+		Signals:         map[noc.Signal]*SignalLoss{},
+		WavelengthPower: map[int]float64{},
+		WorstIL:         math.Inf(-1),
+		WavelengthCount: d.WavelengthsUsed(),
 	}
 	for i, sig := range sigs {
 		sl := losses[i]
@@ -188,40 +231,87 @@ func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report,
 	for _, wl := range wls {
 		rep.TotalPowerMW += rep.WavelengthPower[wl]
 	}
-	mSignals.Add(int64(len(sigs)))
-	span.Set(obs.Float("worst_il_db", rep.WorstIL),
-		obs.Float("power_mw", rep.TotalPowerMW),
-		obs.Int("wavelengths", rep.WavelengthCount))
-	return rep, nil
+	return rep
 }
 
-func ringSignalLoss(d *router.Design, par phys.Params, senders, receivers map[int]int, sig noc.Signal, r *router.Route) *SignalLoss {
-	w := d.Waveguides[r.WG]
-	sl := &SignalLoss{Sig: sig, WL: r.WL}
-	sl.PathLen = d.ArcLen(sig.Src, sig.Dst, w.Dir) * d.RadialScale(w)
-	sl.Bends = d.BendsOnArc(sig.Src, sig.Dst, w.Dir)
-	sl.Crossings = d.CrossingsOnArc(w, sig.Src, sig.Dst)
-	sl.Drops = 1
+// Counts are the walk-derived inputs a signal's insertion loss is
+// assembled from. The integer element counts are exact (immune to
+// floating-point drift), which is what lets the incremental evaluator
+// cache them across node moves and still reproduce a full analysis
+// bit for bit; PathLen is recomputed from fresh geometry every time.
+type Counts struct {
+	PathLen   float64
+	Throughs  int
+	Drops     int
+	Crossings int
+	Bends     int
+}
 
+// FromCounts assembles a SignalLoss from precomputed counts using the
+// exact floating-point expressions of the full analysis, so a cached
+// evaluation is bit-identical to a recomputed one. PDNLoss is left
+// zero for the caller to fill.
+func FromCounts(par phys.Params, sig noc.Signal, r *router.Route, c Counts) *SignalLoss {
+	sl := &SignalLoss{
+		Sig: sig, WL: r.WL,
+		PathLen: c.PathLen, Throughs: c.Throughs,
+		Drops: c.Drops, Crossings: c.Crossings, Bends: c.Bends,
+	}
+	sl.ILBeforeDrop = sl.PathLen*par.PropagationDBPerMM +
+		float64(sl.Throughs)*par.ThroughDB +
+		float64(sl.Crossings)*par.CrossingDB +
+		float64(sl.Bends)*par.BendDB
+	// The CSE drop happens before the receiver drop; both are DropDB.
+	sl.IL = sl.ILBeforeDrop + float64(sl.Drops)*par.DropDB + par.PhotodetectorDB
+	// ILBeforeDrop must include the CSE drop for leakage accounting.
+	if r.ViaCSE {
+		sl.ILBeforeDrop += par.DropDB
+	}
+	return sl
+}
+
+// RingPathLen returns a ring signal's travelled length: the arc in the
+// waveguide's direction scaled by the replica's radial offset. Both
+// factors shift whenever any node moves (the perimeter is global), so
+// this is recomputed from fresh geometry on every evaluation.
+func RingPathLen(d *router.Design, sig noc.Signal, r *router.Route) float64 {
+	w := d.Waveguides[r.WG]
+	return d.ArcLen(sig.Src, sig.Dst, w.Dir) * d.RadialScale(w)
+}
+
+// RingThroughs counts the off-resonance MRRs a ring signal passes:
+// the other modulators of its source bank, both banks of every gap
+// node, and the other receivers at its destination. The count depends
+// only on the tour order and the channel assignment — never on node
+// positions — so it is cacheable across placement moves.
+func RingThroughs(d *router.Design, b *Banks, sig noc.Signal, r *router.Route) int {
+	w := d.Waveguides[r.WG]
+	senders, receivers := b.Senders[r.WG], b.Receivers[r.WG]
 	throughs := senders[sig.Src] - 1 // other modulators of the source bank
 	for _, k := range d.GapNodes(sig.Src, sig.Dst, w.Dir) {
 		throughs += senders[k] + receivers[k]
 	}
 	throughs += receivers[sig.Dst] - 1 // other receivers at the destination
-	sl.Throughs = throughs
-
-	sl.ILBeforeDrop = sl.PathLen*par.PropagationDBPerMM +
-		float64(sl.Throughs)*par.ThroughDB +
-		float64(sl.Crossings)*par.CrossingDB +
-		float64(sl.Bends)*par.BendDB
-	sl.IL = sl.ILBeforeDrop + par.DropDB + par.PhotodetectorDB
-	return sl
+	return throughs
 }
 
-func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *router.Route) *SignalLoss {
-	sc := d.Shortcuts[r.SC]
-	sl := &SignalLoss{Sig: sig, WL: r.WL}
+func ringSignalLoss(d *router.Design, par phys.Params, banks *Banks, sig noc.Signal, r *router.Route) *SignalLoss {
+	w := d.Waveguides[r.WG]
+	return FromCounts(par, sig, r, Counts{
+		PathLen:   RingPathLen(d, sig, r),
+		Throughs:  RingThroughs(d, banks, sig, r),
+		Drops:     1,
+		Crossings: d.CrossingsOnArc(w, sig.Src, sig.Dst),
+		Bends:     d.BendsOnArc(sig.Src, sig.Dst, w.Dir),
+	})
+}
 
+// ShortcutStructural returns the position-independent element counts of
+// a shortcut signal: through MRRs at the entry/exit banks (plus the two
+// CSE MRRs for direct traffic on a merged pair), drops, and the CSE
+// crossing passed straight through. All derive from the channel lists.
+func ShortcutStructural(d *router.Design, sig noc.Signal, r *router.Route) (throughs, drops, crossings int) {
+	sc := d.Shortcuts[r.SC]
 	// Entry-bank through losses: other channels entering at the same
 	// node of this shortcut.
 	entryBank := 0
@@ -230,15 +320,11 @@ func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *ro
 			entryBank++
 		}
 	}
-	throughs := entryBank - 1
+	throughs = entryBank - 1
 
 	if r.ViaCSE {
 		p := d.Shortcuts[sc.Partner]
-		// Length was computed by the shortcut package at mapping time;
-		// recompute from the channel record: walk both halves.
-		sl.PathLen = cseLength(d, sc, p, sig)
-		sl.Bends = sc.PathAB.Bends() + p.PathAB.Bends() + 1
-		sl.Drops = 2 // CSE MRR + receiver MRR
+		drops = 2 // CSE MRR + receiver MRR
 		// Exit bank at the partner's receiver end.
 		exitBank := 0
 		for _, c := range p.Channels {
@@ -253,12 +339,10 @@ func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *ro
 		}
 		throughs += maxInt(exitBank-1, 0)
 	} else {
-		sl.PathLen = sc.Length()
-		sl.Bends = sc.PathAB.Bends()
-		sl.Drops = 1
+		drops = 1
 		if sc.Partner != -1 {
-			sl.Crossings = 1 // passes the CSE crossing straight through
-			throughs += 2    // the two CSE MRRs sit at the crossing
+			crossings = 1 // passes the CSE crossing straight through
+			throughs += 2 // the two CSE MRRs sit at the crossing
 		}
 		exitBank := 0
 		for _, c := range sc.Channels {
@@ -268,19 +352,29 @@ func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *ro
 		}
 		throughs += maxInt(exitBank-1, 0)
 	}
-	sl.Throughs = maxInt(throughs, 0)
+	return maxInt(throughs, 0), drops, crossings
+}
 
-	sl.ILBeforeDrop = sl.PathLen*par.PropagationDBPerMM +
-		float64(sl.Throughs)*par.ThroughDB +
-		float64(sl.Crossings)*par.CrossingDB +
-		float64(sl.Bends)*par.BendDB
-	// The CSE drop happens before the receiver drop; both are DropDB.
-	sl.IL = sl.ILBeforeDrop + float64(sl.Drops)*par.DropDB + par.PhotodetectorDB
-	// ILBeforeDrop must include the CSE drop for leakage accounting.
+// ShortcutGeometry returns the position-dependent pieces of a shortcut
+// signal's loss — travelled length and bend count — recomputed from the
+// current shortcut paths. For CSE traffic the length walks the entry
+// shortcut to the crossing point, then the partner to the destination.
+func ShortcutGeometry(d *router.Design, sig noc.Signal, r *router.Route) (pathLen float64, bends int) {
+	sc := d.Shortcuts[r.SC]
 	if r.ViaCSE {
-		sl.ILBeforeDrop += par.DropDB
+		p := d.Shortcuts[sc.Partner]
+		return cseLength(d, sc, p, sig), sc.PathAB.Bends() + p.PathAB.Bends() + 1
 	}
-	return sl
+	return sc.Length(), sc.PathAB.Bends()
+}
+
+func shortcutSignalLoss(d *router.Design, par phys.Params, sig noc.Signal, r *router.Route) *SignalLoss {
+	throughs, drops, crossings := ShortcutStructural(d, sig, r)
+	pathLen, bends := ShortcutGeometry(d, sig, r)
+	return FromCounts(par, sig, r, Counts{
+		PathLen: pathLen, Throughs: throughs,
+		Drops: drops, Crossings: crossings, Bends: bends,
+	})
 }
 
 // cseLength computes the travelled length of a CSE-routed signal:

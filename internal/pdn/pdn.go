@@ -186,7 +186,16 @@ func BuildComb(d *router.Design) (*Plan, error) {
 		feeds, wire := buildSplitterTree(coords)
 		p.Splitters += len(coords) - 1
 		nCross := radialAbove(w.Radial)
-		for node, f := range feeds {
+		// Register feeds in sorted node order: the crossings appended to
+		// the outer waveguides fix the noise-walk accumulation order, so
+		// two builds of the same geometry must produce the same sequence.
+		nodes := make([]int, 0, len(feeds))
+		for node := range feeds {
+			nodes = append(nodes, node)
+		}
+		sort.Ints(nodes)
+		for _, node := range nodes {
+			f := feeds[node]
 			f.Crossings = nCross
 			f.PathLen += float64(nCross) * spacing // radial feed segment
 			key := FeedKey{Index: w.ID, Node: node}

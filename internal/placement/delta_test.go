@@ -1,0 +1,95 @@
+package placement
+
+import (
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/noc"
+	"xring/internal/parallel"
+)
+
+// TestOptimizeDeltaDeterministic asserts the delta-mode search walks
+// the identical trajectory regardless of worker-pool width: the
+// proposal sequence depends only on the seed, delta evaluation is
+// serial by construction, and the full-recompute cross-checks are
+// deterministic under any pool configuration.
+func TestOptimizeDeltaDeterministic(t *testing.T) {
+	for _, seed := range []int64{1, 3} {
+		net := noc.Irregular(8, 12, 12, 1.5, seed)
+		opt := Options{
+			Objective:            MinWorstIL,
+			Synth:                core.Options{MaxWL: 8, WithPDN: true},
+			Iterations:           40,
+			StepMM:               1.5,
+			Seed:                 seed,
+			Delta:                true,
+			DeltaCrossCheckEvery: 2,
+		}
+		parallel.SetWorkers(1)
+		net1, _, trace1, err := Optimize(net, opt)
+		if err != nil {
+			t.Fatalf("seed %d serial pool: %v", seed, err)
+		}
+		parallel.SetWorkers(0)
+		net2, _, trace2, err := Optimize(net, opt)
+		if err != nil {
+			t.Fatalf("seed %d parallel pool: %v", seed, err)
+		}
+		if len(trace1.Moves) != len(trace2.Moves) {
+			t.Fatalf("seed %d: %d vs %d moves", seed, len(trace1.Moves), len(trace2.Moves))
+		}
+		for i := range trace1.Moves {
+			if trace1.Moves[i] != trace2.Moves[i] {
+				t.Fatalf("seed %d move %d: %+v vs %+v", seed, i, trace1.Moves[i], trace2.Moves[i])
+			}
+		}
+		if trace1.Final != trace2.Final || trace1.Initial != trace2.Initial {
+			t.Fatalf("seed %d: scores diverged: %v/%v vs %v/%v",
+				seed, trace1.Initial, trace1.Final, trace2.Initial, trace2.Final)
+		}
+		for i := range net1.Nodes {
+			if !net1.Nodes[i].Pos.Eq(net2.Nodes[i].Pos) {
+				t.Fatalf("seed %d node %d: %v vs %v", seed, i, net1.Nodes[i].Pos, net2.Nodes[i].Pos)
+			}
+		}
+	}
+}
+
+// TestOptimizeDeltaImproves sanity-checks the delta search end to end:
+// moves are accepted, the search never worsens its incumbent score, the
+// returned result is a fresh synthesis at the final placement, and the
+// trace records the hot-loop throughput.
+func TestOptimizeDeltaImproves(t *testing.T) {
+	net := noc.Irregular(8, 12, 12, 1.5, 2)
+	outNet, res, trace, err := Optimize(net, Options{
+		Objective:  MinWorstIL,
+		Synth:      core.Options{MaxWL: 8, WithPDN: true},
+		Iterations: 60,
+		StepMM:     1.5,
+		Seed:       2,
+		Delta:      true,
+	})
+	if err != nil {
+		t.Fatalf("optimize: %v", err)
+	}
+	if trace.Final > trace.Initial {
+		t.Fatalf("search worsened: %v -> %v", trace.Initial, trace.Final)
+	}
+	if res == nil || res.Loss == nil || res.Xtalk == nil {
+		t.Fatal("final result not fully analyzed")
+	}
+	if err := res.Design.Validate(); err != nil {
+		t.Fatalf("final design invalid: %v", err)
+	}
+	// The returned result must be synthesized at the returned placement.
+	for i, n := range outNet.Nodes {
+		if !res.Design.Net.Nodes[i].Pos.Eq(n.Pos) {
+			t.Fatalf("node %d: result synthesized at %v, placement says %v",
+				i, res.Design.Net.Nodes[i].Pos, n.Pos)
+		}
+	}
+	if trace.ProposalsEvaluated == 0 || trace.EvalRate() <= 0 {
+		t.Fatalf("throughput not recorded: %d proposals, rate %v",
+			trace.ProposalsEvaluated, trace.EvalRate())
+	}
+}

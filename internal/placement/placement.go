@@ -22,9 +22,12 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"time"
 
 	"xring/internal/core"
+	"xring/internal/delta"
 	"xring/internal/geom"
+	"xring/internal/loss"
 	"xring/internal/noc"
 	"xring/internal/obs"
 	"xring/internal/parallel"
@@ -78,6 +81,19 @@ type Options struct {
 	MarginMM float64
 	// Seed drives the proposal sequence.
 	Seed int64
+	// Delta scores proposals with the incremental evaluation engine
+	// (internal/delta) instead of a full re-synthesis per proposal: the
+	// structure synthesized at the initial placement is held fixed while
+	// the search moves nodes, and only the move's dirty subset of the
+	// loss/crosstalk analyses is recomputed. The returned Result is a
+	// fresh full synthesis at the final placement. The search trajectory
+	// can differ from full mode, which re-synthesizes (and may therefore
+	// restructure) at every proposal.
+	Delta bool
+	// DeltaCrossCheckEvery sets the evaluator's full-recompute
+	// cross-check cadence (0 = the delta package default, negative
+	// disables). Only meaningful with Delta.
+	DeltaCrossCheckEvery int
 }
 
 // Move records one accepted improvement.
@@ -93,8 +109,24 @@ type Trace struct {
 	Initial float64
 	Final   float64
 	Moves   []Move
-	// Evaluated counts synthesis runs (accepted + rejected proposals).
+	// Evaluated counts scoring runs: the initial synthesis, every
+	// proposal evaluation (full synthesis or delta evaluation), and in
+	// delta mode the final synthesis.
 	Evaluated int
+	// ProposalsEvaluated counts proposal evaluations only — the hot
+	// loop the benchmarks track.
+	ProposalsEvaluated int
+	// EvalTime is the wall time spent evaluating proposals.
+	EvalTime time.Duration
+}
+
+// EvalRate returns the proposal-evaluation throughput in proposals per
+// second (0 when nothing was evaluated).
+func (t *Trace) EvalRate() float64 {
+	if t.EvalTime <= 0 || t.ProposalsEvaluated == 0 {
+		return 0
+	}
+	return float64(t.ProposalsEvaluated) / t.EvalTime.Seconds()
 }
 
 // proposal is one candidate move, drawn before a round is evaluated.
@@ -138,18 +170,33 @@ func OptimizeCtx(ctx context.Context, net *noc.Network, opt Options) (*noc.Netwo
 		obs.String("objective", opt.Objective.String()))
 	defer span.End()
 
+	t0 := time.Now()
 	best, err := core.SynthesizeCtx(ctx, cur, opt.Synth)
 	if err != nil {
 		return nil, nil, nil, fmt.Errorf("placement: initial synthesis: %w", err)
 	}
+	synthDur := time.Since(t0)
 	score := objective(best, opt.Objective)
 	trace := &Trace{Initial: score, Evaluated: 1}
 
+	var ev *delta.Evaluator
+	if opt.Delta {
+		ev, err = delta.Attach(best, delta.Options{CrossCheckEvery: opt.DeltaCrossCheckEvery})
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("placement: delta attach: %w", err)
+		}
+	}
+	// Fanning a round out to the worker pool only pays when there is
+	// real work to hide behind the dispatch overhead: with one effective
+	// worker, or with proposals cheaper than the overhead itself (the
+	// initial synthesis duration is the per-proposal cost estimate),
+	// evaluate rounds serially on the calling goroutine. Either path
+	// walks the identical trajectory.
+	serialRounds := opt.Synth.Serial || parallel.Workers() == 1 || synthDur < serialEvalThreshold
+
 	for it := 0; it < opt.Iterations; {
-		if ctx != nil {
-			if err := ctx.Err(); err != nil {
-				return nil, nil, nil, err
-			}
+		if err := ctx.Err(); err != nil {
+			return nil, nil, nil, err
 		}
 		round := opt.ProposalsPerRound
 		if it+round > opt.Iterations {
@@ -175,44 +222,64 @@ func OptimizeCtx(ctx context.Context, net *noc.Network, opt Options) (*noc.Netwo
 			props = append(props, proposal{node: node, to: p})
 		}
 		trace.Evaluated += len(props)
+		trace.ProposalsEvaluated += len(props)
 		mProposals.Add(int64(len(props)))
 
 		rctx, rspan := obs.Start(ctx, "placement.round",
 			obs.Int("iteration", it), obs.Int("proposals", len(props)))
-		evalOne := func(k int) *core.Result {
-			cand := cloneNetwork(cur)
-			cand.Nodes[props[k].node].Pos = props[k].to
-			res, err := core.SynthesizeCtx(rctx, cand, opt.Synth)
-			if err != nil {
-				return nil // infeasible placement; reject the move
-			}
-			return res
-		}
-		evals := make([]*core.Result, len(props))
-		if opt.Synth.Serial {
-			for k := range props {
-				evals[k] = evalOne(k)
-			}
-		} else {
-			_ = parallel.ForEach(rctx, len(props), func(k int) error {
-				evals[k] = evalOne(k)
-				return nil
-			})
-		}
+		tEval := time.Now()
 
-		// Apply the best improving move; ties break toward the lowest
-		// proposal index, so the pick is independent of worker count.
+		// Score the round. Delta mode holds the synthesized structure
+		// fixed and evaluates moves incrementally (apply → dirty-subset
+		// recompute → revert), which is inherently serial and cheap;
+		// full mode re-synthesizes per proposal. Ties break toward the
+		// lowest proposal index either way, so the pick is independent
+		// of worker count.
 		bestK := -1
 		bestS := score
-		for k, res := range evals {
-			if res == nil {
-				continue
+		var evals []*core.Result
+		if opt.Delta {
+			for k := range props {
+				rep, err := ev.EvalMove(props[k].node, props[k].to)
+				if err != nil {
+					continue // infeasible move; reject it
+				}
+				if s := objectiveLoss(rep.Loss, opt.Objective); s < bestS-1e-12 {
+					bestK, bestS = k, s
+				}
 			}
-			s := objective(res, opt.Objective)
-			if s < bestS-1e-12 {
-				bestK, bestS = k, s
+		} else {
+			evalOne := func(k int) *core.Result {
+				cand := cloneNetwork(cur)
+				cand.Nodes[props[k].node].Pos = props[k].to
+				res, err := core.SynthesizeCtx(rctx, cand, opt.Synth)
+				if err != nil {
+					return nil // infeasible placement; reject the move
+				}
+				return res
+			}
+			evals = make([]*core.Result, len(props))
+			if serialRounds || len(props) < 2 {
+				for k := range props {
+					evals[k] = evalOne(k)
+				}
+			} else {
+				_ = parallel.ForEach(rctx, len(props), func(k int) error {
+					evals[k] = evalOne(k)
+					return nil
+				})
+			}
+			for k, res := range evals {
+				if res == nil {
+					continue
+				}
+				if s := objective(res, opt.Objective); s < bestS-1e-12 {
+					bestK, bestS = k, s
+				}
 			}
 		}
+		trace.EvalTime += time.Since(tEval)
+
 		if bestK >= 0 {
 			pr := props[bestK]
 			trace.Moves = append(trace.Moves, Move{
@@ -222,7 +289,13 @@ func OptimizeCtx(ctx context.Context, net *noc.Network, opt Options) (*noc.Netwo
 			next := cloneNetwork(cur)
 			next.Nodes[pr.node].Pos = pr.to
 			cur = next
-			best = evals[bestK]
+			if opt.Delta {
+				if _, err := ev.Commit(pr.node, pr.to); err != nil {
+					return nil, nil, nil, fmt.Errorf("placement: delta commit: %w", err)
+				}
+			} else {
+				best = evals[bestK]
+			}
 			score = bestS
 			mAccepted.Inc()
 		}
@@ -230,17 +303,37 @@ func OptimizeCtx(ctx context.Context, net *noc.Network, opt Options) (*noc.Netwo
 		rspan.End()
 		it += round
 	}
+	if opt.Delta {
+		// The search scored moves against the structure synthesized at
+		// the initial placement; the returned result is a fresh full
+		// synthesis (which may restructure) at the final placement.
+		best, err = core.SynthesizeCtx(ctx, cur, opt.Synth)
+		if err != nil {
+			return nil, nil, nil, fmt.Errorf("placement: final synthesis: %w", err)
+		}
+		trace.Evaluated++
+	}
 	trace.Final = score
 	span.Set(obs.Float("initial", trace.Initial), obs.Float("final", trace.Final),
 		obs.Int("moves", len(trace.Moves)))
 	return cur, best, trace, nil
 }
 
+// serialEvalThreshold is the per-proposal cost below which a round is
+// evaluated serially: dispatching to the pool costs on the order of
+// tens of microseconds per task, so synthesis runs cheaper than this
+// lose more to fan-out overhead than they gain from overlap.
+const serialEvalThreshold = 500 * time.Microsecond
+
 func objective(res *core.Result, o Objective) float64 {
+	return objectiveLoss(res.Loss, o)
+}
+
+func objectiveLoss(l *loss.Report, o Objective) float64 {
 	if o == MinPower {
-		return res.Loss.TotalPowerMW
+		return l.TotalPowerMW
 	}
-	return res.Loss.WorstIL
+	return l.WorstIL
 }
 
 func cloneNetwork(net *noc.Network) *noc.Network {

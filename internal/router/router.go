@@ -205,6 +205,12 @@ func (d *Design) indexTour() error {
 	return nil
 }
 
+// RefreshGeometry recomputes the cached tour geometry (arc coordinates
+// and perimeter) from the current node positions. The incremental
+// evaluator calls it after perturbing a node position: the tour and all
+// routed structure stay fixed, only the derived coordinates move.
+func (d *Design) RefreshGeometry() error { return d.indexTour() }
+
 // N returns the node count.
 func (d *Design) N() int { return d.Net.N() }
 
