@@ -16,6 +16,7 @@ import (
 	"sync"
 	"time"
 
+	"xring/internal/obs"
 	"xring/internal/service"
 	"xring/internal/service/client"
 )
@@ -63,6 +64,8 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	type sample struct {
 		lat      time.Duration
 		source   string
+		traceID  string
+		echoed   bool // server echoed our trace ID back
 		degraded bool
 		err      error
 	}
@@ -76,11 +79,17 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 		go func(i int) {
 			defer wg.Done()
 			defer func() { <-sem }()
+			// Per-request trace ID: the client propagates it as a
+			// traceparent header, so every server-side record of this
+			// request is greppable by it.
+			tid := obs.NewTraceID()
+			rctx := obs.WithTraceID(ctx, tid)
 			start := time.Now()
-			resp, err := c.Synthesize(ctx, variants[i%len(variants)])
-			s := sample{lat: time.Since(start), err: err}
+			resp, err := c.Synthesize(rctx, variants[i%len(variants)])
+			s := sample{lat: time.Since(start), traceID: string(tid), err: err}
 			if err == nil {
 				s.source = resp.Source
+				s.echoed = resp.TraceID == string(tid)
 				s.degraded = resp.Summary != nil && resp.Summary.Degraded
 			}
 			samples[i] = s
@@ -95,15 +104,19 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 
 	var lats []time.Duration
 	sources := map[string]int{}
-	failures, degraded := 0, 0
+	failures, degraded, traceMismatches := 0, 0, 0
 	var failureSamples []string
 	for _, s := range samples {
 		if s.err != nil {
 			failures++
 			if len(failureSamples) < 3 {
-				failureSamples = append(failureSamples, s.err.Error())
+				failureSamples = append(failureSamples,
+					fmt.Sprintf("%s (trace %s)", s.err.Error(), s.traceID))
 			}
 			continue
+		}
+		if !s.echoed {
+			traceMismatches++
 		}
 		if s.degraded {
 			degraded++
@@ -124,8 +137,8 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 		cfg.total, cfg.conc, cfg.base, cfg.nodes, len(variants))
 	fmt.Fprintf(w, "  wall time        %v\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  ok / failed      %d / %d\n", len(lats), failures)
-	fmt.Fprintf(w, "  latency p50/p90/p99  %v / %v / %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.90).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
+	fmt.Fprintf(w, "  latency p50/p95/p99  %v / %v / %v\n",
+		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
 	fmt.Fprintf(w, "  sources          synthesized %d, dedup %d, cache %d\n",
 		sources["synthesized"], sources["dedup"], sources["cache"])
 	if degraded > 0 {
@@ -138,10 +151,17 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	for _, msg := range failureSamples {
 		fmt.Fprintf(w, "  failure          %s\n", msg)
 	}
+	if traceMismatches > 0 {
+		fmt.Fprintf(w, "  trace mismatch   %d responses did not echo the request's trace ID\n", traceMismatches)
+	}
 	// A load run that lost requests is a failed run: the caller (xbench
-	// main, CI) must exit nonzero, not just print a sad number.
+	// main, CI) must exit nonzero, not just print a sad number. Broken
+	// trace propagation likewise — it is the contract this mode verifies.
 	if failures > 0 {
 		return fmt.Errorf("%d/%d load requests ultimately failed", failures, cfg.total)
+	}
+	if traceMismatches > 0 {
+		return fmt.Errorf("%d/%d responses did not echo the request trace ID", traceMismatches, cfg.total)
 	}
 	return nil
 }

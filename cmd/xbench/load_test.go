@@ -30,10 +30,13 @@ func TestRunLoadAgainstInProcessService(t *testing.T) {
 		t.Fatalf("runLoad: %v\n%s", err, out.String())
 	}
 	report := out.String()
-	for _, want := range []string{"ok / failed      12 / 0", "latency p50/p90/p99", "server counters"} {
+	for _, want := range []string{"ok / failed      12 / 0", "latency p50/p95/p99", "server counters"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
+	}
+	if strings.Contains(report, "trace mismatch") {
+		t.Errorf("load run reported trace-ID mismatches:\n%s", report)
 	}
 	if st := s.Stats(); st.CacheHits+st.DedupHits == 0 {
 		t.Error("mixed load produced no cache or dedup hits")

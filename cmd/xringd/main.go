@@ -14,6 +14,13 @@
 //	xringd -persist /var/lib/xring  # crash-safe on-disk result cache
 //	xringd -stage-timeout 30s       # per-stage progress watchdog (504 on stall)
 //	xringd -fault 'core.ring=error:budget'  # deterministic fault injection
+//	xringd -flight 512              # flight-recorder depth (last N job records)
+//	xringd -flight-dir /var/log/xring  # auto-snapshot on panic / stage timeout
+//
+// Observability: GET /metrics serves Prometheus text exposition (JSON
+// via ?format=json), GET /debug/flightrecorder dumps the last N job
+// records, and every request is correlated end to end by a W3C trace
+// ID (traceparent in, X-Trace-Id out).
 //
 // Shutdown: SIGINT/SIGTERM starts a graceful drain — new submissions
 // are rejected with 503 (and /readyz flips, so load balancers stop
@@ -48,6 +55,8 @@ func main() {
 	persistEntries := flag.Int("persist-entries", 0, "max on-disk cache entries (0 = default 1024)")
 	stageTimeout := flag.Duration("stage-timeout", 0, "fail a job if no synthesis stage completes within this long (0 = off)")
 	fault := flag.String("fault", "", "fault-injection spec, e.g. 'core.ring=error:budget;seed=7' (testing)")
+	flight := flag.Int("flight", 0, "flight-recorder depth: last N completed job records (0 = default 256)")
+	flightDir := flag.String("flight-dir", "", "directory for automatic flight-recorder snapshots on panic/stage-timeout (empty disables)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -60,6 +69,8 @@ func main() {
 		PersistEntries:  *persistEntries,
 		StageTimeout:    *stageTimeout,
 		FaultSpec:       *fault,
+		FlightRecords:   *flight,
+		FlightDir:       *flightDir,
 	}, *drainTimeout, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "xringd:", err)
 		os.Exit(1)
@@ -89,10 +100,19 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, obsFlags *
 // closes. Split from run so tests can drive it on an ephemeral port.
 func serve(ln net.Listener, cfg service.Config, drainTimeout time.Duration) error {
 	logger := obs.Logger("service")
+	// The metrics registry always counts for a daemon: GET /metrics is
+	// the point of running one, and telemetry is proven not to alter
+	// synthesis results (obs determinism tests).
+	obs.EnableMetrics(true)
 	svc, err := service.New(cfg)
 	if err != nil {
 		return err
 	}
+	bi := service.ReadBuildInfo()
+	logger.Info("build", "go", bi.GoVersion, "module", bi.Module,
+		"version", bi.Version, "revision", bi.Revision, "modified", bi.Modified)
+	fmt.Fprintf(os.Stderr, "xringd: build %s %s %s rev=%s modified=%v\n",
+		bi.GoVersion, bi.Module, bi.Version, bi.Revision, bi.Modified)
 	if cfg.PersistDir != "" {
 		st := svc.Stats()
 		logger.Info("persistent cache opened", "dir", cfg.PersistDir,

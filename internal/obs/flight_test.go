@@ -1,0 +1,113 @@
+package obs_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"xring/internal/obs"
+)
+
+func TestFlightRecorderWraparound(t *testing.T) {
+	r := obs.NewFlightRecorder(4)
+	for i := 0; i < 10; i++ {
+		r.Record(obs.JobRecord{JobID: fmt.Sprintf("j%d", i), Start: time.Now()})
+	}
+	if got := r.Total(); got != 10 {
+		t.Fatalf("Total = %d, want 10", got)
+	}
+	snap := r.Snapshot()
+	if len(snap) != 4 {
+		t.Fatalf("snapshot has %d records, want 4", len(snap))
+	}
+	for i, rec := range snap {
+		if want := fmt.Sprintf("j%d", 6+i); rec.JobID != want {
+			t.Errorf("snapshot[%d] = %s, want %s (oldest-first)", i, rec.JobID, want)
+		}
+	}
+}
+
+func TestFlightRecorderPartialFill(t *testing.T) {
+	r := obs.NewFlightRecorder(8)
+	r.Record(obs.JobRecord{JobID: "a"})
+	r.Record(obs.JobRecord{JobID: "b"})
+	snap := r.Snapshot()
+	if len(snap) != 2 || snap[0].JobID != "a" || snap[1].JobID != "b" {
+		t.Fatalf("snapshot = %+v, want [a b]", snap)
+	}
+	if r.Total() != 2 {
+		t.Fatalf("Total = %d, want 2", r.Total())
+	}
+}
+
+func TestFlightRecorderConcurrentRecord(t *testing.T) {
+	r := obs.NewFlightRecorder(16)
+	var wg sync.WaitGroup
+	const writers, per = 8, 100
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				r.Record(obs.JobRecord{JobID: "x", Outcome: "ok"})
+				_ = r.Snapshot()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Total(); got != writers*per {
+		t.Fatalf("Total = %d, want %d", got, writers*per)
+	}
+	if got := len(r.Snapshot()); got != 16 {
+		t.Fatalf("snapshot len = %d, want capacity 16", got)
+	}
+}
+
+func TestFlightRecorderSnapshotToFile(t *testing.T) {
+	dir := t.TempDir()
+	r := obs.NewFlightRecorder(4)
+	r.Record(obs.JobRecord{
+		TraceID: "4bf92f3577b34da6a3ce929d0e0e4736",
+		JobID:   "j1", Key: "sha256:abc", Outcome: "error",
+		Error: "boom", Panic: true,
+		Stages: []obs.StageTiming{{Name: "ring.construct", DurMS: 1.5}},
+	})
+	path, err := r.SnapshotToFile(dir, "panic")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if base := filepath.Base(path); !strings.HasPrefix(base, "flight-panic-") || !strings.HasSuffix(base, ".json") {
+		t.Errorf("snapshot file name %q", base)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var dump obs.FlightDump
+	if err := json.Unmarshal(data, &dump); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if dump.Total != 1 || len(dump.Records) != 1 {
+		t.Fatalf("dump = %+v, want 1 record", dump)
+	}
+	rec := dump.Records[0]
+	if rec.TraceID != "4bf92f3577b34da6a3ce929d0e0e4736" || !rec.Panic || rec.Outcome != "error" {
+		t.Errorf("record round trip = %+v", rec)
+	}
+	if len(rec.Stages) != 1 || rec.Stages[0].Name != "ring.construct" {
+		t.Errorf("stages round trip = %+v", rec.Stages)
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("snapshot dir has %d entries, want 1", len(entries))
+	}
+}

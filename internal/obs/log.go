@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"log/slog"
+	"sort"
 	"strings"
 	"sync"
 )
@@ -34,10 +35,57 @@ var logState = struct {
 	defaultLevel slog.LevelVar
 	stageLevels  map[string]*slog.LevelVar
 	loggers      map[string]*slog.Logger
+	// stages is the set of names SetLogSpec accepts in "stage=LEVEL"
+	// pairs; a misspelled stage is a typed error, not a silent no-op.
+	stages map[string]bool
 }{
 	out:         io.Discard,
 	stageLevels: map[string]*slog.LevelVar{},
 	loggers:     map[string]*slog.Logger{},
+	stages: map[string]bool{
+		"core": true, "ring": true, "shortcut": true, "mapping": true,
+		"pdn": true, "loss": true, "xtalk": true, "placement": true,
+		"parallel": true, "milp": true, "delta": true, "resilience": true,
+		"service": true, "client": true,
+	},
+}
+
+// RegisterLogStage adds a stage name to the set SetLogSpec accepts.
+// Packages introducing a new pipeline stage (and tests using synthetic
+// stages) register it once at init.
+func RegisterLogStage(name string) {
+	logState.Lock()
+	defer logState.Unlock()
+	logState.stages[name] = true
+}
+
+// ValidLogStages returns the sorted list of stage names SetLogSpec
+// accepts.
+func ValidLogStages() []string {
+	logState.Lock()
+	defer logState.Unlock()
+	return validStagesLocked()
+}
+
+func validStagesLocked() []string {
+	out := make([]string, 0, len(logState.stages))
+	for s := range logState.stages {
+		out = append(out, s)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// UnknownStageError reports a "stage=LEVEL" pair naming a stage the
+// log layer does not know, listing the valid names.
+type UnknownStageError struct {
+	Stage string
+	Valid []string
+}
+
+func (e *UnknownStageError) Error() string {
+	return fmt.Sprintf("obs: unknown log stage %q (valid stages: %s)",
+		e.Stage, strings.Join(e.Valid, ", "))
 }
 
 func init() { logState.defaultLevel.Set(logOff) }
@@ -106,7 +154,10 @@ func parseLevel(s string) (slog.Level, error) {
 // form "LEVEL" (all stages) or "stage=LEVEL[,stage=LEVEL...]", where
 // LEVEL is debug, info, warn, error or off. A bare level and per-stage
 // overrides may be mixed: "info,ring=debug". Passing w == nil keeps
-// the current output writer.
+// the current output writer. A pair naming an unknown stage fails with
+// a typed *UnknownStageError listing the valid names (ValidLogStages;
+// extendable via RegisterLogStage), so a misspelled -log-level flag
+// surfaces instead of silently logging nothing.
 func SetLogSpec(w io.Writer, spec string) error {
 	logState.Lock()
 	defer logState.Unlock()
@@ -122,6 +173,9 @@ func SetLogSpec(w io.Writer, spec string) error {
 			continue
 		}
 		if stage, lvl, ok := strings.Cut(part, "="); ok {
+			if !logState.stages[stage] {
+				return &UnknownStageError{Stage: stage, Valid: validStagesLocked()}
+			}
 			l, err := parseLevel(lvl)
 			if err != nil {
 				return err

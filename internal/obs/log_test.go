@@ -2,12 +2,21 @@ package obs_test
 
 import (
 	"bytes"
+	"errors"
 	"io"
 	"strings"
 	"testing"
 
 	"xring/internal/obs"
 )
+
+func init() {
+	// Synthetic stages used by these tests; SetLogSpec rejects names it
+	// has never seen.
+	for _, s := range []string{"logtest", "logother", "lglate", "lgsilent"} {
+		obs.RegisterLogStage(s)
+	}
+}
 
 func TestLogSpecStageLevels(t *testing.T) {
 	var buf bytes.Buffer
@@ -75,7 +84,36 @@ func TestLogSpecErrors(t *testing.T) {
 	if err := obs.SetLogSpec(nil, "nope"); err == nil {
 		t.Fatal("bad level accepted")
 	}
-	if err := obs.SetLogSpec(nil, "stage=nope"); err == nil {
+	if err := obs.SetLogSpec(nil, "core=nope"); err == nil {
 		t.Fatal("bad per-stage level accepted")
+	}
+}
+
+// TestLogSpecUnknownStage: a misspelled stage name fails with a typed
+// error that lists the valid stages.
+func TestLogSpecUnknownStage(t *testing.T) {
+	err := obs.SetLogSpec(nil, "mappign=debug")
+	if err == nil {
+		t.Fatal("unknown stage accepted")
+	}
+	var use *obs.UnknownStageError
+	if !errors.As(err, &use) {
+		t.Fatalf("error is %T, want *obs.UnknownStageError", err)
+	}
+	if use.Stage != "mappign" {
+		t.Errorf("Stage = %q, want mappign", use.Stage)
+	}
+	if len(use.Valid) == 0 {
+		t.Fatal("Valid stage list is empty")
+	}
+	msg := err.Error()
+	for _, want := range []string{"mapping", "core", "service"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q does not list valid stage %q", msg, want)
+		}
+	}
+	// The known-stage path still works, including mixed specs.
+	if err := obs.SetLogSpec(nil, "off,mapping=off"); err != nil {
+		t.Fatalf("valid spec rejected: %v", err)
 	}
 }

@@ -73,6 +73,66 @@ func TestProgressSinkInheritance(t *testing.T) {
 	}
 }
 
+// TestProgressSinkConcurrentJobs: the isolation property the service
+// relies on — N concurrent "jobs", each with its own sink on a context
+// derived from a shared parent, must each receive exactly their own
+// span records and never a neighbor's. Runs in CI under -race.
+func TestProgressSinkConcurrentJobs(t *testing.T) {
+	const jobs, spansPerJob = 8, 200
+	base := context.Background()
+	var wg sync.WaitGroup
+	type seen struct {
+		mu   sync.Mutex
+		recs []SpanRecord
+	}
+	all := make([]*seen, jobs)
+	for j := 0; j < jobs; j++ {
+		all[j] = &seen{}
+		wg.Add(1)
+		go func(j int) {
+			defer wg.Done()
+			s := all[j]
+			tid := NewTraceID()
+			ctx := WithTraceID(base, tid)
+			ctx = WithProgress(ctx, func(r SpanRecord) {
+				s.mu.Lock()
+				s.recs = append(s.recs, r)
+				s.mu.Unlock()
+			})
+			ctx, root := Start(ctx, "job", Int("job", j))
+			// Overlapping child spans, some ending on other goroutines —
+			// the shape of parallel engine stages under one job context.
+			var inner sync.WaitGroup
+			for k := 0; k < spansPerJob; k++ {
+				kctx, sp := Start(ctx, "stage", Int("job", j), Int("k", k))
+				_ = kctx
+				inner.Add(1)
+				go func(sp *Span) {
+					defer inner.Done()
+					sp.End()
+				}(sp)
+			}
+			inner.Wait()
+			root.End()
+			if TraceIDFrom(ctx) != tid {
+				t.Errorf("job %d lost its trace ID", j)
+			}
+		}(j)
+	}
+	wg.Wait()
+	for j, s := range all {
+		if got := len(s.recs); got != spansPerJob+1 {
+			t.Fatalf("job %d sink saw %d spans, want %d", j, got, spansPerJob+1)
+		}
+		for _, r := range s.recs {
+			m := r.AttrMap()
+			if m["job"] != int64(j) {
+				t.Fatalf("job %d sink received span %s of job %v", j, r.Name, m["job"])
+			}
+		}
+	}
+}
+
 // TestProgressSinkWithTracing: with tracing on, spans go to both the
 // sink and the collector.
 func TestProgressSinkWithTracing(t *testing.T) {

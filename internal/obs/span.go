@@ -85,6 +85,9 @@ type Span struct {
 	gid    uint64
 	start  time.Time
 	attrs  []Attr
+	// traceID is the request-scoped trace identity carried by the
+	// span's context (WithTraceID); empty outside a traced request.
+	traceID TraceID
 	// sink, when non-nil, receives the finished record (WithProgress).
 	sink ProgressFunc
 	// traced records whether the global collector was on at Start; a
@@ -103,6 +106,7 @@ type SpanRecord struct {
 	Goroutine uint64 `json:"goroutine"`
 	StartNS   int64  `json:"start_ns"`
 	DurNS     int64  `json:"dur_ns"`
+	TraceID   string `json:"trace_id,omitempty"`
 	Attrs     []Attr `json:"-"`
 }
 
@@ -141,13 +145,14 @@ func Start(ctx context.Context, name string, attrs ...Attr) (context.Context, *S
 		parent = p.id
 	}
 	s := &Span{
-		id:     nextSpanID.Add(1),
-		parent: parent,
-		name:   name,
-		gid:    goroutineID(),
-		start:  time.Now(),
-		sink:   sink,
-		traced: traced,
+		id:      nextSpanID.Add(1),
+		parent:  parent,
+		name:    name,
+		gid:     goroutineID(),
+		start:   time.Now(),
+		traceID: TraceIDFrom(ctx),
+		sink:    sink,
+		traced:  traced,
 	}
 	if len(attrs) > 0 {
 		s.attrs = append(s.attrs, attrs...)
@@ -188,6 +193,7 @@ func (s *Span) End() {
 			Goroutine: s.gid,
 			StartNS:   s.start.Sub(processEpoch).Nanoseconds(),
 			DurNS:     end.Sub(s.start).Nanoseconds(),
+			TraceID:   string(s.traceID),
 			Attrs:     s.attrs,
 		})
 	}
@@ -207,6 +213,7 @@ func (s *Span) End() {
 		Goroutine: s.gid,
 		StartNS:   s.start.Sub(tracer.epoch).Nanoseconds(),
 		DurNS:     end.Sub(s.start).Nanoseconds(),
+		TraceID:   string(s.traceID),
 		Attrs:     s.attrs,
 	})
 	tracer.Unlock()
@@ -289,6 +296,12 @@ func ChromeTrace(spans []SpanRecord) ([]byte, error) {
 				args = map[string]any{}
 			}
 			args["parent_span"] = s.Parent
+		}
+		if s.TraceID != "" {
+			if args == nil {
+				args = map[string]any{}
+			}
+			args["trace_id"] = s.TraceID
 		}
 		if args == nil {
 			args = map[string]any{}

@@ -1,0 +1,136 @@
+package obs
+
+// Request-scoped trace identity, following the W3C Trace Context
+// format (https://www.w3.org/TR/trace-context/): a trace ID is 32
+// lowercase hex digits, carried over HTTP in a `traceparent` header of
+// the form
+//
+//	00-<32 hex trace-id>-<16 hex parent-id>-<2 hex flags>
+//
+// The service accepts an incoming traceparent (or generates a fresh ID
+// when absent/invalid, as the spec requires), stores the ID on the job
+// context with WithTraceID, and every span started beneath that
+// context records it — so per-request SSE streams, trace exports and
+// the flight recorder all correlate on the same identifier.
+//
+// The cost discipline of the rest of the package applies: the disabled
+// span path never looks at the context, so carrying a trace ID adds
+// nothing to hot loops.
+
+import (
+	"context"
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+	"strings"
+)
+
+// TraceID is a W3C trace-context trace-id: exactly 32 lowercase hex
+// digits, not all zero. The zero value "" means "no trace".
+type TraceID string
+
+// NewTraceID returns a fresh random trace ID.
+func NewTraceID() TraceID {
+	var b [16]byte
+	// crypto/rand.Read never fails on supported platforms (Go 1.22+
+	// panics internally rather than returning an error).
+	_, _ = rand.Read(b[:])
+	b[0] |= 1 // never all-zero
+	return TraceID(hex.EncodeToString(b[:]))
+}
+
+// ParseTraceID validates a bare trace-id string (32 lowercase hex
+// digits, not all zero).
+func ParseTraceID(s string) (TraceID, error) {
+	if len(s) != 32 {
+		return "", fmt.Errorf("obs: trace ID %q: want 32 hex digits, got %d", s, len(s))
+	}
+	zero := true
+	for _, c := range s {
+		switch {
+		case c >= '0' && c <= '9':
+			if c != '0' {
+				zero = false
+			}
+		case c >= 'a' && c <= 'f':
+			zero = false
+		default:
+			return "", fmt.Errorf("obs: trace ID %q: not lowercase hex", s)
+		}
+	}
+	if zero {
+		return "", fmt.Errorf("obs: trace ID %q: all-zero is invalid", s)
+	}
+	return TraceID(s), nil
+}
+
+// ParseTraceparent extracts the trace ID from a W3C traceparent header
+// value. Unknown versions with well-formed version-00 prefixes are
+// accepted, as the spec requires; malformed headers return an error
+// (callers should then generate a fresh ID rather than fail the
+// request).
+func ParseTraceparent(h string) (TraceID, error) {
+	parts := strings.Split(strings.TrimSpace(h), "-")
+	if len(parts) < 4 {
+		return "", fmt.Errorf("obs: traceparent %q: want version-traceid-parentid-flags", h)
+	}
+	if len(parts[0]) != 2 || !isHexLower(parts[0]) {
+		return "", fmt.Errorf("obs: traceparent %q: bad version field", h)
+	}
+	if parts[0] == "ff" {
+		return "", fmt.Errorf("obs: traceparent %q: version ff is forbidden", h)
+	}
+	if len(parts) > 4 && parts[0] == "00" {
+		return "", fmt.Errorf("obs: traceparent %q: version 00 has exactly four fields", h)
+	}
+	tid, err := ParseTraceID(parts[1])
+	if err != nil {
+		return "", err
+	}
+	if len(parts[2]) != 16 || !isHexLower(parts[2]) {
+		return "", fmt.Errorf("obs: traceparent %q: bad parent-id field", h)
+	}
+	if len(parts[3]) != 2 || !isHexLower(parts[3]) {
+		return "", fmt.Errorf("obs: traceparent %q: bad flags field", h)
+	}
+	return tid, nil
+}
+
+func isHexLower(s string) bool {
+	for _, c := range s {
+		if !(c >= '0' && c <= '9' || c >= 'a' && c <= 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+// Traceparent renders the trace ID as an outgoing traceparent header
+// value with a fresh random parent-id and the sampled flag set.
+func (t TraceID) Traceparent() string {
+	var b [8]byte
+	_, _ = rand.Read(b[:])
+	b[0] |= 1
+	return "00-" + string(t) + "-" + hex.EncodeToString(b[:]) + "-01"
+}
+
+type traceIDCtxKey struct{}
+
+// WithTraceID returns a context carrying the trace ID. Spans started
+// beneath it record the ID in their SpanRecord, and the service client
+// propagates it as an outgoing traceparent header.
+func WithTraceID(ctx context.Context, id TraceID) context.Context {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	return context.WithValue(ctx, traceIDCtxKey{}, id)
+}
+
+// TraceIDFrom returns the trace ID carried by ctx, or "".
+func TraceIDFrom(ctx context.Context) TraceID {
+	if ctx == nil {
+		return ""
+	}
+	id, _ := ctx.Value(traceIDCtxKey{}).(TraceID)
+	return id
+}

@@ -1,0 +1,114 @@
+package obs
+
+import (
+	"context"
+	"strings"
+	"testing"
+)
+
+func TestNewTraceIDShape(t *testing.T) {
+	seen := map[TraceID]bool{}
+	for i := 0; i < 64; i++ {
+		id := NewTraceID()
+		if _, err := ParseTraceID(string(id)); err != nil {
+			t.Fatalf("NewTraceID produced invalid ID %q: %v", id, err)
+		}
+		if seen[id] {
+			t.Fatalf("NewTraceID repeated %q", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestParseTraceparent(t *testing.T) {
+	valid := "00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01"
+	id, err := ParseTraceparent(valid)
+	if err != nil {
+		t.Fatalf("valid traceparent rejected: %v", err)
+	}
+	if id != "4bf92f3577b34da6a3ce929d0e0e4736" {
+		t.Fatalf("trace ID = %q", id)
+	}
+	// Future versions may append fields.
+	if _, err := ParseTraceparent("42-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra"); err != nil {
+		t.Errorf("future-version traceparent rejected: %v", err)
+	}
+	for _, bad := range []string{
+		"",
+		"not-a-traceparent",
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7", // missing flags
+		"ff-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01",
+		"00-00000000000000000000000000000000-00f067aa0ba902b7-01", // all-zero id
+		"00-4BF92F3577B34DA6A3CE929D0E0E4736-00f067aa0ba902b7-01", // uppercase
+		"00-4bf92f3577b34da6a3ce929d0e0e47-00f067aa0ba902b7-01",   // short id
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902-01",   // short parent
+		"00-4bf92f3577b34da6a3ce929d0e0e4736-00f067aa0ba902b7-01-extra",
+	} {
+		if _, err := ParseTraceparent(bad); err == nil {
+			t.Errorf("ParseTraceparent(%q) accepted", bad)
+		}
+	}
+}
+
+func TestTraceparentRoundTrip(t *testing.T) {
+	id := NewTraceID()
+	h := id.Traceparent()
+	got, err := ParseTraceparent(h)
+	if err != nil {
+		t.Fatalf("own traceparent %q rejected: %v", h, err)
+	}
+	if got != id {
+		t.Fatalf("round trip = %q, want %q", got, id)
+	}
+	if !strings.HasPrefix(h, "00-") || !strings.HasSuffix(h, "-01") {
+		t.Errorf("traceparent %q: want version 00, sampled flag", h)
+	}
+}
+
+func TestTraceIDContextPlumbing(t *testing.T) {
+	if id := TraceIDFrom(context.Background()); id != "" {
+		t.Fatalf("empty context carries trace ID %q", id)
+	}
+	id := NewTraceID()
+	ctx := WithTraceID(context.Background(), id)
+	if got := TraceIDFrom(ctx); got != id {
+		t.Fatalf("TraceIDFrom = %q, want %q", got, id)
+	}
+}
+
+// TestSpanRecordsTraceID: spans started beneath WithTraceID carry the
+// ID into their records, through both the progress sink and the
+// collector.
+func TestSpanRecordsTraceID(t *testing.T) {
+	if TracingEnabled() {
+		t.Skip("global tracing enabled (XRING_OBS)")
+	}
+	EnableTracing(true)
+	defer EnableTracing(false)
+	ResetTrace()
+	defer ResetTrace()
+
+	id := NewTraceID()
+	var sunk []SpanRecord
+	ctx := WithProgress(WithTraceID(context.Background(), id), func(r SpanRecord) {
+		sunk = append(sunk, r)
+	})
+	ctx, root := Start(ctx, "job")
+	_, child := Start(ctx, "stage")
+	child.End()
+	root.End()
+
+	if len(sunk) != 2 {
+		t.Fatalf("sink saw %d spans, want 2", len(sunk))
+	}
+	for _, r := range sunk {
+		if r.TraceID != string(id) {
+			t.Errorf("sink record %s trace ID = %q, want %q", r.Name, r.TraceID, id)
+		}
+	}
+	for _, r := range TraceSnapshot() {
+		if r.TraceID != string(id) {
+			t.Errorf("collector record %s trace ID = %q, want %q", r.Name, r.TraceID, id)
+		}
+	}
+}

@@ -1,0 +1,52 @@
+package service
+
+import (
+	"runtime"
+	"runtime/debug"
+	"sync"
+)
+
+// BuildInfo identifies the running binary: Go toolchain, main module
+// and, when the binary was built inside a VCS checkout, the revision
+// stamped by the toolchain (debug.ReadBuildInfo). Served in
+// GET /v1/stats and logged once at daemon startup, so an operator can
+// always tell which build produced an answer.
+type BuildInfo struct {
+	GoVersion string `json:"goVersion"`
+	Module    string `json:"module,omitempty"`
+	Version   string `json:"version,omitempty"`
+	Revision  string `json:"vcsRevision,omitempty"`
+	Modified  bool   `json:"vcsModified,omitempty"`
+	VCSTime   string `json:"vcsTime,omitempty"`
+}
+
+var (
+	buildInfoOnce sync.Once
+	buildInfo     BuildInfo
+)
+
+// ReadBuildInfo returns the binary's build identity. The result is
+// computed once; `go test` binaries and builds outside a checkout
+// simply lack the VCS fields.
+func ReadBuildInfo() BuildInfo {
+	buildInfoOnce.Do(func() {
+		buildInfo.GoVersion = runtime.Version()
+		bi, ok := debug.ReadBuildInfo()
+		if !ok {
+			return
+		}
+		buildInfo.Module = bi.Main.Path
+		buildInfo.Version = bi.Main.Version
+		for _, s := range bi.Settings {
+			switch s.Key {
+			case "vcs.revision":
+				buildInfo.Revision = s.Value
+			case "vcs.modified":
+				buildInfo.Modified = s.Value == "true"
+			case "vcs.time":
+				buildInfo.VCSTime = s.Value
+			}
+		}
+	})
+	return buildInfo
+}

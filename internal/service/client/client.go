@@ -16,6 +16,7 @@ import (
 	"strings"
 	"time"
 
+	"xring/internal/obs"
 	"xring/internal/service"
 )
 
@@ -75,6 +76,11 @@ func (c *Client) do(ctx context.Context, method, path string, body []byte, out a
 	}
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
+	}
+	// Propagate the caller's trace identity (obs.WithTraceID) as a W3C
+	// traceparent header; the server echoes it end to end.
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		req.Header.Set("traceparent", tid.Traceparent())
 	}
 	if err := c.br.acquire(); err != nil {
 		return err
@@ -205,6 +211,9 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event)) 
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
 	if err != nil {
 		return err
+	}
+	if tid := obs.TraceIDFrom(ctx); tid != "" {
+		req.Header.Set("traceparent", tid.Traceparent())
 	}
 	resp, err := c.hc.Do(req)
 	if err != nil {

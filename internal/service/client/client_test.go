@@ -4,9 +4,11 @@ import (
 	"context"
 	"net/http"
 	"net/http/httptest"
+	"strings"
 	"testing"
 	"time"
 
+	"xring/internal/obs"
 	"xring/internal/service"
 )
 
@@ -92,6 +94,62 @@ func TestClientRoundTrip(t *testing.T) {
 	}
 	if stats.Synthesized != 1 {
 		t.Errorf("stats.Synthesized = %d, want 1", stats.Synthesized)
+	}
+}
+
+// TestClientPropagatesTraceID: a trace ID on the caller's context
+// travels as a W3C traceparent header and comes back in the response
+// envelope, the job status, and the SSE events — through the typed
+// client only, no raw HTTP.
+func TestClientPropagatesTraceID(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	tid := obs.NewTraceID()
+	ctx := obs.WithTraceID(context.Background(), tid)
+	resp, err := c.Synthesize(ctx, testRequest())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	if resp.TraceID != string(tid) {
+		t.Errorf("Response.TraceID = %q, want %q", resp.TraceID, tid)
+	}
+	st, err := c.Job(ctx, resp.JobID)
+	if err != nil {
+		t.Fatalf("job: %v", err)
+	}
+	if st.TraceID != string(tid) {
+		t.Errorf("JobStatus.TraceID = %q, want %q", st.TraceID, tid)
+	}
+	if err := c.Events(ctx, resp.JobID, func(ev service.Event) {
+		if ev.TraceID != string(tid) {
+			t.Errorf("event %d TraceID = %q, want %q", ev.Seq, ev.TraceID, tid)
+		}
+	}); err != nil {
+		t.Fatalf("events: %v", err)
+	}
+}
+
+// TestClientTraceparentHeaderShape pins the wire format: a valid
+// version-00 traceparent whose trace-id field is the context's ID.
+func TestClientTraceparentHeaderShape(t *testing.T) {
+	var got string
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
+		got = r.Header.Get("traceparent")
+		w.Write([]byte(`{"jobID": "j1", "key": "k", "source": "synthesized"}`))
+	})
+	ts := httptest.NewServer(mux)
+	defer ts.Close()
+	tid := obs.NewTraceID()
+	ctx := obs.WithTraceID(context.Background(), tid)
+	if _, err := New(ts.URL, nil).Synthesize(ctx, testRequest()); err != nil {
+		t.Fatal(err)
+	}
+	parsed, err := obs.ParseTraceparent(got)
+	if err != nil || parsed != tid {
+		t.Fatalf("traceparent %q parsed to (%q, %v), want %q", got, parsed, err, tid)
+	}
+	if !strings.HasPrefix(got, "00-"+string(tid)+"-") {
+		t.Errorf("traceparent %q lacks version-00 prefix with trace ID", got)
 	}
 }
 

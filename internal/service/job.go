@@ -26,21 +26,30 @@ const (
 // plus one "stage" event per engine span finished under the job's
 // context (obs.WithProgress).
 type Event struct {
-	Seq   int            `json:"seq"`
-	Type  string         `json:"type"` // queued | started | stage | done | failed
-	Stage string         `json:"stage,omitempty"`
-	DurMS float64        `json:"durMS,omitempty"`
-	Attrs map[string]any `json:"attrs,omitempty"`
-	Error string         `json:"error,omitempty"`
+	Seq int `json:"seq"`
+	// TraceID is the job's request-scoped trace identity, stamped on
+	// every event so SSE consumers can correlate streams with response
+	// summaries and flight-recorder records.
+	TraceID string         `json:"traceID,omitempty"`
+	Type    string         `json:"type"` // queued | started | stage | done | failed
+	Stage   string         `json:"stage,omitempty"`
+	DurMS   float64        `json:"durMS,omitempty"`
+	Attrs   map[string]any `json:"attrs,omitempty"`
+	Error   string         `json:"error,omitempty"`
 }
 
 // job is the server-side record of one synthesis run.
 type job struct {
 	id  string
 	key string
-	req *resolved
+	// traceID is the W3C trace ID of the admitting request (accepted
+	// from its traceparent header or generated), immutable thereafter.
+	traceID string
+	req     *resolved
 	// deadline is the per-job synthesis budget (0 = none).
 	deadline time.Duration
+	// enqueued is the admission instant; run() observes the queue wait.
+	enqueued time.Time
 
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
@@ -58,12 +67,14 @@ type job struct {
 	dedupWaiters int
 }
 
-func newJob(id, key string, req *resolved, deadline time.Duration) *job {
+func newJob(id, key, traceID string, req *resolved, deadline time.Duration) *job {
 	j := &job{
 		id:       id,
 		key:      key,
+		traceID:  traceID,
 		req:      req,
 		deadline: deadline,
+		enqueued: time.Now(),
 		done:     make(chan struct{}),
 		state:    StateQueued,
 		subs:     map[chan Event]struct{}{},
@@ -77,6 +88,7 @@ func newJob(id, key string, req *resolved, deadline time.Duration) *job {
 // consumer that fills its buffer loses the event rather than stalling
 // the engine — the full log remains replayable via snapshot.
 func (j *job) publish(ev Event) {
+	ev.TraceID = j.traceID
 	j.mu.Lock()
 	ev.Seq = len(j.events)
 	j.events = append(j.events, ev)

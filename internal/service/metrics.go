@@ -14,6 +14,17 @@ import (
 	"xring/internal/obs"
 )
 
+// Job outcomes, as used by the outcome-split duration histograms and
+// the flight recorder.
+const (
+	outcomeOK       = "ok"
+	outcomeDegraded = "degraded"
+	outcomeTimeout  = "timeout"
+	outcomeError    = "error"
+)
+
+var jobDurationBounds = []float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000}
+
 var (
 	mRequests        = obs.NewCounter("service.requests")
 	mRequestsInvalid = obs.NewCounter("service.requests.invalid")
@@ -30,8 +41,22 @@ var (
 	mJobsFailed      = obs.NewCounter("service.jobs.failed")
 	mEventsPublished = obs.NewCounter("service.events.published")
 	mEventsDropped   = obs.NewCounter("service.events.dropped")
-	mJobDurationMS   = obs.NewHistogram("service.job.duration_ms", "ms",
-		[]float64{1, 5, 10, 50, 100, 500, 1000, 5000, 10000, 60000})
+	mJobDurationMS   = obs.NewHistogram("service.job.duration_ms", "ms", jobDurationBounds)
+
+	// Outcome-split duration histograms (ok / degraded / timeout /
+	// error) plus admission-queue wait — the latency signals a
+	// Prometheus scrape needs to chart fleet behavior and attribute
+	// slowness to queueing vs synthesis. Exposed at GET /metrics as
+	// xring_service_job_duration_ms_<outcome>_bucket etc.
+	mJobDurationByOutcome = map[string]*obs.Histogram{
+		outcomeOK:       obs.NewHistogram("service.job.duration_ms.ok", "ms", jobDurationBounds),
+		outcomeDegraded: obs.NewHistogram("service.job.duration_ms.degraded", "ms", jobDurationBounds),
+		outcomeTimeout:  obs.NewHistogram("service.job.duration_ms.timeout", "ms", jobDurationBounds),
+		outcomeError:    obs.NewHistogram("service.job.duration_ms.error", "ms", jobDurationBounds),
+	}
+	mQueueWaitMS = obs.NewHistogram("service.job.queue_wait_ms", "ms",
+		[]float64{0.1, 0.5, 1, 5, 10, 50, 100, 500, 1000, 5000, 10000})
+	mFlightSnapshots = obs.NewCounter("service.flight.snapshots")
 
 	// Resilience layer (see OBSERVABILITY.md): degraded-mode completions,
 	// contained job panics, stage-watchdog expiries, and the persistent
@@ -73,6 +98,11 @@ type Stats struct {
 	PersistHits      int64 `json:"persistHits"`
 	PersistRecovered int64 `json:"persistRecovered"`
 	PersistDiscarded int64 `json:"persistDiscarded"`
+	// UptimeSec is seconds since the server was created; BuildInfo
+	// identifies the binary (module version, VCS revision) so a fleet
+	// dashboard can tell which build answered.
+	UptimeSec float64    `json:"uptimeSec"`
+	BuildInfo *BuildInfo `json:"buildInfo,omitempty"`
 }
 
 // stats is the internal atomic mirror of Stats.

@@ -7,6 +7,8 @@ import (
 	"fmt"
 	"math"
 	"net/http"
+	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
@@ -45,14 +47,22 @@ type Summary struct {
 	// result). Purely informational — warm starts never change the
 	// optimum, only how fast it is proven.
 	WarmStart bool `json:"warmStart,omitempty"`
+	// TraceID is the trace ID of the request that ran the synthesis. On
+	// a cache hit it keeps the synthesizing request's ID (the envelope's
+	// TraceID is the current request's), so a cached summary still
+	// points at the run that produced it.
+	TraceID string `json:"traceID,omitempty"`
 }
 
 // Response is the POST /v1/synthesize result envelope. Design carries
 // the designio.Save payload (fetch /v1/jobs/{id}/design for its exact
 // uncompacted bytes).
 type Response struct {
-	JobID     string          `json:"jobID"`
-	Key       string          `json:"key"`
+	JobID string `json:"jobID"`
+	Key   string `json:"key"`
+	// TraceID is the current request's trace ID (from its traceparent
+	// header, or generated), also echoed in the X-Trace-Id header.
+	TraceID   string          `json:"traceID,omitempty"`
 	Source    string          `json:"source"` // synthesized | cache | dedup
 	Summary   *Summary        `json:"summary,omitempty"`
 	Design    json.RawMessage `json:"design,omitempty"`
@@ -63,6 +73,7 @@ type Response struct {
 type JobStatus struct {
 	JobID   string   `json:"jobID"`
 	Key     string   `json:"key"`
+	TraceID string   `json:"traceID,omitempty"`
 	State   JobState `json:"state"`
 	Events  int      `json:"events"`
 	Summary *Summary `json:"summary,omitempty"`
@@ -118,10 +129,12 @@ func (e *StageTimeoutError) Error() string {
 // progress bridge, synthesis (panics contained), serialization, cache
 // fill (memory and disk tiers), singleflight release.
 func (s *Server) run(j *job) {
+	queueWait := time.Since(j.enqueued)
+	mQueueWaitMS.Observe(float64(queueWait.Microseconds()) / 1000)
 	j.setRunning()
 	mInflight.Add(1)
 	defer mInflight.Add(-1)
-	ctx := context.Background()
+	ctx := obs.WithTraceID(context.Background(), obs.TraceID(j.traceID))
 	cancel := context.CancelFunc(func() {})
 	if j.deadline > 0 {
 		ctx, cancel = context.WithTimeout(ctx, j.deadline)
@@ -156,12 +169,18 @@ func (s *Server) run(j *job) {
 	// finishes under this context (shortcut.construct, mapping.run,
 	// pdn.design, loss.analyze, sweep.candidate, ...) becomes one
 	// progress event, scoped to exactly this job — and feeds the
-	// watchdog, so any forward progress resets the stage budget.
+	// watchdog, so any forward progress resets the stage budget. The
+	// same records accumulate as stage timings for the flight recorder.
+	var stageMu sync.Mutex
+	var stages []obs.StageTiming
 	ctx = obs.WithProgress(ctx, func(rec obs.SpanRecord) {
 		lastStage.Store(rec.Name)
 		if watchdog != nil {
 			watchdog.Reset(s.cfg.StageTimeout)
 		}
+		stageMu.Lock()
+		stages = append(stages, obs.StageTiming{Name: rec.Name, DurMS: float64(rec.DurNS) / 1e6})
+		stageMu.Unlock()
 		j.publish(Event{
 			Type:  "stage",
 			Stage: rec.Name,
@@ -173,7 +192,6 @@ func (s *Server) run(j *job) {
 	t0 := time.Now()
 	res, err := s.synthIsolated(ctx, j)
 	dur := time.Since(t0)
-	mJobDurationMS.Observe(float64(dur.Microseconds()) / 1000)
 
 	// Surface the watchdog's typed cause instead of the bare
 	// context.Canceled the engine unwinds with.
@@ -188,6 +206,7 @@ func (s *Server) run(j *job) {
 	var design []byte
 	if err == nil {
 		summary = summarize(res)
+		summary.TraceID = j.traceID
 		design, err = designio.Save(res.Design)
 	}
 	if err == nil {
@@ -219,6 +238,49 @@ func (s *Server) run(j *job) {
 			mPanicsRecovered.Inc()
 		}
 	}
+
+	// Classify the outcome, observe the duration histograms, and append
+	// the job's flight record. err is final here (designio.Save included),
+	// so classification matches what the client is about to see.
+	durMS := float64(dur.Microseconds()) / 1000
+	outcome := classifyOutcome(summary, err)
+	mJobDurationMS.Observe(durMS)
+	if h, ok := mJobDurationByOutcome[outcome]; ok {
+		h.Observe(durMS)
+	}
+	rec := obs.JobRecord{
+		TraceID:     j.traceID,
+		JobID:       j.id,
+		Key:         j.key,
+		Start:       t0,
+		QueueWaitMS: float64(queueWait.Microseconds()) / 1000,
+		DurMS:       durMS,
+		Outcome:     outcome,
+		Stages:      stages, // ours alone once the job is terminal
+	}
+	if summary != nil {
+		rec.Degraded = summary.Degraded
+		rec.DegradedReason = summary.DegradedReason
+		rec.WarmStart = summary.WarmStart
+	}
+	if err != nil {
+		rec.Error = err.Error()
+		var pe *resilience.PanicError
+		rec.Panic = errors.As(err, &pe)
+		var ie *resilience.InjectedError
+		rec.Injected = errors.As(err, &ie)
+	}
+	s.flight.Record(rec)
+	if s.cfg.FlightDir != "" && (rec.Panic || outcome == outcomeTimeout) {
+		reason := outcomeTimeout
+		if rec.Panic {
+			reason = "panic"
+		}
+		if _, serr := s.flight.SnapshotToFile(s.cfg.FlightDir, reason); serr == nil {
+			mFlightSnapshots.Inc()
+		}
+	}
+
 	// Release the singleflight slot before waking waiters, so a request
 	// arriving after completion sees the cache entry rather than
 	// attaching to a finished job.
@@ -228,6 +290,23 @@ func (s *Server) run(j *job) {
 	}
 	s.mu.Unlock()
 	j.finish(summary, design, err)
+}
+
+// classifyOutcome buckets a finished job for the outcome-split duration
+// histograms and the flight recorder: ok, degraded (valid result via
+// the fallback path), timeout (deadline or stage watchdog), error.
+func classifyOutcome(summary *Summary, err error) string {
+	if err == nil {
+		if summary != nil && summary.Degraded {
+			return outcomeDegraded
+		}
+		return outcomeOK
+	}
+	var ste *StageTimeoutError
+	if errors.Is(err, context.DeadlineExceeded) || errors.As(err, &ste) {
+		return outcomeTimeout
+	}
+	return outcomeError
 }
 
 // synthIsolated runs the engine with panic containment: a panic in
@@ -283,44 +362,79 @@ func (s *Server) routes() *http.ServeMux {
 		}
 		fmt.Fprintln(w, "ready")
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, _ *http.Request) {
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
-		if err := obs.WriteMetrics(w); err != nil {
+		if err := s.flight.WriteSnapshot(w); err != nil {
 			http.Error(w, err.Error(), http.StatusInternalServerError)
 		}
 	})
 	return mux
 }
 
+// handleMetrics serves the metrics registry. The default is Prometheus
+// text exposition (v0.0.4) so a stock scraper works unconfigured; the
+// pre-existing JSON dump stays reachable via ?format=json or an Accept
+// header preferring application/json.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	wantJSON := r.URL.Query().Get("format") == "json" ||
+		strings.Contains(r.Header.Get("Accept"), "application/json")
+	if wantJSON {
+		w.Header().Set("Content-Type", "application/json")
+		if err := obs.WriteMetrics(w); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+		}
+		return
+	}
+	w.Header().Set("Content-Type", obs.PrometheusContentType)
+	if err := obs.WritePrometheus(w); err != nil {
+		http.Error(w, err.Error(), http.StatusInternalServerError)
+	}
+}
+
 // maxRequestBody bounds POST bodies (a 32-node all-to-all request is
 // well under 64 KiB; the margin admits large explicit traffic lists).
 const maxRequestBody = 8 << 20
 
+// requestTraceID extracts the request's trace identity: a valid W3C
+// traceparent header wins, anything else (absent, malformed, all-zero)
+// gets a freshly generated ID, per the Trace Context spec.
+func requestTraceID(r *http.Request) obs.TraceID {
+	if tid, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		return tid
+	}
+	return obs.NewTraceID()
+}
+
 func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	s.st.requests.Add(1)
 	mRequests.Inc()
+	traceID := string(requestTraceID(r))
+	w.Header().Set("X-Trace-Id", traceID)
 	var req Request
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
 		mRequestsInvalid.Inc()
-		writeError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		writeErrorTraced(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err), traceID)
 		return
 	}
 	rr, err := req.resolve()
 	if err != nil {
 		mRequestsInvalid.Inc()
-		writeError(w, http.StatusBadRequest, err)
+		writeErrorTraced(w, http.StatusBadRequest, err, traceID)
 		return
 	}
 	key := canonicalKey(rr)
 
 	// Content-addressed fast path (memory, then the persisted tier).
+	// The envelope carries this request's trace ID; the cached summary
+	// keeps the ID of the request that ran the synthesis.
 	if c, ok := s.cacheGet(key); ok {
 		s.st.cacheHits.Add(1)
 		mCacheHits.Inc()
 		writeJSON(w, http.StatusOK, &Response{
-			JobID: c.jobID, Key: key, Source: "cache",
+			JobID: c.jobID, Key: key, TraceID: traceID, Source: "cache",
 			Summary: c.summary, Design: c.design,
 		})
 		return
@@ -348,10 +462,10 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			s.st.drained.Add(1)
 			mRejectedDrain.Inc()
 			w.Header().Set("Retry-After", "5")
-			writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+			writeErrorTraced(w, http.StatusServiceUnavailable, errors.New("server is draining"), traceID)
 			return
 		}
-		j = newJob(jobID(s.seq.Add(1), key), key, rr, deadline)
+		j = newJob(jobID(s.seq.Add(1), key), key, traceID, rr, deadline)
 		select {
 		case s.queue <- j:
 		default:
@@ -359,8 +473,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 			s.st.rejected.Add(1)
 			mRejectedFull.Inc()
 			w.Header().Set("Retry-After", "1")
-			writeError(w, http.StatusTooManyRequests,
-				fmt.Errorf("job queue full (depth %d)", s.cfg.QueueDepth))
+			writeErrorTraced(w, http.StatusTooManyRequests,
+				fmt.Errorf("job queue full (depth %d)", s.cfg.QueueDepth), traceID)
 			return
 		}
 		mQueueDepth.Set(int64(len(s.queue)))
@@ -375,7 +489,7 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Async {
 		w.Header().Set("Location", "/v1/jobs/"+j.id)
-		writeJSON(w, http.StatusAccepted, &Response{JobID: j.id, Key: key, Source: source})
+		writeJSON(w, http.StatusAccepted, &Response{JobID: j.id, Key: key, TraceID: traceID, Source: source})
 		return
 	}
 
@@ -396,12 +510,12 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		case errors.As(jerr, &pe):
 			status = http.StatusInternalServerError
 		}
-		writeError(w, status, jerr)
+		writeErrorTraced(w, status, jerr, traceID)
 		return
 	}
 	j.mu.Lock()
 	resp := &Response{
-		JobID: j.id, Key: key, Source: source,
+		JobID: j.id, Key: key, TraceID: traceID, Source: source,
 		Summary: j.summary, Design: j.design,
 		ElapsedMS: float64(time.Since(t0).Microseconds()) / 1000,
 	}
@@ -443,7 +557,7 @@ func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	state, events, summary, jerr := j.snapshot()
-	st := &JobStatus{JobID: j.id, Key: j.key, State: state, Events: events, Summary: summary}
+	st := &JobStatus{JobID: j.id, Key: j.key, TraceID: j.traceID, State: state, Events: events, Summary: summary}
 	if jerr != nil {
 		st.Error = jerr.Error()
 	}
@@ -566,15 +680,22 @@ func writeJSON(w http.ResponseWriter, status int, v any) {
 	_ = enc.Encode(v)
 }
 
-// errorBody is the uniform error envelope.
+// errorBody is the uniform error envelope. TraceID is set on paths
+// that have a request trace identity, so even a failure response can
+// be correlated with server-side records.
 type errorBody struct {
-	Error string `json:"error"`
+	Error   string `json:"error"`
+	TraceID string `json:"traceID,omitempty"`
 }
 
 func writeError(w http.ResponseWriter, status int, err error) {
+	writeErrorTraced(w, status, err, "")
+}
+
+func writeErrorTraced(w http.ResponseWriter, status int, err error, traceID string) {
 	msg := "unknown error"
 	if err != nil {
 		msg = err.Error()
 	}
-	writeJSON(w, status, errorBody{Error: msg})
+	writeJSON(w, status, errorBody{Error: msg, TraceID: traceID})
 }

@@ -16,9 +16,16 @@
 //	GET  /v1/jobs/{id}/events  SSE progress stream (replay + live)
 //	GET  /v1/jobs/{id}/design  exact designio.Save bytes of the result
 //	GET  /v1/designs/{key}     cached design by content key
-//	GET  /v1/stats             always-on admission/cache counters
+//	GET  /v1/stats             always-on admission/cache counters + build info
 //	GET  /healthz, /readyz     liveness / readiness (readyz 503 while draining)
-//	GET  /metrics              obs metrics registry snapshot (JSON)
+//	GET  /metrics              Prometheus text exposition (JSON via ?format=json)
+//	GET  /debug/flightrecorder last-N completed job records (trace IDs, stage timings)
+//
+// Every request carries a W3C trace ID: accepted from an incoming
+// traceparent header or generated at admission, it is echoed in the
+// X-Trace-Id response header, the response envelope, every SSE event,
+// and the flight-recorder record of the job — one key correlates a
+// client log line with the server's view of the same run.
 //
 // Results embed the designio.Save payload, and the design endpoints
 // serve its exact bytes, so a service response is byte-comparable with
@@ -36,6 +43,7 @@ import (
 
 	"xring/internal/core"
 	"xring/internal/milp"
+	"xring/internal/obs"
 	"xring/internal/resilience"
 )
 
@@ -89,6 +97,15 @@ type Config struct {
 	FaultSpec string
 	// Injector overrides FaultSpec with a pre-built injector (tests).
 	Injector *resilience.Injector
+
+	// FlightRecords sizes the always-on flight recorder: the last N
+	// completed job records kept in a fixed ring for /debug/flightrecorder
+	// (default 256; it cannot be disabled — idle cost is near zero).
+	FlightRecords int
+	// FlightDir, when set, enables automatic disk snapshots of the
+	// flight recorder on panic recovery and stage timeout — the last
+	// N jobs' worth of context for the run that just went wrong.
+	FlightDir string
 }
 
 func (c Config) withDefaults() Config {
@@ -112,6 +129,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.PersistEntries <= 0 {
 		c.PersistEntries = 1024
+	}
+	if c.FlightRecords <= 0 {
+		c.FlightRecords = obs.DefaultFlightRecords
 	}
 	return c
 }
@@ -141,10 +161,13 @@ type Server struct {
 	cache    *resultCache
 	persist  *persistStore // nil unless Config.PersistDir is set
 	inj      *resilience.Injector
+	flight   *obs.FlightRecorder
 	draining atomic.Bool
 	seq      atomic.Uint64
 	wg       sync.WaitGroup
 	st       stats
+
+	startedAt time.Time
 }
 
 // New builds a server and starts its worker goroutines. It fails if
@@ -161,12 +184,14 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:      cfg,
-		queue:    make(chan *job, cfg.QueueDepth),
-		inflight: map[string]*job{},
-		jobs:     map[string]*job{},
-		cache:    newResultCache(cfg.CacheEntries),
-		inj:      inj,
+		cfg:       cfg,
+		queue:     make(chan *job, cfg.QueueDepth),
+		inflight:  map[string]*job{},
+		jobs:      map[string]*job{},
+		cache:     newResultCache(cfg.CacheEntries),
+		inj:       inj,
+		flight:    obs.NewFlightRecorder(cfg.FlightRecords),
+		startedAt: time.Now(),
 	}
 	if cfg.PersistDir != "" {
 		store, entries, err := newPersistStore(cfg.PersistDir, cfg.PersistEntries, inj, &s.st)
@@ -191,8 +216,15 @@ func New(cfg Config) (*Server, error) {
 // Handler returns the HTTP surface.
 func (s *Server) Handler() http.Handler { return s.mux }
 
-// Stats returns the always-on admission/cache counters.
-func (s *Server) Stats() Stats { return s.st.snapshot() }
+// Stats returns the always-on admission/cache counters, enriched with
+// uptime and the binary's build identity.
+func (s *Server) Stats() Stats {
+	st := s.st.snapshot()
+	st.UptimeSec = time.Since(s.startedAt).Seconds()
+	bi := ReadBuildInfo()
+	st.BuildInfo = &bi
+	return st
+}
 
 // Draining reports whether the server has begun shutting down.
 func (s *Server) Draining() bool { return s.draining.Load() }
