@@ -1,0 +1,336 @@
+package main
+
+// Exploration-grid benchmark (-explore): one in-process xringd serves
+// a 2x3x2 study (two 8-node floorplans x three #wl budgets x two
+// policies whose switches are identical under different names), and
+// the same cells are then replayed as standalone /v1/synthesize
+// requests with every cache cold. The grid's wall-clock must beat the
+// sum of the standalone runs — the cache-hit amplification the
+// exploration engine exists for (result-cache/dedup hits on the
+// aliased policy, ring-cache sharing across budgets on one floorplan).
+//
+// Determinism doubles as an acceptance check: the grid runs twice on
+// fresh servers and the two frontier CSV exports must be byte-equal,
+// and every frontier point must be fetchable via /v1/designs/{key}.
+// -check compares the amplification ratio (machine-independent) and
+// the frontier size (deterministic) against the committed report.
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http/httptest"
+	"os"
+	"runtime"
+	"time"
+
+	"xring/internal/core"
+	"xring/internal/explore"
+	"xring/internal/noc"
+	"xring/internal/service"
+	"xring/internal/service/client"
+)
+
+// exploreReport is the BENCH_explore.json schema.
+type exploreReport struct {
+	GoVersion string `json:"goVersion"`
+	GoOS      string `json:"goos"`
+	GoArch    string `json:"goarch"`
+	Cores     int    `json:"cores"`
+
+	Cells        int `json:"cells"`
+	DistinctKeys int `json:"distinctKeys"`
+	FrontierSize int `json:"frontierSize"`
+	CacheHits    int `json:"cacheHits"`
+	DedupHits    int `json:"dedupHits"`
+
+	GridMS       float64 `json:"gridMS"`
+	CellsPerSec  float64 `json:"cellsPerSec"`
+	IndividualMS float64 `json:"individualMS"`
+	// Amplification is individualMS / gridMS: how much faster the study
+	// is than its cells run standalone and cold.
+	Amplification float64 `json:"amplification"`
+
+	Timestamp string `json:"timestampUTC,omitempty"`
+}
+
+// exploreTimingReps re-runs each timed pass and keeps the fastest
+// wall-clock (cold caches every time), mirroring the solver bench.
+const exploreTimingReps = 3
+
+// exploreBenchGrid is the benchmark study: the standard 16-node XRing
+// floorplan plus a seeded irregular 12-node one (large enough that a
+// cell costs real solver time — sub-millisecond cells would make the
+// amplification ratio timer noise), three #wl budgets, and an aliased
+// policy pair.
+func exploreBenchGrid() (explore.Grid, error) {
+	irregular, err := networkJSON(noc.Irregular(12, 14, 14, 2.0, 2))
+	if err != nil {
+		return explore.Grid{}, err
+	}
+	return explore.Grid{
+		Floorplans: []explore.Floorplan{
+			{Name: "std16", Network: json.RawMessage(`{"standard": 16}`)},
+			{Name: "irr12", Network: irregular},
+		},
+		Budgets: []int{10, 11, 12},
+		// Identical switches under two names: the copy's cells alias the
+		// base's content keys, so half the grid is served from cache/dedup.
+		Policies: []explore.Policy{{Name: "base"}, {Name: "copy"}},
+	}, nil
+}
+
+// networkJSON renders a noc.Network as the explicit-nodes network spec
+// the service accepts.
+func networkJSON(net *noc.Network) (json.RawMessage, error) {
+	spec := service.NetworkSpec{DieW: net.DieW, DieH: net.DieH}
+	for _, n := range net.Nodes {
+		id := n.ID
+		spec.Nodes = append(spec.Nodes, service.NodeSpec{ID: &id, Name: n.Name, X: n.Pos.X, Y: n.Pos.Y})
+	}
+	return json.Marshal(spec)
+}
+
+// coldCaches clears every engine-level cache the benchmark is supposed
+// to measure the filling of.
+func coldCaches() {
+	core.ResetRingCache()
+	core.ResetHintCache()
+}
+
+// withServer runs fn against a fresh in-process service.
+func withServer(cfg service.Config, fn func(c *client.Client) error) error {
+	s, err := service.New(cfg)
+	if err != nil {
+		return err
+	}
+	ts := httptest.NewServer(s.Handler())
+	defer ts.Close()
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = s.Drain(ctx)
+	}()
+	return fn(client.New(ts.URL, nil))
+}
+
+// runGridOnce runs the study on a fresh cold server and returns its
+// status, frontier CSV bytes and wall-clock.
+func runGridOnce(g explore.Grid, verifyDesigns bool) (*service.ExploreStatus, []byte, float64, error) {
+	var (
+		st  *service.ExploreStatus
+		csv []byte
+		ms  float64
+	)
+	coldCaches()
+	err := withServer(service.Config{Workers: 1}, func(c *client.Client) error {
+		ctx := context.Background()
+		t0 := time.Now()
+		var err error
+		st, err = c.Explore(ctx, &service.ExploreRequest{Grid: g})
+		ms = float64(time.Since(t0).Microseconds()) / 1000
+		if err != nil {
+			return err
+		}
+		if st.Failed > 0 || st.Completed != st.Cells {
+			return fmt.Errorf("explore bench: %d/%d cells completed, %d failed", st.Completed, st.Cells, st.Failed)
+		}
+		if csv, err = c.ExploreFrontierCSV(ctx, st.ID); err != nil {
+			return err
+		}
+		if verifyDesigns {
+			for _, p := range st.Frontier {
+				design, derr := c.Design(ctx, p.Key)
+				if derr != nil || len(design) == 0 {
+					return fmt.Errorf("explore bench: frontier point %s not fetchable by key: %v", p.CellID, derr)
+				}
+			}
+		}
+		return nil
+	})
+	return st, csv, ms, err
+}
+
+func runExploreBench(out string, checkPath string) error {
+	g, err := exploreBenchGrid()
+	if err != nil {
+		return err
+	}
+	cells, err := g.Expand()
+	if err != nil {
+		return err
+	}
+
+	// Phase A: the grid, exploreTimingReps times on fresh cold servers.
+	// Every rep's frontier CSV must be byte-identical (the determinism
+	// acceptance check); the fastest rep is the timed one — the engine
+	// runs in single-digit milliseconds here, so best-of damps scheduler
+	// noise exactly like the solver bench does.
+	var (
+		st     *service.ExploreStatus
+		csv1   []byte
+		gridMS float64
+	)
+	for rep := 0; rep < exploreTimingReps; rep++ {
+		rst, csv, ms, err := runGridOnce(g, rep == 0)
+		if err != nil {
+			return err
+		}
+		if rep == 0 {
+			st, csv1, gridMS = rst, csv, ms
+			continue
+		}
+		if string(csv) != string(csv1) {
+			return fmt.Errorf("explore bench: frontier CSV differs between identical runs:\n%s\nvs\n%s", csv1, csv)
+		}
+		if ms < gridMS {
+			gridMS = ms
+		}
+	}
+
+	// Phase B: every cell as a standalone cold request — fresh server
+	// per cell, ring/hint caches reset, result cache disabled. Same
+	// best-of policy, per cell.
+	var individualMS float64
+	distinct := map[string]bool{}
+	for _, c := range cells {
+		req := standaloneRequest(&g, c)
+		best := 0.0
+		for rep := 0; rep < exploreTimingReps; rep++ {
+			coldCaches()
+			var ms float64
+			err := withServer(service.Config{Workers: 1, CacheEntries: -1}, func(cl *client.Client) error {
+				t0 := time.Now()
+				resp, err := cl.Synthesize(context.Background(), req)
+				ms = float64(time.Since(t0).Microseconds()) / 1000
+				if err != nil {
+					return fmt.Errorf("cell %s standalone: %w", c.ID, err)
+				}
+				distinct[resp.Key] = true
+				return nil
+			})
+			if err != nil {
+				return err
+			}
+			if rep == 0 || ms < best {
+				best = ms
+			}
+		}
+		individualMS += best
+	}
+
+	rep := exploreReport{
+		GoVersion: runtime.Version(),
+		GoOS:      runtime.GOOS,
+		GoArch:    runtime.GOARCH,
+		Cores:     runtime.NumCPU(),
+
+		Cells:        st.Cells,
+		DistinctKeys: len(distinct),
+		FrontierSize: len(st.Frontier),
+		CacheHits:    st.CacheHits,
+		DedupHits:    st.DedupHits,
+
+		GridMS:       gridMS,
+		IndividualMS: individualMS,
+		Timestamp:    time.Now().UTC().Format(time.RFC3339),
+	}
+	if gridMS > 0 {
+		rep.CellsPerSec = float64(st.Cells) / (gridMS / 1000)
+		rep.Amplification = individualMS / gridMS
+	}
+	fmt.Fprintf(os.Stderr,
+		"explore grid %d cells (%d distinct keys): %.1f ms (%.1f cells/s, %d cache + %d dedup hits) | standalone sum %.1f ms | amplification %.2fx | frontier %d\n",
+		rep.Cells, rep.DistinctKeys, rep.GridMS, rep.CellsPerSec,
+		rep.CacheHits, rep.DedupHits, rep.IndividualMS, rep.Amplification, rep.FrontierSize)
+
+	// Acceptance floor: a grid over a shared floorplan must beat the sum
+	// of its cells run standalone.
+	if rep.Amplification <= 1.0 {
+		return fmt.Errorf("explore bench: amplification %.2fx — the grid was not faster than its cells run standalone", rep.Amplification)
+	}
+	if rep.CacheHits+rep.DedupHits == 0 {
+		return fmt.Errorf("explore bench: no cross-cell cache or dedup hits in a grid with aliased policies")
+	}
+
+	if out != "" {
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+			return err
+		}
+	}
+	if checkPath != "" {
+		return checkExploreReport(rep, checkPath)
+	}
+	return nil
+}
+
+// standaloneRequest rebuilds a cell as the /v1/synthesize request it is
+// equivalent to (mirroring the service's own conversion, but from the
+// outside — through the public request schema).
+func standaloneRequest(g *explore.Grid, c explore.Cell) *service.Request {
+	var net service.NetworkSpec
+	if err := json.Unmarshal(g.Floorplans[c.Floorplan].Network, &net); err != nil {
+		panic(err) // the grid already expanded, so the spec parses
+	}
+	req := &service.Request{Network: net}
+	o := &req.Options
+	o.WithPDN = g.WithPDN
+	o.Params = g.Params
+	o.ShareWavelengths = c.Share
+	o.DisableShortcuts = c.Policy.DisableShortcuts
+	o.NoCSE = c.Policy.NoCSE
+	o.NoOpenings = c.Policy.NoOpenings
+	o.DisableConflicts = c.Policy.DisableConflicts
+	if c.Sweep {
+		o.Sweep = true
+		o.Objective = c.Objective
+	} else {
+		o.MaxWL = c.Budget
+	}
+	return req
+}
+
+// checkExploreReport compares a fresh run against the committed
+// BENCH_explore.json: the frontier is deterministic (exact match), and
+// the amplification ratio is machine-independent (25% slack).
+func checkExploreReport(got exploreReport, path string) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("explore check: %w", err)
+	}
+	var want exploreReport
+	if err := json.Unmarshal(data, &want); err != nil {
+		return fmt.Errorf("explore check: parse %s: %w", path, err)
+	}
+	var failures []string
+	if got.Cells != want.Cells || got.DistinctKeys != want.DistinctKeys {
+		failures = append(failures, fmt.Sprintf(
+			"grid shape changed: %d cells/%d keys -> %d cells/%d keys (regenerate %s)",
+			want.Cells, want.DistinctKeys, got.Cells, got.DistinctKeys, path))
+	}
+	if got.FrontierSize != want.FrontierSize {
+		failures = append(failures, fmt.Sprintf(
+			"frontier size %d -> %d on a deterministic grid", want.FrontierSize, got.FrontierSize))
+	}
+	if got.CacheHits+got.DedupHits < want.CacheHits+want.DedupHits {
+		failures = append(failures, fmt.Sprintf(
+			"amplified cells fell %d -> %d", want.CacheHits+want.DedupHits, got.CacheHits+got.DedupHits))
+	}
+	const slack = 1.25 // 25%
+	if want.Amplification > 0 && got.Amplification < want.Amplification/slack {
+		failures = append(failures, fmt.Sprintf(
+			"amplification fell %.2fx -> %.2fx (>25%%)", want.Amplification, got.Amplification))
+	}
+	if len(failures) > 0 {
+		for _, f := range failures {
+			fmt.Fprintln(os.Stderr, "explore check FAIL:", f)
+		}
+		return fmt.Errorf("explore check: %d regression(s) against %s", len(failures), path)
+	}
+	fmt.Fprintln(os.Stderr, "explore check OK against", path)
+	return nil
+}

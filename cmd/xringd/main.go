@@ -57,6 +57,8 @@ func main() {
 	fault := flag.String("fault", "", "fault-injection spec, e.g. 'core.ring=error:budget;seed=7' (testing)")
 	flight := flag.Int("flight", 0, "flight-recorder depth: last N completed job records (0 = default 256)")
 	flightDir := flag.String("flight-dir", "", "directory for automatic flight-recorder snapshots on panic/stage-timeout (empty disables)")
+	exploreCells := flag.Int("explore-cells", 0, "concurrent cells per /v1/explore study (0 = shared worker pool budget)")
+	maxExplorations := flag.Int("max-explorations", 0, "retained exploration records for status/frontier queries (0 = default 64)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -71,6 +73,9 @@ func main() {
 		FaultSpec:       *fault,
 		FlightRecords:   *flight,
 		FlightDir:       *flightDir,
+
+		ExploreCellConcurrency: *exploreCells,
+		MaxExplorations:        *maxExplorations,
 	}, *drainTimeout, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "xringd:", err)
 		os.Exit(1)

@@ -35,12 +35,13 @@ import (
 const ringCacheCap = 256
 
 var (
-	mRingCacheHits   = obs.NewCounter("core.ringcache.hits")
-	mRingCacheMisses = obs.NewCounter("core.ringcache.misses")
-	mRingCacheEvicts = obs.NewCounter("core.ringcache.evictions")
-	mRingCacheSize   = obs.NewGauge("core.ringcache.size")
-	mHintStored      = obs.NewCounter("core.ringhint.stored")
-	mHintUsed        = obs.NewCounter("core.ringhint.used")
+	mRingCacheHits      = obs.NewCounter("core.ringcache.hits")
+	mRingCacheMisses    = obs.NewCounter("core.ringcache.misses")
+	mRingCacheEvicts    = obs.NewCounter("core.ringcache.evictions")
+	mRingCacheSize      = obs.NewGauge("core.ringcache.size")
+	mRingCacheCoalesced = obs.NewCounter("core.ringcache.coalesced")
+	mHintStored         = obs.NewCounter("core.ringhint.stored")
+	mHintUsed           = obs.NewCounter("core.ringhint.used")
 )
 
 type ringCacheEntry struct {
@@ -122,19 +123,58 @@ func cacheInsert(key string, r *ring.Result) *ring.Result {
 	return r
 }
 
-// constructRing is ring.Construct behind the cache. Concurrent misses
-// on the same key may both construct; the solve is deterministic, so
-// whichever result lands in the cache is interchangeable.
+// ringFlights coalesces concurrent misses on the same floorplan key:
+// the first miss becomes the leader and solves; later misses wait for
+// the leader's flight to land and then re-check the cache. Exploration
+// grids fan many cells over one floorplan concurrently, so without
+// this every cell would pay the same branch-and-bound.
+var ringFlights = struct {
+	sync.Mutex
+	m map[string]chan struct{}
+}{m: map[string]chan struct{}{}}
+
+// constructRing is ring.Construct behind the cache, with singleflight
+// miss coalescing. The solve is deterministic, so an adopted leader
+// result is bit-identical to a private solve. A leader that fails
+// (cancellation, solver budget) fills nothing; each waiter then retries
+// on its own — one request's deadline must not poison identical
+// requests that still have budget.
 func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ring.Result, error) {
 	key := floorplanKey(net, opt)
-	if r, ok := cacheLookup(key); ok {
-		return r, nil
+	for {
+		if r, ok := cacheLookup(key); ok {
+			return r, nil
+		}
+		ringFlights.Lock()
+		ch, inFlight := ringFlights.m[key]
+		if !inFlight {
+			ch = make(chan struct{})
+			ringFlights.m[key] = ch
+		}
+		ringFlights.Unlock()
+		if inFlight {
+			mRingCacheCoalesced.Inc()
+			if ctx == nil {
+				<-ch
+				continue
+			}
+			select {
+			case <-ch:
+				continue // leader landed; re-check the cache
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		r, err := ring.ConstructCtx(ctx, net, opt)
+		ringFlights.Lock()
+		delete(ringFlights.m, key)
+		ringFlights.Unlock()
+		close(ch)
+		if err != nil {
+			return nil, err
+		}
+		return cacheInsert(key, r), nil
 	}
-	r, err := ring.ConstructCtx(ctx, net, opt)
-	if err != nil {
-		return nil, err
-	}
-	return cacheInsert(key, r), nil
 }
 
 // ringDeadlineSlack is the remaining-deadline threshold below which

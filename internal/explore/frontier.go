@@ -1,0 +1,163 @@
+package explore
+
+// The incremental Pareto frontier of a study. Five objectives, all
+// minimized: worst-case insertion loss, worst-case crosstalk (as
+// negated worst-case SNR — a noise-free design has SNR +inf, the best
+// possible), laser power, wavelength count, and MRR count. A point
+// survives iff no completed cell weakly beats it on every objective and
+// strictly beats it on at least one.
+//
+// Determinism: insertion keeps, for any set of inserted points, exactly
+// the non-dominated subset, with ties between objective-identical
+// points broken toward the lexicographically smallest cell ID. Both
+// rules are order-independent, so the final frontier — and its sorted
+// Points()/CSV renderings — are byte-identical however cell completions
+// interleave. The frontier property test pins this.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"sync"
+)
+
+// Point is one frontier candidate: the objective vector of a completed
+// cell plus enough identity to fetch its design (the content key is the
+// address of /v1/designs/{key}).
+type Point struct {
+	CellID string `json:"cellID"`
+	Key    string `json:"key"`
+	// Degraded marks a point produced by the heuristic fallback path;
+	// it competes on equal terms (the design is valid), the flag just
+	// travels with the point so consumers can tell.
+	Degraded    bool     `json:"degraded,omitempty"`
+	WorstILdB   float64  `json:"worstIL_dB"`
+	WorstSNRdB  *float64 `json:"worstSNR_dB,omitempty"` // nil = noise-free (+inf)
+	PowerMW     float64  `json:"laserPower_mW"`
+	Wavelengths int      `json:"wavelengths"`
+	MRRs        int      `json:"mrrs"`
+}
+
+// vector is the point in minimization space.
+func (p *Point) vector() [5]float64 {
+	snr := math.Inf(1)
+	if p.WorstSNRdB != nil {
+		snr = *p.WorstSNRdB
+	}
+	return [5]float64{p.WorstILdB, -snr, p.PowerMW, float64(p.Wavelengths), float64(p.MRRs)}
+}
+
+// dominatesVec reports whether a weakly beats b everywhere and strictly
+// somewhere.
+func dominatesVec(a, b [5]float64) bool {
+	strict := false
+	for i := range a {
+		if a[i] > b[i] {
+			return false
+		}
+		if a[i] < b[i] {
+			strict = true
+		}
+	}
+	return strict
+}
+
+// Dominates reports whether a Pareto-dominates b.
+func Dominates(a, b Point) bool { return dominatesVec(a.vector(), b.vector()) }
+
+// Frontier is a concurrency-safe incremental Pareto frontier.
+type Frontier struct {
+	mu     sync.Mutex
+	points []Point
+}
+
+// NewFrontier returns an empty frontier.
+func NewFrontier() *Frontier { return &Frontier{} }
+
+// Insert offers p to the frontier. It reports whether p joined and how
+// many existing points it evicted. A point objective-identical to a
+// frontier member replaces it only when its cell ID sorts strictly
+// earlier — the deterministic representative of a tie.
+func (f *Frontier) Insert(p Point) (added bool, removed int) {
+	v := p.vector()
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for i := range f.points {
+		qv := f.points[i].vector()
+		if qv == v {
+			if f.points[i].CellID <= p.CellID {
+				mFrontierDominated.Inc()
+				return false, 0
+			}
+			continue // replaced below
+		}
+		if dominatesVec(qv, v) {
+			mFrontierDominated.Inc()
+			return false, 0
+		}
+	}
+	kept := f.points[:0]
+	for _, q := range f.points {
+		qv := q.vector()
+		if dominatesVec(v, qv) || (qv == v && p.CellID < q.CellID) {
+			removed++
+			continue
+		}
+		kept = append(kept, q)
+	}
+	f.points = append(kept, p)
+	mFrontierInserts.Inc()
+	mFrontierEvicted.Add(int64(removed))
+	mFrontierSize.Set(int64(len(f.points)))
+	return true, removed
+}
+
+// Size returns the current frontier size.
+func (f *Frontier) Size() int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return len(f.points)
+}
+
+// Points returns the frontier sorted canonically: by objective vector
+// (lexicographic over the five minimized objectives), then cell ID.
+// Given the order-independent insertion rules, the returned slice is
+// byte-deterministic for a given set of completed cells.
+func (f *Frontier) Points() []Point {
+	f.mu.Lock()
+	out := append([]Point(nil), f.points...)
+	f.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		vi, vj := out[i].vector(), out[j].vector()
+		for k := range vi {
+			if vi[k] != vj[k] {
+				return vi[k] < vj[k]
+			}
+		}
+		return out[i].CellID < out[j].CellID
+	})
+	return out
+}
+
+// WriteCSV renders the sorted frontier as CSV. Floats are formatted
+// with strconv's shortest round-trip form and a noise-free SNR is an
+// empty field, so equal frontiers always render byte-identical.
+func (f *Frontier) WriteCSV(w io.Writer) error {
+	if _, err := io.WriteString(w, "cellID,key,degraded,worstIL_dB,worstSNR_dB,laserPower_mW,wavelengths,mrrs\n"); err != nil {
+		return err
+	}
+	ff := func(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+	for _, p := range f.Points() {
+		snr := ""
+		if p.WorstSNRdB != nil {
+			snr = ff(*p.WorstSNRdB)
+		}
+		if _, err := fmt.Fprintf(w, "%s,%s,%t,%s,%s,%s,%d,%d\n",
+			p.CellID, p.Key, p.Degraded, ff(p.WorstILdB), snr, ff(p.PowerMW), p.Wavelengths, p.MRRs); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,152 @@
+package explore
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+func fp(v float64) *float64 { return &v }
+
+// randPoint draws an objective vector from a small discrete space so
+// dominance, ties and equality all actually occur.
+func randPoint(rng *rand.Rand, id int) Point {
+	p := Point{
+		CellID:      fmt.Sprintf("cell-%03d", id),
+		Key:         fmt.Sprintf("sha256:%064d", id),
+		WorstILdB:   float64(rng.Intn(4)),
+		PowerMW:     float64(rng.Intn(4)),
+		Wavelengths: 4 + rng.Intn(3),
+		MRRs:        20 + rng.Intn(3),
+	}
+	if rng.Intn(3) > 0 {
+		p.WorstSNRdB = fp(float64(10 + rng.Intn(4)))
+	}
+	return p
+}
+
+func TestDominatesIsStrictPartialOrder(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	pts := make([]Point, 60)
+	for i := range pts {
+		pts[i] = randPoint(rng, i)
+	}
+	for _, a := range pts {
+		if Dominates(a, a) {
+			t.Fatalf("dominance is not irreflexive: %+v", a)
+		}
+		for _, b := range pts {
+			if Dominates(a, b) && Dominates(b, a) {
+				t.Fatalf("dominance is not asymmetric: %+v vs %+v", a, b)
+			}
+			for _, c := range pts {
+				if Dominates(a, b) && Dominates(b, c) && !Dominates(a, c) {
+					t.Fatalf("dominance is not transitive: %+v, %+v, %+v", a, b, c)
+				}
+			}
+		}
+	}
+}
+
+func TestFrontierOrderIndependence(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		pts := make([]Point, 40)
+		for i := range pts {
+			pts[i] = randPoint(rng, i)
+		}
+		ref := NewFrontier()
+		for _, p := range pts {
+			ref.Insert(p)
+		}
+		want := ref.Points()
+		var wantCSV bytes.Buffer
+		if err := ref.WriteCSV(&wantCSV); err != nil {
+			t.Fatal(err)
+		}
+
+		for shuffle := 0; shuffle < 4; shuffle++ {
+			perm := rng.Perm(len(pts))
+			f := NewFrontier()
+			for _, i := range perm {
+				f.Insert(pts[i])
+			}
+			got := f.Points()
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("trial %d: frontier depends on insertion order:\n got %+v\nwant %+v", trial, got, want)
+			}
+			var gotCSV bytes.Buffer
+			if err := f.WriteCSV(&gotCSV); err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(gotCSV.Bytes(), wantCSV.Bytes()) {
+				t.Fatalf("trial %d: CSV depends on insertion order:\n got %s\nwant %s", trial, gotCSV.Bytes(), wantCSV.Bytes())
+			}
+		}
+
+		// Invariant: the frontier is exactly the non-dominated subset with
+		// the lexicographically smallest representative per tied vector.
+		for _, kept := range want {
+			for _, p := range pts {
+				if Dominates(p, kept) {
+					t.Fatalf("trial %d: kept point %+v is dominated by %+v", trial, kept, p)
+				}
+				if p.vector() == kept.vector() && p.CellID < kept.CellID {
+					t.Fatalf("trial %d: tie kept %q over smaller %q", trial, kept.CellID, p.CellID)
+				}
+			}
+		}
+		for _, p := range pts {
+			dominated := false
+			for _, q := range pts {
+				if Dominates(q, p) || (q.vector() == p.vector() && q.CellID < p.CellID) {
+					dominated = true
+					break
+				}
+			}
+			onFrontier := false
+			for _, kept := range want {
+				if kept.CellID == p.CellID {
+					onFrontier = true
+					break
+				}
+			}
+			if dominated == onFrontier {
+				t.Fatalf("trial %d: point %+v dominated=%v onFrontier=%v", trial, p, dominated, onFrontier)
+			}
+		}
+	}
+}
+
+func TestFrontierNilSNRIsBest(t *testing.T) {
+	f := NewFrontier()
+	noisy := Point{CellID: "a", WorstILdB: 1, WorstSNRdB: fp(20), PowerMW: 1, Wavelengths: 4, MRRs: 10}
+	clean := Point{CellID: "b", WorstILdB: 1, PowerMW: 1, Wavelengths: 4, MRRs: 10} // nil SNR = +inf
+	if added, _ := f.Insert(noisy); !added {
+		t.Fatal("first insert rejected")
+	}
+	added, removed := f.Insert(clean)
+	if !added || removed != 1 {
+		t.Fatalf("noise-free point should evict the noisy twin: added=%v removed=%d", added, removed)
+	}
+	if pts := f.Points(); len(pts) != 1 || pts[0].CellID != "b" {
+		t.Fatalf("frontier = %+v", pts)
+	}
+}
+
+func TestFrontierInsertReportsEvictions(t *testing.T) {
+	f := NewFrontier()
+	for i := 0; i < 3; i++ {
+		// Mutually non-dominated: decreasing IL, increasing power.
+		f.Insert(Point{CellID: fmt.Sprintf("c%d", i), WorstILdB: float64(3 - i), PowerMW: float64(i), Wavelengths: 4, MRRs: 10})
+	}
+	if f.Size() != 3 {
+		t.Fatalf("size = %d, want 3", f.Size())
+	}
+	added, removed := f.Insert(Point{CellID: "best", WorstILdB: 0, PowerMW: 0, Wavelengths: 4, MRRs: 10})
+	if !added || removed != 3 {
+		t.Fatalf("dominating insert: added=%v removed=%d, want true/3", added, removed)
+	}
+}

@@ -1,0 +1,19 @@
+package explore
+
+// Exploration telemetry, following the repo-wide obs conventions
+// (OBSERVABILITY.md). Grid counters track study shape; frontier
+// counters track Pareto churn — a high evictions/inserts ratio means
+// late cells keep beating early ones, i.e. the axis order is exploring
+// the space worst-first.
+
+import "xring/internal/obs"
+
+var (
+	mGridExpansions = obs.NewCounter("explore.grid.expansions")
+	mGridCells      = obs.NewCounter("explore.grid.cells")
+
+	mFrontierInserts   = obs.NewCounter("explore.frontier.inserts")
+	mFrontierEvicted   = obs.NewCounter("explore.frontier.evictions")
+	mFrontierDominated = obs.NewCounter("explore.frontier.dominated")
+	mFrontierSize      = obs.NewGauge("explore.frontier.size")
+)

@@ -1,0 +1,85 @@
+package explore
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"xring/internal/resilience"
+)
+
+func cellsN(n int) []Cell {
+	out := make([]Cell, n)
+	for i := range out {
+		out[i] = Cell{Index: i, ID: string(rune('a' + i))}
+	}
+	return out
+}
+
+func TestRunnerRunsEveryCell(t *testing.T) {
+	for _, conc := range []int{0, 1, 3} {
+		var ran atomic.Int64
+		r := &Runner{Concurrency: conc, Run: func(context.Context, Cell) { ran.Add(1) }}
+		if err := r.RunAll(context.Background(), cellsN(17)); err != nil {
+			t.Fatalf("conc=%d: %v", conc, err)
+		}
+		if ran.Load() != 17 {
+			t.Errorf("conc=%d: ran %d cells, want 17", conc, ran.Load())
+		}
+	}
+}
+
+func TestRunnerBoundsConcurrency(t *testing.T) {
+	var cur, peak atomic.Int64
+	var mu sync.Mutex
+	r := &Runner{Concurrency: 2, Run: func(context.Context, Cell) {
+		n := cur.Add(1)
+		mu.Lock()
+		if n > peak.Load() {
+			peak.Store(n)
+		}
+		mu.Unlock()
+		defer cur.Add(-1)
+	}}
+	if err := r.RunAll(context.Background(), cellsN(12)); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > 2 {
+		t.Errorf("peak concurrency %d exceeds bound 2", p)
+	}
+}
+
+func TestRunnerContainsCellPanics(t *testing.T) {
+	for _, conc := range []int{0, 2} {
+		var ran atomic.Int64
+		r := &Runner{Concurrency: conc, Run: func(_ context.Context, c Cell) {
+			ran.Add(1)
+			if c.Index == 3 {
+				panic("cell exploded")
+			}
+		}}
+		err := r.RunAll(context.Background(), cellsN(8))
+		var pe *resilience.PanicError
+		if !errors.As(err, &pe) {
+			t.Fatalf("conc=%d: want *resilience.PanicError, got %v", conc, err)
+		}
+		if ran.Load() != 8 {
+			t.Errorf("conc=%d: panic aborted siblings: ran %d of 8", conc, ran.Load())
+		}
+	}
+}
+
+func TestRunnerHonorsCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	r := &Runner{Concurrency: 1, Run: func(context.Context, Cell) { ran.Add(1) }}
+	if err := r.RunAll(ctx, cellsN(50)); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled, got %v", err)
+	}
+	if ran.Load() == 50 {
+		t.Error("cancelled run still executed every cell")
+	}
+}

@@ -70,12 +70,12 @@ func TestWritePrometheus(t *testing.T) {
 // rejects the failure shapes it claims to catch.
 func TestValidateExpositionRejectsMalformed(t *testing.T) {
 	cases := map[string]string{
-		"no families":    "",
+		"no families":      "",
 		"sample sans TYPE": "xring_orphan 1\n",
-		"bad name":       "# TYPE 9bad counter\n9bad 1\n",
-		"bad value":      "# TYPE xring_c counter\nxring_c banana\n",
-		"bad type":       "# TYPE xring_c countr\nxring_c 1\n",
-		"dup type":       "# TYPE xring_c counter\n# TYPE xring_c counter\nxring_c 1\n",
+		"bad name":         "# TYPE 9bad counter\n9bad 1\n",
+		"bad value":        "# TYPE xring_c counter\nxring_c banana\n",
+		"bad type":         "# TYPE xring_c countr\nxring_c 1\n",
+		"dup type":         "# TYPE xring_c counter\n# TYPE xring_c counter\nxring_c 1\n",
 		"non-cumulative": "# TYPE xring_h histogram\n" +
 			"xring_h_bucket{le=\"1\"} 5\nxring_h_bucket{le=\"+Inf\"} 3\n" +
 			"xring_h_sum 1\nxring_h_count 3\n",

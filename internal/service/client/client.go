@@ -9,6 +9,7 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"net/http"
@@ -20,6 +21,12 @@ import (
 	"xring/internal/service"
 )
 
+// ErrNotFound matches (errors.Is) any APIError with HTTP 404 — an
+// unknown job ID, a design key absent from every cache tier, or an
+// evicted exploration. Callers branch on errors.Is(err, ErrNotFound)
+// instead of type-asserting and comparing status codes.
+var ErrNotFound = errors.New("service: not found")
+
 // APIError is a non-2xx service response.
 type APIError struct {
 	Status  int
@@ -30,6 +37,15 @@ type APIError struct {
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("service: HTTP %d: %s", e.Status, e.Message)
+}
+
+// Unwrap maps status classes onto sentinel errors so errors.Is works
+// without reaching into the struct.
+func (e *APIError) Unwrap() error {
+	if e.Status == http.StatusNotFound {
+		return ErrNotFound
+	}
+	return nil
 }
 
 // Temporary reports whether the request may succeed if retried
@@ -208,7 +224,13 @@ func (c *Client) Ready(ctx context.Context) error {
 // replayed history first, live events after — until the job reaches a
 // terminal state, the stream ends, or ctx is cancelled.
 func (c *Client) Events(ctx context.Context, id string, fn func(service.Event)) error {
-	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+"/v1/jobs/"+id+"/events", nil)
+	return c.streamEvents(ctx, "/v1/jobs/"+id+"/events", fn)
+}
+
+// streamEvents consumes one SSE endpoint until a terminal event
+// ("done"/"failed") arrives, the stream ends, or ctx is cancelled.
+func (c *Client) streamEvents(ctx context.Context, path string, fn func(service.Event)) error {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base+path, nil)
 	if err != nil {
 		return err
 	}
@@ -225,7 +247,8 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event)) 
 		return apiError(resp, data)
 	}
 	sc := bufio.NewScanner(resp.Body)
-	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	// Frontier events carry the full point set; allow multi-megabyte lines.
+	sc.Buffer(make([]byte, 0, 64*1024), 8*1024*1024)
 	for sc.Scan() {
 		line := sc.Text()
 		if !strings.HasPrefix(line, "data: ") {
@@ -244,4 +267,55 @@ func (c *Client) Events(ctx context.Context, id string, fn func(service.Event)) 
 		return err
 	}
 	return fmt.Errorf("service: event stream ended before the job finished")
+}
+
+// Explore submits a design-space grid study and returns its status —
+// complete with the Pareto frontier when run synchronously, or the 202
+// acknowledgement (poll with ExploreStatus) when req.Async is set.
+func (c *Client) Explore(ctx context.Context, req *service.ExploreRequest) (*service.ExploreStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out service.ExploreStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/explore", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExploreStatus fetches a study's status (per-cell outcomes, cache
+// attribution, and the frontier as of now).
+func (c *Client) ExploreStatus(ctx context.Context, id string) (*service.ExploreStatus, error) {
+	var out service.ExploreStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/explore/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExploreFrontier fetches a study's Pareto frontier in canonical order.
+func (c *Client) ExploreFrontier(ctx context.Context, id string) (*service.FrontierBody, error) {
+	var out service.FrontierBody
+	if err := c.do(ctx, http.MethodGet, "/v1/explore/"+id+"/frontier", nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ExploreFrontierCSV fetches a study's frontier as the server's exact
+// CSV bytes — the form the CI determinism check byte-compares.
+func (c *Client) ExploreFrontierCSV(ctx context.Context, id string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/explore/"+id+"/frontier?format=csv", nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// ExploreEvents streams a study's cell completions and incremental
+// frontier events until the study finishes, the stream ends, or ctx is
+// cancelled.
+func (c *Client) ExploreEvents(ctx context.Context, id string, fn func(service.Event)) error {
+	return c.streamEvents(ctx, "/v1/explore/"+id+"/events", fn)
 }

@@ -1,0 +1,112 @@
+package client
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"xring/internal/explore"
+	"xring/internal/service"
+)
+
+func testGrid() explore.Grid {
+	return explore.Grid{
+		Floorplans: []explore.Floorplan{
+			{Name: "quad", Network: json.RawMessage(`{"nodes": [
+				{"id": 0, "x": 0, "y": 0}, {"id": 1, "x": 2.5, "y": 0},
+				{"id": 2, "x": 0, "y": 2.5}, {"id": 3, "x": 3, "y": 2.5}]}`)},
+		},
+		Budgets: []int{4},
+		// Same switches under two names: the second cell is a cache/dedup
+		// hit on the first, exercising amplification through the client.
+		Policies: []explore.Policy{{Name: "base"}, {Name: "copy"}},
+	}
+}
+
+func TestClientNotFoundIsTyped(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	cases := map[string]func() error{
+		"job":            func() error { _, err := c.Job(ctx, "nope"); return err },
+		"job design":     func() error { _, err := c.JobDesign(ctx, "nope"); return err },
+		"design key":     func() error { _, err := c.Design(ctx, "sha256:nope"); return err },
+		"explore status": func() error { _, err := c.ExploreStatus(ctx, "nope"); return err },
+		"explore points": func() error { _, err := c.ExploreFrontier(ctx, "nope"); return err },
+		"explore csv":    func() error { _, err := c.ExploreFrontierCSV(ctx, "nope"); return err },
+		"explore stream": func() error { return c.ExploreEvents(ctx, "nope", func(service.Event) {}) },
+		"job events":     func() error { return c.Events(ctx, "nope", func(service.Event) {}) },
+	}
+	for name, call := range cases {
+		err := call()
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s: error %v is not ErrNotFound", name, err)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+			t.Errorf("%s: error %v is not a 404 APIError", name, err)
+		}
+	}
+	// A non-404 APIError must NOT match ErrNotFound.
+	if err := (&APIError{Status: 500, Message: "boom"}); errors.Is(err, ErrNotFound) {
+		t.Error("500 matched ErrNotFound")
+	}
+}
+
+func TestClientExplore(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	st, err := c.Explore(ctx, &service.ExploreRequest{Grid: testGrid()})
+	if err != nil {
+		t.Fatalf("explore: %v", err)
+	}
+	if st.State != service.StateDone || st.Completed != 2 || st.OK != 2 {
+		t.Fatalf("status = %+v, want 2 completed cells", st)
+	}
+	if st.CacheHits+st.DedupHits != 1 {
+		t.Errorf("cacheHits=%d dedupHits=%d, want 1 amplified cell", st.CacheHits, st.DedupHits)
+	}
+	if len(st.Frontier) == 0 {
+		t.Fatal("empty frontier")
+	}
+
+	again, err := c.ExploreStatus(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("explore status: %v", err)
+	}
+	if again.Completed != st.Completed {
+		t.Errorf("status disagrees: %+v", again)
+	}
+
+	fb, err := c.ExploreFrontier(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("frontier: %v", err)
+	}
+	if fb.Size != len(st.Frontier) {
+		t.Errorf("frontier size %d, sync response had %d", fb.Size, len(st.Frontier))
+	}
+	for _, p := range fb.Points {
+		design, err := c.Design(ctx, p.Key)
+		if err != nil || len(design) == 0 {
+			t.Errorf("frontier point %s not fetchable by key: %v", p.CellID, err)
+		}
+	}
+
+	csv, err := c.ExploreFrontierCSV(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("frontier csv: %v", err)
+	}
+	if len(csv) == 0 {
+		t.Error("empty frontier CSV")
+	}
+
+	var types []string
+	if err := c.ExploreEvents(ctx, st.ID, func(ev service.Event) {
+		types = append(types, ev.Type)
+	}); err != nil {
+		t.Fatalf("explore events: %v", err)
+	}
+	if len(types) == 0 || types[0] != "queued" || types[len(types)-1] != "done" {
+		t.Errorf("event stream %v, want queued ... done", types)
+	}
+}

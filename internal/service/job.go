@@ -54,10 +54,12 @@ type job struct {
 	// done closes when the job reaches a terminal state.
 	done chan struct{}
 
-	mu     sync.Mutex
-	state  JobState
-	events []Event
-	subs   map[chan Event]struct{}
+	// log is the job's event stream (shared publish/subscribe machinery
+	// with explorations; see events.go).
+	log eventLog
+
+	mu    sync.Mutex
+	state JobState
 	// result payload on success; err on failure.
 	summary *Summary
 	design  []byte
@@ -76,51 +78,15 @@ func newJob(id, key, traceID string, req *resolved, deadline time.Duration) *job
 		deadline: deadline,
 		enqueued: time.Now(),
 		done:     make(chan struct{}),
+		log:      eventLog{traceID: traceID},
 		state:    StateQueued,
-		subs:     map[chan Event]struct{}{},
 	}
 	j.publish(Event{Type: "queued"})
 	return j
 }
 
-// publish appends an event (stamping its sequence number) and fans it
-// out to every subscriber. Subscriber channels are buffered; a slow
-// consumer that fills its buffer loses the event rather than stalling
-// the engine — the full log remains replayable via snapshot.
-func (j *job) publish(ev Event) {
-	ev.TraceID = j.traceID
-	j.mu.Lock()
-	ev.Seq = len(j.events)
-	j.events = append(j.events, ev)
-	for ch := range j.subs {
-		select {
-		case ch <- ev:
-		default:
-			mEventsDropped.Inc()
-		}
-	}
-	j.mu.Unlock()
-	mEventsPublished.Inc()
-}
-
-// subscribe registers a live event channel and returns it together
-// with a replay of everything published so far (the caller sends the
-// replay first, so streams are gapless: replay ends where live events
-// begin or overlap, and Seq de-duplicates overlaps).
-func (j *job) subscribe() (replay []Event, ch chan Event) {
-	ch = make(chan Event, 64)
-	j.mu.Lock()
-	replay = append([]Event(nil), j.events...)
-	j.subs[ch] = struct{}{}
-	j.mu.Unlock()
-	return replay, ch
-}
-
-func (j *job) unsubscribe(ch chan Event) {
-	j.mu.Lock()
-	delete(j.subs, ch)
-	j.mu.Unlock()
-}
+// publish appends an event to the job's stream.
+func (j *job) publish(ev Event) { j.log.publish(ev) }
 
 // setRunning transitions queued -> running.
 func (j *job) setRunning() {
@@ -153,9 +119,10 @@ func (j *job) finish(summary *Summary, design []byte, err error) {
 
 // snapshot returns the job's state for the status endpoint.
 func (j *job) snapshot() (state JobState, events int, summary *Summary, err error) {
+	events = j.log.count()
 	j.mu.Lock()
 	defer j.mu.Unlock()
-	return j.state, len(j.events), j.summary, j.err
+	return j.state, events, j.summary, j.err
 }
 
 // terminal reports whether the job has finished.

@@ -61,6 +61,16 @@ var (
 	// Resilience layer (see OBSERVABILITY.md): degraded-mode completions,
 	// contained job panics, stage-watchdog expiries, and the persistent
 	// cache tier's disk traffic.
+	// Exploration workload (the /v1/explore grid engine; the frontier's
+	// own churn counters live in internal/explore).
+	mExploreStudies       = obs.NewCounter("explore.studies")
+	mExploreCells         = obs.NewCounter("explore.cells")
+	mExploreCellsDegraded = obs.NewCounter("explore.cells.degraded")
+	mExploreCellsFailed   = obs.NewCounter("explore.cells.failed")
+	mExploreStudyMS       = obs.NewHistogram("explore.study.duration_ms", "ms",
+		[]float64{10, 50, 100, 500, 1000, 5000, 10000, 60000, 300000})
+	mExploreCellMS = obs.NewHistogram("explore.cell.duration_ms", "ms", jobDurationBounds)
+
 	mDegraded         = obs.NewCounter("service.jobs.degraded")
 	mWarmStarted      = obs.NewCounter("service.jobs.warmstarted")
 	mPanicsRecovered  = obs.NewCounter("service.jobs.panics_recovered")
@@ -98,6 +108,12 @@ type Stats struct {
 	PersistHits      int64 `json:"persistHits"`
 	PersistRecovered int64 `json:"persistRecovered"`
 	PersistDiscarded int64 `json:"persistDiscarded"`
+	// Exploration workload: studies admitted on /v1/explore, the cells
+	// they expanded into, and cells that ended in error/timeout
+	// (degraded cells count under Degraded like any other job).
+	ExploreStudies     int64 `json:"exploreStudies"`
+	ExploreCells       int64 `json:"exploreCells"`
+	ExploreCellsFailed int64 `json:"exploreCellsFailed"`
 	// UptimeSec is seconds since the server was created; BuildInfo
 	// identifies the binary (module version, VCS revision) so a fleet
 	// dashboard can tell which build answered.
@@ -107,37 +123,43 @@ type Stats struct {
 
 // stats is the internal atomic mirror of Stats.
 type stats struct {
-	requests         atomic.Int64
-	cacheHits        atomic.Int64
-	dedupHits        atomic.Int64
-	rejected         atomic.Int64
-	drained          atomic.Int64
-	synthesized      atomic.Int64
-	failed           atomic.Int64
-	degraded         atomic.Int64
-	warmStarts       atomic.Int64
-	panics           atomic.Int64
-	stageTimeouts    atomic.Int64
-	persistHits      atomic.Int64
-	persistRecovered atomic.Int64
-	persistDiscarded atomic.Int64
+	requests           atomic.Int64
+	cacheHits          atomic.Int64
+	dedupHits          atomic.Int64
+	rejected           atomic.Int64
+	drained            atomic.Int64
+	synthesized        atomic.Int64
+	failed             atomic.Int64
+	degraded           atomic.Int64
+	warmStarts         atomic.Int64
+	panics             atomic.Int64
+	stageTimeouts      atomic.Int64
+	persistHits        atomic.Int64
+	persistRecovered   atomic.Int64
+	persistDiscarded   atomic.Int64
+	exploreStudies     atomic.Int64
+	exploreCells       atomic.Int64
+	exploreCellsFailed atomic.Int64
 }
 
 func (s *stats) snapshot() Stats {
 	return Stats{
-		Requests:         s.requests.Load(),
-		CacheHits:        s.cacheHits.Load(),
-		DedupHits:        s.dedupHits.Load(),
-		Rejected:         s.rejected.Load(),
-		Drained:          s.drained.Load(),
-		Synthesized:      s.synthesized.Load(),
-		Failed:           s.failed.Load(),
-		Degraded:         s.degraded.Load(),
-		WarmStarts:       s.warmStarts.Load(),
-		Panics:           s.panics.Load(),
-		StageTimeouts:    s.stageTimeouts.Load(),
-		PersistHits:      s.persistHits.Load(),
-		PersistRecovered: s.persistRecovered.Load(),
-		PersistDiscarded: s.persistDiscarded.Load(),
+		Requests:           s.requests.Load(),
+		CacheHits:          s.cacheHits.Load(),
+		DedupHits:          s.dedupHits.Load(),
+		Rejected:           s.rejected.Load(),
+		Drained:            s.drained.Load(),
+		Synthesized:        s.synthesized.Load(),
+		Failed:             s.failed.Load(),
+		Degraded:           s.degraded.Load(),
+		WarmStarts:         s.warmStarts.Load(),
+		Panics:             s.panics.Load(),
+		StageTimeouts:      s.stageTimeouts.Load(),
+		PersistHits:        s.persistHits.Load(),
+		PersistRecovered:   s.persistRecovered.Load(),
+		PersistDiscarded:   s.persistDiscarded.Load(),
+		ExploreStudies:     s.exploreStudies.Load(),
+		ExploreCells:       s.exploreCells.Load(),
+		ExploreCellsFailed: s.exploreCellsFailed.Load(),
 	}
 }

@@ -36,11 +36,22 @@ import (
 	"xring/internal/resilience"
 )
 
+// persistPayloadVersion versions the envelope payload shape —
+// independently of the key schema, which versions request addressing.
+// Bump it whenever Summary gains a field, so recovery discards entries
+// whose stored summaries would deserialize with zero values for data
+// this build relies on.
+// v2: Summary carries mrrs (the exploration frontier's MRR objective).
+const persistPayloadVersion = 2
+
 // persistEntry is the on-disk envelope of one cached result.
 type persistEntry struct {
 	// Schema is the canonical-key schema the entry was written under; a
 	// mismatch means the key no longer addresses the same request space.
 	Schema string `json:"schema"`
+	// Payload is persistPayloadVersion at write time; entries written
+	// before it existed deserialize as 0 and are discarded.
+	Payload int `json:"payload"`
 	// DesignVersion is designio.FormatVersion at write time.
 	DesignVersion int      `json:"designVersion"`
 	Key           string   `json:"key"`
@@ -180,7 +191,7 @@ func (p *persistStore) load(path, wantKey string) (*cached, bool) {
 	if err := json.Unmarshal(data, &e); err != nil {
 		return nil, false
 	}
-	if e.Schema != keySchema || e.Key != wantKey || e.Summary == nil || len(e.Design) == 0 {
+	if e.Schema != keySchema || e.Payload != persistPayloadVersion || e.Key != wantKey || e.Summary == nil || len(e.Design) == 0 {
 		return nil, false
 	}
 	if e.DesignVersion != designio.FormatVersion {
@@ -212,6 +223,7 @@ func (p *persistStore) write(c *cached) error {
 	sum := sha256.Sum256(c.design)
 	e := &persistEntry{
 		Schema:        keySchema,
+		Payload:       persistPayloadVersion,
 		DesignVersion: designio.FormatVersion,
 		Key:           c.key,
 		JobID:         c.jobID,

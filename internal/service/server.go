@@ -14,6 +14,7 @@ import (
 
 	"xring/internal/core"
 	"xring/internal/designio"
+	"xring/internal/inventory"
 	"xring/internal/obs"
 	"xring/internal/resilience"
 )
@@ -35,7 +36,11 @@ type Summary struct {
 	NumNoisy      int      `json:"signalsWithNoise"`
 	NoiseFreeFrac float64  `json:"noiseFreeFraction"`
 	WorstSNRdB    *float64 `json:"worstSNR_dB,omitempty"`
-	SynthMS       float64  `json:"synthesisMS"`
+	// MRRs is the design's total microring-resonator count (modulators,
+	// receivers, terminators, CSE rings, PDN rings) — the device-budget
+	// objective of exploration frontiers.
+	MRRs    int     `json:"mrrs"`
+	SynthMS float64 `json:"synthesisMS"`
 	// Degraded marks a result produced by the heuristic fallback path
 	// (solver budget exhausted or deadline nearly expired) rather than
 	// the exact Step-1 solve; DegradedReason says why. The design is
@@ -101,6 +106,9 @@ func summarize(res *core.Result) *Summary {
 	}
 	if snr := res.Xtalk.WorstSNR; !math.IsInf(snr, 0) && !math.IsNaN(snr) {
 		s.WorstSNRdB = &snr
+	}
+	if cnt, err := inventory.Take(res.Design, res.Plan); err == nil {
+		s.MRRs = cnt.TotalMRRs
 	}
 	s.Degraded = res.Degraded
 	s.DegradedReason = res.DegradedReason
@@ -321,23 +329,43 @@ func (s *Server) synthIsolated(ctx context.Context, j *job) (res *core.Result, e
 	return s.cfg.Synth(ctx, j.req)
 }
 
+// Cache tiers, as reported by cacheGet and counted by countCacheServe.
+const (
+	tierMemory  = "memory"
+	tierPersist = "persist"
+)
+
 // cacheGet is the two-tier cache lookup: the memory LRU first, then
 // the disk tier, promoting disk hits into memory so repeats are free.
-func (s *Server) cacheGet(key string) (*cached, bool) {
+// It reports which tier served the hit and counts nothing itself —
+// callers attribute each serve to exactly one tier via countCacheServe,
+// so a persist-tier serve can never double-count as a memory hit.
+func (s *Server) cacheGet(key string) (*cached, string, bool) {
 	if c, ok := s.cache.get(key); ok {
-		return c, true
+		return c, tierMemory, true
 	}
 	if s.persist == nil {
-		return nil, false
+		return nil, "", false
 	}
 	c, ok := s.persist.read(key)
 	if !ok {
-		return nil, false
+		return nil, "", false
 	}
-	s.st.persistHits.Add(1)
-	mPersistHits.Inc()
 	s.cache.put(c)
-	return c, true
+	return c, tierPersist, true
+}
+
+// countCacheServe attributes one cache serve to the tier that provided
+// it: memory hits to cacheHits, disk hits to persistHits — one counter
+// per serve, never both.
+func (s *Server) countCacheServe(tier string) {
+	if tier == tierPersist {
+		s.st.persistHits.Add(1)
+		mPersistHits.Inc()
+		return
+	}
+	s.st.cacheHits.Add(1)
+	mCacheHits.Inc()
 }
 
 // routes builds the HTTP surface.
@@ -348,6 +376,10 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", s.handleEvents)
 	mux.HandleFunc("GET /v1/jobs/{id}/design", s.handleJobDesign)
 	mux.HandleFunc("GET /v1/designs/{key}", s.handleDesignByKey)
+	mux.HandleFunc("POST /v1/explore", s.handleExplore)
+	mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreStatus)
+	mux.HandleFunc("GET /v1/explore/{id}/events", s.handleExploreEvents)
+	mux.HandleFunc("GET /v1/explore/{id}/frontier", s.handleExploreFrontier)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -430,9 +462,8 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 	// Content-addressed fast path (memory, then the persisted tier).
 	// The envelope carries this request's trace ID; the cached summary
 	// keeps the ID of the request that ran the synthesis.
-	if c, ok := s.cacheGet(key); ok {
-		s.st.cacheHits.Add(1)
-		mCacheHits.Inc()
+	if c, tier, ok := s.cacheGet(key); ok {
+		s.countCacheServe(tier)
 		writeJSON(w, http.StatusOK, &Response{
 			JobID: c.jobID, Key: key, TraceID: traceID, Source: "cache",
 			Summary: c.summary, Design: c.design,
@@ -573,6 +604,13 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusNotFound, errors.New("unknown job"))
 		return
 	}
+	streamLog(w, r, &j.log)
+}
+
+// streamLog is the SSE loop shared by job and exploration event
+// endpoints: gapless replay of the log's history, then live events,
+// until a terminal event ("done"/"failed") or client disconnect.
+func streamLog(w http.ResponseWriter, r *http.Request, l *eventLog) {
 	flusher, ok := w.(http.Flusher)
 	if !ok {
 		writeError(w, http.StatusInternalServerError, errors.New("streaming unsupported"))
@@ -582,8 +620,8 @@ func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
 	w.Header().Set("Cache-Control", "no-cache")
 	w.WriteHeader(http.StatusOK)
 
-	replay, ch := j.subscribe()
-	defer j.unsubscribe(ch)
+	replay, ch := l.subscribe()
+	defer l.unsubscribe(ch)
 	lastSeq := -1
 	for _, ev := range replay {
 		if writeSSE(w, ev) != nil {
@@ -656,13 +694,12 @@ func (s *Server) handleJobDesign(w http.ResponseWriter, r *http.Request) {
 // either cache tier. The persist tier validates the key shape itself,
 // so arbitrary path values never reach the filesystem.
 func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
-	c, ok := s.cacheGet(r.PathValue("key"))
+	c, tier, ok := s.cacheGet(r.PathValue("key"))
 	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("design not cached"))
 		return
 	}
-	s.st.cacheHits.Add(1)
-	mCacheHits.Inc()
+	s.countCacheServe(tier)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Job-ID", c.jobID)
 	_, _ = w.Write(c.design)

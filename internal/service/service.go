@@ -16,6 +16,10 @@
 //	GET  /v1/jobs/{id}/events  SSE progress stream (replay + live)
 //	GET  /v1/jobs/{id}/design  exact designio.Save bytes of the result
 //	GET  /v1/designs/{key}     cached design by content key
+//	POST /v1/explore           submit a design-space grid study (sync; "async": true -> 202)
+//	GET  /v1/explore/{id}      study status: per-cell outcomes, cache attribution, frontier
+//	GET  /v1/explore/{id}/events   SSE stream: cell completions + incremental frontier events
+//	GET  /v1/explore/{id}/frontier Pareto frontier, canonical JSON (?format=csv for CSV)
 //	GET  /v1/stats             always-on admission/cache counters + build info
 //	GET  /healthz, /readyz     liveness / readiness (readyz 503 while draining)
 //	GET  /metrics              Prometheus text exposition (JSON via ?format=json)
@@ -76,6 +80,14 @@ type Config struct {
 	// MaxJobs bounds retained job records for status/event queries;
 	// the oldest finished jobs are evicted beyond it (default 1024).
 	MaxJobs int
+	// ExploreCellConcurrency bounds concurrently running cells within
+	// one /v1/explore study; 0 (the default) fans cells over the shared
+	// internal/parallel worker budget, so cross-cell and engine-internal
+	// parallelism are bounded together.
+	ExploreCellConcurrency int
+	// MaxExplorations bounds retained exploration records; the oldest
+	// finished studies are evicted beyond it (default 64).
+	MaxExplorations int
 	// Synth overrides the engine call (tests only).
 	Synth SynthFunc
 
@@ -124,6 +136,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxJobs <= 0 {
 		c.MaxJobs = 1024
 	}
+	if c.MaxExplorations <= 0 {
+		c.MaxExplorations = 64
+	}
 	if c.Synth == nil {
 		c.Synth = engineSynth
 	}
@@ -158,6 +173,10 @@ type Server struct {
 	jobs     map[string]*job // job id -> record
 	jobOrder []string        // admission order, for bounded retention
 
+	explorations map[string]*exploration // study id -> record
+	exploreOrder []string                // admission order, for bounded retention
+	exploreSeq   atomic.Uint64
+
 	cache    *resultCache
 	persist  *persistStore // nil unless Config.PersistDir is set
 	inj      *resilience.Injector
@@ -184,14 +203,15 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	s := &Server{
-		cfg:       cfg,
-		queue:     make(chan *job, cfg.QueueDepth),
-		inflight:  map[string]*job{},
-		jobs:      map[string]*job{},
-		cache:     newResultCache(cfg.CacheEntries),
-		inj:       inj,
-		flight:    obs.NewFlightRecorder(cfg.FlightRecords),
-		startedAt: time.Now(),
+		cfg:          cfg,
+		queue:        make(chan *job, cfg.QueueDepth),
+		inflight:     map[string]*job{},
+		jobs:         map[string]*job{},
+		explorations: map[string]*exploration{},
+		cache:        newResultCache(cfg.CacheEntries),
+		inj:          inj,
+		flight:       obs.NewFlightRecorder(cfg.FlightRecords),
+		startedAt:    time.Now(),
 	}
 	if cfg.PersistDir != "" {
 		store, entries, err := newPersistStore(cfg.PersistDir, cfg.PersistEntries, inj, &s.st)
