@@ -85,7 +85,8 @@ func main() {
 	solver := flag.Bool("solver", false, "run the MILP solver micro-benchmark (writes -json if set, compares -check if set)")
 	deltaBench := flag.Bool("delta", false, "run the placement delta-evaluation micro-benchmark (writes -json if set, compares -check if set)")
 	exploreBench := flag.Bool("explore", false, "run the /v1/explore grid benchmark (writes -json if set, compares -check if set)")
-	benchCheck := flag.String("check", "", "with -solver/-delta/-explore: committed BENCH_*.json to compare against; exits non-zero on regression")
+	whatifBench := flag.Bool("whatif", false, "run the fault-replay benchmark (writes -json if set, compares -check if set)")
+	benchCheck := flag.String("check", "", "with -solver/-delta/-explore/-whatif: committed BENCH_*.json to compare against; exits non-zero on regression")
 	loadURL := flag.String("load", "", "drive a running xringd at this base URL with a mixed concurrent workload")
 	loadN := flag.Int("load-n", 32, "total requests to send in -load mode")
 	loadC := flag.Int("load-c", 8, "concurrent senders in -load mode")
@@ -135,6 +136,13 @@ func main() {
 	}
 	if *exploreBench {
 		if err := runExploreBench(*jsonOut, *benchCheck); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *whatifBench {
+		if err := runWhatifBench(*jsonOut, *benchCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)
 			os.Exit(1)
 		}

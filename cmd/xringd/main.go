@@ -59,6 +59,7 @@ func main() {
 	flightDir := flag.String("flight-dir", "", "directory for automatic flight-recorder snapshots on panic/stage-timeout (empty disables)")
 	exploreCells := flag.Int("explore-cells", 0, "concurrent cells per /v1/explore study (0 = shared worker pool budget)")
 	maxExplorations := flag.Int("max-explorations", 0, "retained exploration records for status/frontier queries (0 = default 64)")
+	maxWhatifs := flag.Int("max-whatifs", 0, "retained fault-replay records for /v1/whatif status queries (0 = default 64)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
@@ -76,6 +77,7 @@ func main() {
 
 		ExploreCellConcurrency: *exploreCells,
 		MaxExplorations:        *maxExplorations,
+		MaxWhatifs:             *maxWhatifs,
 	}, *drainTimeout, obsFlags); err != nil {
 		fmt.Fprintln(os.Stderr, "xringd:", err)
 		os.Exit(1)

@@ -184,6 +184,17 @@ func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ri
 // still fits.
 const ringDeadlineSlack = 250 * time.Millisecond
 
+// The two degraded-mode reasons, exported so service surfaces can match
+// them exactly (Result.DegradedReason carries one of these verbatim).
+const (
+	// DegradedReasonBudget: the exact Step-1 solve exhausted its
+	// branch-and-bound budget and the heuristic constructor served.
+	DegradedReasonBudget = "ring solver budget exhausted; heuristic constructor used"
+	// DegradedReasonDeadline: the request deadline was nearly expired, so
+	// the heuristic constructor served without attempting the exact solve.
+	DegradedReasonDeadline = "deadline nearly expired; heuristic ring constructor used"
+)
+
 // constructRingResilient is constructRing with degraded-mode fallback.
 // It fires the "core.ring" fault point (before the cache, so injection
 // beats a warm entry), then: on a near-expired deadline or a solver
@@ -212,7 +223,7 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 			return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
 		}
 		hintStore(key, res.Tour)
-		return res, "ring solver budget exhausted; heuristic constructor used", nil
+		return res, DegradedReasonBudget, nil
 	}
 	if !noFallback && ctx != nil {
 		if dl, ok := ctx.Deadline(); ok && time.Until(dl) < ringDeadlineSlack {
@@ -227,7 +238,7 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 				return nil, "", herr
 			}
 			hintStore(key, res.Tour)
-			return res, "deadline nearly expired; heuristic ring constructor used", nil
+			return res, DegradedReasonDeadline, nil
 		}
 	}
 	res, err := constructRing(ctx, net, opt)
@@ -243,7 +254,7 @@ func constructRingResilient(ctx context.Context, net *noc.Network, opt ring.Opti
 		return nil, "", fmt.Errorf("core: heuristic fallback after %v: %w", err, herr)
 	}
 	hintStore(key, hres.Tour)
-	return hres, "ring solver budget exhausted; heuristic constructor used", nil
+	return hres, DegradedReasonBudget, nil
 }
 
 // ResetRingCache empties the Step-1 result cache. Benchmarks call it

@@ -92,6 +92,14 @@ type Options struct {
 	// the original error is returned instead — for callers that would
 	// rather fail than serve a non-optimal ring.
 	NoFallback bool
+
+	// FaultTolerance requests a k-fault-tolerant design: Step 3
+	// additionally maps a cold-standby spare route per signal onto
+	// dedicated protection waveguides (see mapping.Options.FaultTolerance),
+	// so the full signal set survives any single MRR failure or
+	// ring-segment cut. Supported values: 0 (off, the nominal flow —
+	// byte-identical results to builds without this field) and 1.
+	FaultTolerance int
 }
 
 // Result is a fully synthesized and analyzed XRing router.
@@ -164,6 +172,12 @@ func ctxErr(ctx context.Context) error {
 		return nil
 	}
 	return ctx.Err()
+}
+
+func init() {
+	resilience.RegisterFaultPoint("core.ring",
+		"core.stage.entry", "core.stage.mapping", "core.stage.pdn",
+		"core.stage.loss", "core.stage.xtalk")
 }
 
 // stageGate is the per-stage boundary check: cancellation first (so
@@ -253,12 +267,13 @@ func synthesizeOnRing(ctx context.Context, net *noc.Network, rres *ring.Result, 
 	noOpenings := opt.NoOpenings || !opt.WithPDN
 	_, mapSpan := obs.Start(ctx, "mapping.run", obs.Int("max_wl", maxWL))
 	stats, err := mapping.Run(d, mapping.Options{
-		MaxWL:         maxWL,
-		NoOpenings:    noOpenings,
-		AlignOpenings: true,
-		PreferSharing: opt.ShareWavelengths,
-		MaxWaveguides: mapping.WaveguideCap(net, par),
-		Traffic:       opt.Traffic,
+		MaxWL:          maxWL,
+		NoOpenings:     noOpenings,
+		AlignOpenings:  true,
+		PreferSharing:  opt.ShareWavelengths,
+		MaxWaveguides:  mapping.WaveguideCap(net, par),
+		Traffic:        opt.Traffic,
+		FaultTolerance: opt.FaultTolerance,
 	})
 	if stats != nil {
 		mapSpan.Set(obs.Int("waveguides", len(d.Waveguides)),

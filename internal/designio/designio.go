@@ -103,6 +103,23 @@ type file struct {
 	Waveguides []fileWaveguide `json:"waveguides"`
 	Shortcuts  []fileShortcut  `json:"shortcuts"`
 	Routes     []fileRoute     `json:"routes"`
+	// SpareRoutes holds cold-standby protection routes from
+	// fault-tolerant synthesis. omitempty keeps nominal payloads
+	// byte-identical to pre-fault-tolerance builds, so FormatVersion
+	// stays 1.
+	SpareRoutes []fileRoute `json:"spareRoutes,omitempty"`
+}
+
+// sortRoutes orders serialized routes by (src, dst) so Save is
+// byte-deterministic — equal designs serialize to equal bytes, the
+// property content-addressed caches and diff tooling rely on.
+func sortRoutes(rs []fileRoute) {
+	sort.Slice(rs, func(i, j int) bool {
+		if rs[i].Src != rs[j].Src {
+			return rs[i].Src < rs[j].Src
+		}
+		return rs[i].Dst < rs[j].Dst
+	})
 }
 
 // Save serializes a design.
@@ -142,21 +159,21 @@ func Save(d *router.Design) ([]byte, error) {
 		}
 		f.Shortcuts = append(f.Shortcuts, fs)
 	}
-	// d.Routes is a map; emit routes in (src, dst) order so Save is
-	// byte-deterministic — equal designs serialize to equal bytes, the
-	// property content-addressed caches and diff tooling rely on.
+	// Route maps are emitted in (src, dst) order; see sortRoutes.
 	for _, r := range d.Routes {
 		f.Routes = append(f.Routes, fileRoute{
 			Src: r.Sig.Src, Dst: r.Sig.Dst, Kind: int(r.Kind),
 			WG: r.WG, SC: r.SC, ViaCSE: r.ViaCSE, WL: r.WL,
 		})
 	}
-	sort.Slice(f.Routes, func(i, j int) bool {
-		if f.Routes[i].Src != f.Routes[j].Src {
-			return f.Routes[i].Src < f.Routes[j].Src
-		}
-		return f.Routes[i].Dst < f.Routes[j].Dst
-	})
+	sortRoutes(f.Routes)
+	for _, r := range d.SpareRoutes {
+		f.SpareRoutes = append(f.SpareRoutes, fileRoute{
+			Src: r.Sig.Src, Dst: r.Sig.Dst, Kind: int(r.Kind),
+			WG: r.WG, SC: r.SC, ViaCSE: r.ViaCSE, WL: r.WL,
+		})
+	}
+	sortRoutes(f.SpareRoutes)
 	return json.MarshalIndent(f, "", " ")
 }
 
@@ -234,6 +251,16 @@ func Load(data []byte) (*router.Design, error) {
 		d.Routes[sig] = &router.Route{
 			Sig: sig, Kind: router.RouteKind(fr.Kind),
 			WG: fr.WG, SC: fr.SC, ViaCSE: fr.ViaCSE, WL: fr.WL,
+		}
+	}
+	if len(f.SpareRoutes) > 0 {
+		d.SpareRoutes = map[noc.Signal]*router.Route{}
+		for _, fr := range f.SpareRoutes {
+			sig := noc.Signal{Src: fr.Src, Dst: fr.Dst}
+			d.SpareRoutes[sig] = &router.Route{
+				Sig: sig, Kind: router.RouteKind(fr.Kind),
+				WG: fr.WG, SC: fr.SC, ViaCSE: fr.ViaCSE, WL: fr.WL,
+			}
 		}
 	}
 	if err := d.Validate(); err != nil {

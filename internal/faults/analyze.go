@@ -1,0 +1,452 @@
+package faults
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"math"
+	"sort"
+
+	"xring/internal/loss"
+	"xring/internal/noc"
+	"xring/internal/obs"
+	"xring/internal/parallel"
+	"xring/internal/pdn"
+	"xring/internal/router"
+	"xring/internal/xtalk"
+)
+
+var (
+	mScenarios    = obs.NewCounter("faults.scenarios")
+	mReplays      = obs.NewCounter("faults.replays")
+	mNominalReuse = obs.NewCounter("faults.nominal_reuse")
+	mSignalsLost  = obs.NewCounter("faults.signals_lost")
+)
+
+// Options tunes the survivability analyzer.
+type Options struct {
+	// Serial disables the parallel scenario fan-out (debugging,
+	// determinism audits). Results are bit-identical either way:
+	// scenarios are independent and reduced in input order.
+	Serial bool
+	// OnOutcome, when set, is invoked once per completed scenario, as it
+	// completes — from worker goroutines under the parallel fan-out, so
+	// it must be safe for concurrent use. The aggregated Report is
+	// unaffected; this exists for live progress streaming.
+	OnOutcome func(index int, o Outcome)
+}
+
+// Outcome is the replay result of one fault scenario.
+type Outcome struct {
+	// Scenario is the injected fault set.
+	Scenario Scenario `json:"scenario"`
+	// Lost lists signals with no surviving route, in canonical order.
+	Lost []noc.Signal `json:"lost,omitempty"`
+	// Promoted lists signals that survived only via their spare route.
+	Promoted []noc.Signal `json:"promoted,omitempty"`
+	// Detuned lists signals paying extra drop loss from a detuned
+	// receiver.
+	Detuned []noc.Signal `json:"detuned,omitempty"`
+	// Survived counts routable signals under the scenario.
+	Survived int `json:"survived"`
+	// FullReplay is false when the scenario had no structural or loss
+	// effect and the nominal analyses were reused byte-identically.
+	FullReplay bool `json:"fullReplay"`
+	// WorstIL/WorstSNR/TotalPowerMW are the replayed analysis results
+	// over the surviving signal set (zero when nothing survives; a
+	// WorstSNR of 0 also stands in for "no crosstalk terms", where the
+	// analytic value would be +Inf — unrepresentable in JSON).
+	WorstIL      float64 `json:"worstIL"`
+	WorstSNR     float64 `json:"worstSNR"`
+	TotalPowerMW float64 `json:"totalPowerMW"`
+	// DegradationDB is WorstIL minus the nominal worst IL. It can be
+	// negative when the nominal worst signal itself was lost.
+	DegradationDB float64 `json:"degradationDB"`
+}
+
+// CriticalElement ranks a single physical element by the damage its
+// lone failure causes.
+type CriticalElement struct {
+	Element       string  `json:"element"`
+	Fault         Fault   `json:"fault"`
+	Lost          int     `json:"lost"`
+	DegradationDB float64 `json:"degradationDB"`
+}
+
+// Report is the survivability summary over a scenario set.
+type Report struct {
+	// Signals is the nominal signal count.
+	Signals int `json:"signals"`
+	// Scenarios is the number of replayed fault scenarios.
+	Scenarios int `json:"scenarios"`
+	// FullSetSurvives is true when every scenario keeps the full signal
+	// set routable (the k-fault-tolerance acceptance condition).
+	FullSetSurvives bool `json:"fullSetSurvives"`
+	// MinSurvived is the smallest surviving signal set over all
+	// scenarios; MaxLost the largest loss.
+	MinSurvived int `json:"minSurvived"`
+	MaxLost     int `json:"maxLost"`
+	// Nominal analysis anchors.
+	NominalWorstIL  float64 `json:"nominalWorstIL"`
+	NominalWorstSNR float64 `json:"nominalWorstSNR"`
+	NominalPowerMW  float64 `json:"nominalPowerMW"`
+	// WorstIL is the highest surviving-set insertion loss over all
+	// scenarios; WorstSNR the lowest SNR; WorstDegradationDB the largest
+	// IL degradation versus nominal (0 when no scenario degrades).
+	WorstIL            float64 `json:"worstIL"`
+	WorstSNR           float64 `json:"worstSNR"`
+	WorstDegradationDB float64 `json:"worstDegradationDB"`
+	// Critical ranks single-fault elements most-harmful first.
+	Critical []CriticalElement `json:"critical,omitempty"`
+	// Outcomes holds one entry per scenario, in scenario order.
+	Outcomes []Outcome `json:"outcomes"`
+}
+
+// MarshalJSON renders fault kinds by wire name.
+func (k Kind) MarshalJSON() ([]byte, error) { return json.Marshal(k.String()) }
+
+// UnmarshalJSON parses the wire names produced by MarshalJSON.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	v, err := ParseKind(s)
+	if err != nil {
+		return err
+	}
+	*k = v
+	return nil
+}
+
+// MarshalJSON renders roles as "tx"/"rx".
+func (r Role) MarshalJSON() ([]byte, error) { return json.Marshal(r.String()) }
+
+// UnmarshalJSON parses "tx"/"rx".
+func (r *Role) UnmarshalJSON(b []byte) error {
+	var s string
+	if err := json.Unmarshal(b, &s); err != nil {
+		return err
+	}
+	switch s {
+	case "tx":
+		*r = RoleTx
+	case "rx":
+		*r = RoleRx
+	default:
+		return fmt.Errorf("faults: unknown MRR role %q", s)
+	}
+	return nil
+}
+
+// Analyze replays a design under every scenario and aggregates a
+// survivability report. plan may be nil for designs without a PDN.
+//
+// Replays are delta-evaluated: a scenario that perturbs nothing reuses
+// the nominal loss/crosstalk reports byte-identically; otherwise only
+// the routes promoted onto spares are re-priced (loss.ForRoute) and the
+// surviving set is re-summarized before a crosstalk pass over the
+// replay design. Replay designs share the nominal geometry, waveguides
+// and shortcuts; only the route table differs, with failed signals
+// removed and promoted signals rewritten onto their spare routes.
+func Analyze(ctx context.Context, d *router.Design, plan *pdn.Plan, scenarios []Scenario, opt Options) (*Report, error) {
+	lrep, err := loss.AnalyzeCtx(ctx, d, plan)
+	if err != nil {
+		return nil, fmt.Errorf("faults: nominal loss analysis: %w", err)
+	}
+	xrep, err := xtalk.AnalyzeCtx(ctx, d, plan, lrep)
+	if err != nil {
+		return nil, fmt.Errorf("faults: nominal crosstalk analysis: %w", err)
+	}
+	banks := loss.NewBanks(d)
+
+	replay := func(i int) (Outcome, error) {
+		o, err := replayScenario(ctx, d, plan, banks, lrep, xrep, scenarios[i])
+		if err == nil && opt.OnOutcome != nil {
+			opt.OnOutcome(i, o)
+		}
+		return o, err
+	}
+	var outcomes []Outcome
+	if opt.Serial {
+		outcomes = make([]Outcome, len(scenarios))
+		for i := range scenarios {
+			o, err := replay(i)
+			if err != nil {
+				return nil, err
+			}
+			outcomes[i] = o
+		}
+	} else {
+		outcomes, err = parallel.Map(ctx, len(scenarios), replay)
+		if err != nil {
+			return nil, err
+		}
+	}
+	mScenarios.Add(int64(len(scenarios)))
+
+	rep := &Report{
+		Signals:         len(d.Routes),
+		Scenarios:       len(scenarios),
+		FullSetSurvives: true,
+		MinSurvived:     len(d.Routes),
+		NominalWorstIL:  lrep.WorstIL,
+		NominalWorstSNR: xrep.WorstSNR,
+		NominalPowerMW:  lrep.TotalPowerMW,
+		WorstIL:         lrep.WorstIL,
+		WorstSNR:        xrep.WorstSNR,
+		Outcomes:        outcomes,
+	}
+	for i := range outcomes {
+		o := &outcomes[i]
+		if len(o.Lost) > 0 {
+			rep.FullSetSurvives = false
+			mSignalsLost.Add(int64(len(o.Lost)))
+		}
+		if o.Survived < rep.MinSurvived {
+			rep.MinSurvived = o.Survived
+		}
+		if len(o.Lost) > rep.MaxLost {
+			rep.MaxLost = len(o.Lost)
+		}
+		if o.Survived > 0 {
+			if o.WorstIL > rep.WorstIL {
+				rep.WorstIL = o.WorstIL
+			}
+			if o.WorstSNR < rep.WorstSNR {
+				rep.WorstSNR = o.WorstSNR
+			}
+			if o.DegradationDB > rep.WorstDegradationDB {
+				rep.WorstDegradationDB = o.DegradationDB
+			}
+		}
+	}
+	rep.Critical = rankCritical(outcomes)
+	// Aggregation runs on the analytic values; non-finite SNRs (a design
+	// with no crosstalk terms reports +Inf) are flattened to 0 only now,
+	// so the min-over-scenarios above still prefers any finite value.
+	rep.NominalWorstSNR = finiteSNR(rep.NominalWorstSNR)
+	rep.WorstSNR = finiteSNR(rep.WorstSNR)
+	for i := range rep.Outcomes {
+		rep.Outcomes[i].WorstSNR = finiteSNR(rep.Outcomes[i].WorstSNR)
+	}
+	return rep, nil
+}
+
+// finiteSNR maps the analyzer's +Inf "no crosstalk terms" SNR (and any
+// NaN) to 0, the same convention the service summary uses — JSON cannot
+// carry non-finite floats.
+func finiteSNR(v float64) float64 {
+	if math.IsInf(v, 0) || math.IsNaN(v) {
+		return 0
+	}
+	return v
+}
+
+// rankCritical orders single-fault scenarios most-harmful first: by
+// signals lost, then IL degradation, then universe order (stable).
+func rankCritical(outcomes []Outcome) []CriticalElement {
+	var ce []CriticalElement
+	for i := range outcomes {
+		o := &outcomes[i]
+		if len(o.Scenario) != 1 {
+			continue
+		}
+		ce = append(ce, CriticalElement{
+			Element:       o.Scenario[0].String(),
+			Fault:         o.Scenario[0],
+			Lost:          len(o.Lost),
+			DegradationDB: o.DegradationDB,
+		})
+	}
+	sort.SliceStable(ce, func(i, j int) bool {
+		if ce[i].Lost != ce[j].Lost {
+			return ce[i].Lost > ce[j].Lost
+		}
+		return ce[i].DegradationDB > ce[j].DegradationDB
+	})
+	return ce
+}
+
+// replayScenario evaluates one fault set against the design.
+func replayScenario(ctx context.Context, d *router.Design, plan *pdn.Plan, banks *loss.Banks,
+	lrep *loss.Report, xrep *xtalk.Report, sc Scenario) (Outcome, error) {
+	deadPrimary := map[noc.Signal]bool{}
+	deadSpare := map[noc.Signal]bool{}
+	var detunes []Fault
+	for _, f := range sc {
+		switch f.Kind {
+		case KindMRR:
+			killChannel(d, f.WG, f.SC, f.Sig, deadPrimary, deadSpare)
+		case KindSegment:
+			killSegment(d, f, deadPrimary, deadSpare)
+		case KindDetune:
+			detunes = append(detunes, f)
+		}
+	}
+
+	// Resolve final routes: primary if alive, else the spare (promotion),
+	// else lost.
+	final := map[noc.Signal]*router.Route{}
+	var lost, promoted []noc.Signal
+	for sig, r := range d.Routes {
+		switch {
+		case !deadPrimary[sig]:
+			final[sig] = r
+		case d.SpareRoutes[sig] != nil && !deadSpare[sig]:
+			final[sig] = d.SpareRoutes[sig]
+			promoted = append(promoted, sig)
+		default:
+			lost = append(lost, sig)
+		}
+	}
+	sortSignals(lost)
+	sortSignals(promoted)
+
+	// A detune only bites when it targets the channel the signal ends up
+	// using after promotion.
+	detuneDB := map[noc.Signal]float64{}
+	for _, f := range detunes {
+		r := final[f.Sig]
+		if r == nil {
+			continue
+		}
+		if (r.Kind == router.OnRing && f.WG == r.WG) || (r.Kind == router.OnShortcut && f.SC == r.SC) {
+			detuneDB[f.Sig] += f.DetuneDB
+		}
+	}
+	var detuned []noc.Signal
+	for sig := range detuneDB {
+		detuned = append(detuned, sig)
+	}
+	sortSignals(detuned)
+
+	out := Outcome{
+		Scenario: sc,
+		Lost:     lost,
+		Promoted: promoted,
+		Detuned:  detuned,
+		Survived: len(final),
+	}
+	if len(lost) == 0 && len(promoted) == 0 && len(detuned) == 0 {
+		// No structural or loss effect: the nominal analyses hold
+		// byte-identically.
+		mNominalReuse.Inc()
+		out.WorstIL = lrep.WorstIL
+		out.WorstSNR = xrep.WorstSNR
+		out.TotalPowerMW = lrep.TotalPowerMW
+		return out, nil
+	}
+	mReplays.Inc()
+	if len(final) == 0 {
+		// Nothing survives: there is no surviving-set analysis to run.
+		out.FullReplay = true
+		return out, nil
+	}
+
+	rd, err := replayDesign(d, final)
+	if err != nil {
+		return Outcome{}, err
+	}
+	sigs := make([]noc.Signal, 0, len(final))
+	for sig := range final {
+		sigs = append(sigs, sig)
+	}
+	sortSignals(sigs)
+	losses := make([]*loss.SignalLoss, len(sigs))
+	for i, sig := range sigs {
+		r := final[sig]
+		sl := lrep.Signals[sig]
+		if r != d.Routes[sig] {
+			// Promoted onto the spare: price the protection route.
+			sl, err = loss.ForRoute(rd, banks, plan, sig, r)
+			if err != nil {
+				return Outcome{}, fmt.Errorf("faults: pricing spare route for %v: %w", sig, err)
+			}
+		}
+		if db := detuneDB[sig]; db > 0 {
+			cp := *sl
+			cp.IL += db
+			sl = &cp
+		}
+		losses[i] = sl
+	}
+	lrep2 := loss.Summarize(rd, sigs, losses)
+	xrep2, err := xtalk.AnalyzeCtx(ctx, rd, plan, lrep2)
+	if err != nil {
+		return Outcome{}, fmt.Errorf("faults: replay crosstalk analysis: %w", err)
+	}
+	out.FullReplay = true
+	out.WorstIL = lrep2.WorstIL
+	out.WorstSNR = xrep2.WorstSNR
+	out.TotalPowerMW = lrep2.TotalPowerMW
+	out.DegradationDB = lrep2.WorstIL - lrep.WorstIL
+	return out, nil
+}
+
+// killChannel marks the channel (element container, sig) dead in
+// whichever route table owns it.
+func killChannel(d *router.Design, wg, sc int, sig noc.Signal, deadPrimary, deadSpare map[noc.Signal]bool) {
+	if wg >= 0 {
+		if r := d.Routes[sig]; r != nil && r.Kind == router.OnRing && r.WG == wg {
+			deadPrimary[sig] = true
+		}
+		if r := d.SpareRoutes[sig]; r != nil && r.WG == wg {
+			deadSpare[sig] = true
+		}
+		return
+	}
+	if r := d.Routes[sig]; r != nil && r.Kind == router.OnShortcut && r.SC == sc {
+		deadPrimary[sig] = true
+	}
+}
+
+// killSegment kills every channel whose physical path traverses the cut.
+func killSegment(d *router.Design, f Fault, deadPrimary, deadSpare map[noc.Signal]bool) {
+	if f.WG >= 0 {
+		w := d.Waveguides[f.WG]
+		for _, c := range w.Channels {
+			if arcCoversEdge(d, c.Sig, w.Dir, f.Edge) {
+				killChannel(d, f.WG, -1, c.Sig, deadPrimary, deadSpare)
+			}
+		}
+		return
+	}
+	s := d.Shortcuts[f.SC]
+	for _, c := range s.Channels {
+		killChannel(d, -1, f.SC, c.Sig, deadPrimary, deadSpare)
+	}
+	// CSE traffic entering on the partner exits through this shortcut, so
+	// the cut severs it too.
+	if s.Partner >= 0 {
+		for _, c := range d.Shortcuts[s.Partner].Channels {
+			if c.ViaCSE {
+				killChannel(d, -1, s.Partner, c.Sig, deadPrimary, deadSpare)
+			}
+		}
+	}
+}
+
+// replayDesign builds a lightweight clone sharing the nominal geometry,
+// waveguide and shortcut structures, carrying only the post-fault route
+// table. Clones are analysis inputs, never validated or serialized.
+func replayDesign(d *router.Design, final map[noc.Signal]*router.Route) (*router.Design, error) {
+	rd, err := router.NewDesign(d.Net, d.Par, d.Tour, d.EdgeOrders)
+	if err != nil {
+		return nil, fmt.Errorf("faults: replay design: %w", err)
+	}
+	rd.Waveguides = d.Waveguides
+	rd.Shortcuts = d.Shortcuts
+	rd.MaxWL = d.MaxWL
+	rd.Routes = final
+	return rd, nil
+}
+
+func sortSignals(sigs []noc.Signal) {
+	sort.Slice(sigs, func(i, j int) bool {
+		if sigs[i].Src != sigs[j].Src {
+			return sigs[i].Src < sigs[j].Src
+		}
+		return sigs[i].Dst < sigs[j].Dst
+	})
+}

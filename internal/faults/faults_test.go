@@ -1,0 +1,299 @@
+package faults
+
+import (
+	"context"
+	"math"
+	"reflect"
+	"testing"
+
+	"xring/internal/core"
+	"xring/internal/loss"
+	"xring/internal/noc"
+	"xring/internal/pdn"
+	"xring/internal/router"
+	"xring/internal/xtalk"
+)
+
+// synth builds an 8-node design, optionally fault-tolerant (k=1).
+func synth(t *testing.T, k int, withPDN bool) (*router.Design, *pdn.Plan) {
+	t.Helper()
+	res, err := core.Synthesize(noc.Floorplan8(), core.Options{
+		MaxWL: 8, WithPDN: withPDN, FaultTolerance: k,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Design, res.Plan
+}
+
+func TestUniverseDeterministicAndComplete(t *testing.T) {
+	d, _ := synth(t, 0, true)
+	all := []Kind{KindMRR, KindSegment, KindDetune}
+	u1 := Universe(d, all, 0)
+	u2 := Universe(d, all, 0)
+	if !reflect.DeepEqual(u1, u2) {
+		t.Fatal("universe not deterministic")
+	}
+	counts := map[Kind]int{}
+	for _, f := range u1 {
+		counts[f.Kind]++
+	}
+	// Every channel has a Tx and an Rx MRR, and one detunable receiver.
+	channels := 0
+	for _, w := range d.Waveguides {
+		channels += len(w.Channels)
+	}
+	for _, s := range d.Shortcuts {
+		channels += len(s.Channels)
+	}
+	if counts[KindMRR] != 2*channels {
+		t.Fatalf("MRR faults = %d, want %d", counts[KindMRR], 2*channels)
+	}
+	if counts[KindDetune] != channels {
+		t.Fatalf("detune faults = %d, want %d", counts[KindDetune], channels)
+	}
+	if counts[KindSegment] == 0 {
+		t.Fatal("no segment faults enumerated")
+	}
+	for _, f := range u1 {
+		if f.Kind == KindDetune && f.DetuneDB != DefaultDetuneDB {
+			t.Fatalf("detune fault carries %v dB, want default %v", f.DetuneDB, DefaultDetuneDB)
+		}
+	}
+}
+
+// TestEmptyScenarioByteIdentical is the nominal-reproduction property:
+// replaying the empty fault set must reproduce the nominal loss and
+// crosstalk figures bit-for-bit, across design variants.
+func TestEmptyScenarioByteIdentical(t *testing.T) {
+	for _, tc := range []struct {
+		name    string
+		k       int
+		withPDN bool
+	}{
+		{"nominal", 0, true},
+		{"nominal-nopdn", 0, false},
+		{"ft1", 1, true},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			d, plan := synth(t, tc.k, tc.withPDN)
+			lrep, err := loss.Analyze(d, plan)
+			if err != nil {
+				t.Fatal(err)
+			}
+			xrep, err := xtalk.Analyze(d, plan, lrep)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rep, err := Analyze(context.Background(), d, plan, []Scenario{{}}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(rep.Outcomes) != 1 {
+				t.Fatalf("outcomes = %d", len(rep.Outcomes))
+			}
+			o := rep.Outcomes[0]
+			if o.FullReplay {
+				t.Fatal("empty scenario must reuse the nominal analyses")
+			}
+			// WorstSNR compares through finiteSNR: the report flattens a
+			// +Inf "no crosstalk terms" SNR to 0 for JSON.
+			if math.Float64bits(o.WorstIL) != math.Float64bits(lrep.WorstIL) ||
+				math.Float64bits(o.WorstSNR) != math.Float64bits(finiteSNR(xrep.WorstSNR)) ||
+				math.Float64bits(o.TotalPowerMW) != math.Float64bits(lrep.TotalPowerMW) {
+				t.Fatalf("empty-set replay diverged: IL %v vs %v, SNR %v vs %v, P %v vs %v",
+					o.WorstIL, lrep.WorstIL, o.WorstSNR, finiteSNR(xrep.WorstSNR), o.TotalPowerMW, lrep.TotalPowerMW)
+			}
+			if !rep.FullSetSurvives || rep.MinSurvived != len(d.Routes) || rep.MaxLost != 0 {
+				t.Fatalf("empty-set report claims degradation: %+v", rep)
+			}
+		})
+	}
+}
+
+func TestSingleMRRWithoutSparesLosesOneSignal(t *testing.T) {
+	d, plan := synth(t, 0, true)
+	scs, err := EnumerateK(Universe(d, []Kind{KindMRR}, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), d, plan, scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.FullSetSurvives {
+		t.Fatal("unprotected design cannot survive MRR failures")
+	}
+	for _, o := range rep.Outcomes {
+		if len(o.Lost) != 1 || o.Survived != len(d.Routes)-1 {
+			t.Fatalf("single MRR fault %v lost %d signals", o.Scenario, len(o.Lost))
+		}
+		if len(o.Promoted) != 0 {
+			t.Fatal("no spares exist, nothing can be promoted")
+		}
+	}
+	if rep.MinSurvived != len(d.Routes)-1 || rep.MaxLost != 1 {
+		t.Fatalf("min/max = %d/%d", rep.MinSurvived, rep.MaxLost)
+	}
+	if len(rep.Critical) != len(scs) || rep.Critical[0].Lost != 1 {
+		t.Fatalf("critical ranking incomplete: %d entries", len(rep.Critical))
+	}
+}
+
+// TestFaultTolerantSurvivesAllSingleMRR is the PR acceptance property: a
+// k=1 synthesis survives the exhaustive single-MRR universe with zero
+// lost signals.
+func TestFaultTolerantSurvivesAllSingleMRR(t *testing.T) {
+	d, plan := synth(t, 1, true)
+	if len(d.SpareRoutes) != len(d.Routes) {
+		t.Fatalf("spares %d != routes %d", len(d.SpareRoutes), len(d.Routes))
+	}
+	scs, err := EnumerateK(Universe(d, []Kind{KindMRR}, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), d, plan, scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rep.FullSetSurvives {
+		for _, o := range rep.Outcomes {
+			if len(o.Lost) > 0 {
+				t.Fatalf("fault %v lost %v", o.Scenario, o.Lost)
+			}
+		}
+	}
+	if rep.MinSurvived != len(d.Routes) || rep.MaxLost != 0 {
+		t.Fatalf("min/max = %d/%d", rep.MinSurvived, rep.MaxLost)
+	}
+	promotions := 0
+	for _, o := range rep.Outcomes {
+		promotions += len(o.Promoted)
+	}
+	if promotions == 0 {
+		t.Fatal("no fault ever promoted a spare; universe or replay is broken")
+	}
+}
+
+func TestSegmentCutsKillArcTraffic(t *testing.T) {
+	d, plan := synth(t, 0, true)
+	scs, err := EnumerateK(Universe(d, []Kind{KindSegment}, 0), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := Analyze(context.Background(), d, plan, scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The universe only enumerates segments that carry traffic, so every
+	// cut must lose at least one signal on an unprotected design.
+	for _, o := range rep.Outcomes {
+		if len(o.Lost) == 0 {
+			t.Fatalf("cut %v lost nothing", o.Scenario)
+		}
+	}
+}
+
+func TestDetuneDegradesWithoutLoss(t *testing.T) {
+	d, plan := synth(t, 0, true)
+	lrep, err := loss.Analyze(d, plan)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Detune the nominal worst signal's receiver: IL worsens by exactly
+	// the detune penalty, nothing is lost.
+	r := d.Routes[lrep.Worst]
+	f := Fault{Kind: KindDetune, WG: -1, SC: -1, Sig: lrep.Worst, Role: RoleRx, Edge: -1, DetuneDB: 3}
+	if r.Kind == router.OnRing {
+		f.WG = r.WG
+	} else {
+		f.SC = r.SC
+	}
+	rep, err := Analyze(context.Background(), d, plan, []Scenario{{f}}, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := rep.Outcomes[0]
+	if len(o.Lost) != 0 || len(o.Detuned) != 1 {
+		t.Fatalf("detune outcome: lost=%v detuned=%v", o.Lost, o.Detuned)
+	}
+	if got, want := o.WorstIL, lrep.WorstIL+3; math.Abs(got-want) > 1e-12 {
+		t.Fatalf("detuned worst IL = %v, want %v", got, want)
+	}
+	if o.DegradationDB < 3-1e-12 {
+		t.Fatalf("degradation = %v, want >= 3", o.DegradationDB)
+	}
+}
+
+// TestParallelMatchesSerial pins the canonical reduction: the parallel
+// fan-out must reproduce the serial outcome list bit-for-bit. CI runs
+// this under -race to exercise the fan-out for data races.
+func TestParallelMatchesSerial(t *testing.T) {
+	d, plan := synth(t, 1, true)
+	u := Universe(d, []Kind{KindMRR, KindSegment, KindDetune}, 0)
+	scs, err := EnumerateK(u, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := Analyze(context.Background(), d, plan, scs, Options{Serial: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Analyze(context.Background(), d, plan, scs, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Fatal("parallel fan-out diverged from serial replay")
+	}
+}
+
+func TestEnumerateAndSample(t *testing.T) {
+	d, _ := synth(t, 0, false)
+	u := Universe(d, []Kind{KindMRR}, 0)
+	if _, err := EnumerateK(u, 0); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := EnumerateK(u, len(u)+1); err == nil {
+		t.Fatal("k > |universe| must be rejected")
+	}
+	pairs, err := EnumerateK(u[:6], 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pairs) != 15 { // C(6,2)
+		t.Fatalf("pairs = %d", len(pairs))
+	}
+	s1, err := SampleK(u, 2, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := SampleK(u, 2, 10, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("seeded sampling not deterministic")
+	}
+	if len(s1) != 10 {
+		t.Fatalf("samples = %d", len(s1))
+	}
+	seen := map[string]bool{}
+	for _, sc := range s1 {
+		key := ""
+		for _, f := range sc {
+			key += f.String() + "|"
+		}
+		if seen[key] {
+			t.Fatal("duplicate sampled scenario")
+		}
+		seen[key] = true
+	}
+	s3, err := SampleK(u, 2, 10, 43)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if reflect.DeepEqual(s1, s3) {
+		t.Fatal("different seeds produced identical samples")
+	}
+}

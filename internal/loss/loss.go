@@ -180,6 +180,31 @@ func AnalyzeCtx(ctx context.Context, d *router.Design, plan *pdn.Plan) (*Report,
 	return rep, nil
 }
 
+// ForRoute computes one signal's loss over a specific route with the
+// exact expressions of the full analysis. The survivability replay
+// engine uses it to delta-evaluate signals promoted onto spare routes
+// without re-walking the unchanged ones; banks must be NewBanks of the
+// same design, and plan may be nil.
+func ForRoute(d *router.Design, banks *Banks, plan *pdn.Plan, sig noc.Signal, r *router.Route) (*SignalLoss, error) {
+	var sl *SignalLoss
+	switch r.Kind {
+	case router.OnRing:
+		sl = ringSignalLoss(d, d.Par, banks, sig, r)
+	case router.OnShortcut:
+		sl = shortcutSignalLoss(d, d.Par, sig, r)
+	default:
+		return nil, fmt.Errorf("loss: unknown route kind for %v", sig)
+	}
+	if plan != nil {
+		pl, err := plan.SenderLossDB(d.Par, FeedKeyFor(sig, r))
+		if err != nil {
+			return nil, err
+		}
+		sl.PDNLoss = pl
+	}
+	return sl, nil
+}
+
 // FeedKeyFor returns the PDN feed key powering a signal's sender.
 func FeedKeyFor(sig noc.Signal, r *router.Route) pdn.FeedKey {
 	key := pdn.FeedKey{OnShortcut: r.Kind == router.OnShortcut, Node: sig.Src}

@@ -78,6 +78,15 @@ type Options struct {
 	// the budget is exhausted, and only shares while relocating channels
 	// away from openings.
 	PreferSharing bool
+	// FaultTolerance requests k-fault-tolerant mapping: after the
+	// primary pass, every signal additionally receives a cold-standby
+	// spare route on dedicated protection waveguides, disjoint from all
+	// primary-traffic waveguides, so the full signal set survives any
+	// single MRR failure or ring-segment cut. Only k=0 (off) and k=1 are
+	// supported. The spare layer is greedily packed, then repacked
+	// exactly through internal/milp (warm-started from the greedy
+	// assignment) when the model is small enough.
+	FaultTolerance int
 }
 
 // placement mode for placeOnRings.
@@ -104,6 +113,14 @@ type Stats struct {
 	// Comparing #waveguides x #wl against it bounds the optimality gap
 	// of the greedy packing.
 	ChannelLowerBound int
+	// SpareSignals and SpareWGs report the fault-tolerance spare layer:
+	// how many cold-standby routes were added and how many protection
+	// waveguides carry them (zero in nominal mode).
+	SpareSignals int
+	SpareWGs     int
+	// SpareRepacked reports that the exact MILP repack improved on the
+	// greedy spare packing (the greedy assignment was its warm start).
+	SpareRepacked bool
 }
 
 // channelLowerBound computes the max-cut load over the realized routes.
@@ -149,6 +166,9 @@ func Run(d *router.Design, opt Options) (*Stats, error) {
 	if opt.MaxWL < 1 {
 		return nil, fmt.Errorf("mapping: MaxWL must be >= 1, got %d", opt.MaxWL)
 	}
+	if opt.FaultTolerance < 0 || opt.FaultTolerance > 1 {
+		return nil, fmt.Errorf("mapping: FaultTolerance must be 0 or 1, got %d", opt.FaultTolerance)
+	}
 	d.MaxWL = opt.MaxWL
 	stats := &Stats{}
 
@@ -163,6 +183,11 @@ func Run(d *router.Design, opt Options) (*Stats, error) {
 	}
 	if !opt.NoOpenings {
 		if err := openWaveguides(d, opt, stats); err != nil {
+			return nil, err
+		}
+	}
+	if opt.FaultTolerance > 0 {
+		if err := addSpareLayer(d, opt, stats); err != nil {
 			return nil, err
 		}
 	}
@@ -314,6 +339,17 @@ func mapRingSignals(d *router.Design, owned map[noc.Signal]bool, opt Options, st
 // the next same-wavelength receiver (Sec. II-B). It returns false when
 // no admissible (waveguide, wavelength) slot exists.
 func placeOnRings(d *router.Design, sig noc.Signal, dir router.Direction, maxWL int, mode placeMode) bool {
+	return placeOnRingsIn(d, d.Routes, 0, sig, dir, maxWL, mode)
+}
+
+// placeOnRingsIn is placeOnRings restricted to one routing layer: only
+// waveguides with ID >= minWG are considered and the realized route is
+// recorded in the given route table. The primary pass uses the whole
+// design and d.Routes; the fault-tolerance spare pass uses the
+// protection waveguides and d.SpareRoutes, which keeps the two layers
+// waveguide-disjoint by construction.
+func placeOnRingsIn(d *router.Design, routes map[noc.Signal]*router.Route, minWG int,
+	sig noc.Signal, dir router.Direction, maxWL int, mode placeMode) bool {
 	var passes [][2]bool // (allowFresh, allowShared) per pass
 	switch mode {
 	case freshOnly:
@@ -324,7 +360,7 @@ func placeOnRings(d *router.Design, sig noc.Signal, dir router.Direction, maxWL 
 		passes = [][2]bool{{true, true}}
 	}
 	for _, pass := range passes {
-		for _, w := range d.Waveguides {
+		for _, w := range d.Waveguides[minWG:] {
 			if w.Dir != dir {
 				continue
 			}
@@ -352,7 +388,7 @@ func placeOnRings(d *router.Design, sig noc.Signal, dir router.Direction, maxWL 
 				}
 				if ok {
 					w.Channels = append(w.Channels, cand)
-					d.Routes[sig] = &router.Route{Sig: sig, Kind: router.OnRing, WG: w.ID, WL: wl}
+					routes[sig] = &router.Route{Sig: sig, Kind: router.OnRing, WG: w.ID, WL: wl}
 					return true
 				}
 			}
@@ -379,11 +415,26 @@ func passerCounts(d *router.Design, w *router.Waveguide) map[int]int {
 // openWaveguides chooses an opening per ring waveguide and relocates the
 // channels that pass it (Sec. III-C, second half).
 func openWaveguides(d *router.Design, opt Options, stats *Stats) error {
+	return openWaveguidesIn(d, d.Routes, 0, opt, stats)
+}
+
+// openWaveguidesIn is the opening phase restricted to one routing layer:
+// waveguides with ID >= start are opened, and relocated channels stay in
+// that layer (placeOnRingsIn with the same floor, routes recorded in the
+// given table). Openings already chosen on earlier waveguides seed the
+// alignment preference.
+func openWaveguidesIn(d *router.Design, routes map[noc.Signal]*router.Route, start int,
+	opt Options, stats *Stats) error {
 	openingUsed := map[int]bool{}
+	for _, w := range d.Waveguides[:start] {
+		if w.Opening >= 0 {
+			openingUsed[w.Opening] = true
+		}
+	}
 	maxPasses := 4 * (len(d.Waveguides) + 1)
-	for i := 0; i < len(d.Waveguides); i++ {
-		if i > maxPasses {
-			return fmt.Errorf("mapping: opening relocation did not converge after %d waveguides", i)
+	for i := start; i < len(d.Waveguides); i++ {
+		if i-start > maxPasses {
+			return fmt.Errorf("mapping: opening relocation did not converge after %d waveguides", i-start)
 		}
 		w := d.Waveguides[i]
 		counts := passerCounts(d, w)
@@ -427,14 +478,14 @@ func openWaveguides(d *router.Design, opt Options, stats *Stats) error {
 			mode = shareFirst
 		}
 		for _, c := range move {
-			if placeOnRings(d, c.Sig, w.Dir, d.MaxWL, mode) {
+			if placeOnRingsIn(d, routes, start, c.Sig, w.Dir, d.MaxWL, mode) {
 				stats.Relocated++
 				continue
 			}
 			nw := &router.Waveguide{ID: len(d.Waveguides), Dir: w.Dir, Opening: -1}
 			nw.Channels = append(nw.Channels, router.Channel{Sig: c.Sig, WL: 0})
 			d.Waveguides = append(d.Waveguides, nw)
-			d.Routes[c.Sig] = &router.Route{Sig: c.Sig, Kind: router.OnRing, WG: nw.ID, WL: 0}
+			routes[c.Sig] = &router.Route{Sig: c.Sig, Kind: router.OnRing, WG: nw.ID, WL: 0}
 			stats.Relocated++
 			stats.ExtraWGs++
 		}

@@ -156,7 +156,8 @@ func Irregular(n int, w, h, minSpacing float64, seed int64) *Network {
 // Signal is one communication demand: Src sends to Dst. WRONoCs reserve
 // a collision-free path for every signal at design time.
 type Signal struct {
-	Src, Dst int
+	Src int `json:"src"`
+	Dst int `json:"dst"`
 }
 
 func (s Signal) String() string { return fmt.Sprintf("s%d->%d", s.Src, s.Dst) }

@@ -59,6 +59,7 @@ var (
 
 func init() {
 	SetWorkers(runtime.GOMAXPROCS(0))
+	resilience.RegisterFaultPoint("parallel.task")
 }
 
 // SetWorkers resizes the shared worker budget to n; n == 1 means no

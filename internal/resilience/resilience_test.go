@@ -169,6 +169,7 @@ func TestConcurrentFireIsRaceFree(t *testing.T) {
 func TestParseSpec(t *testing.T) {
 	sentinel := errors.New("registered sentinel")
 	RegisterFaultError("testsentinel", sentinel)
+	RegisterFaultPoint("a", "b", "c", "d")
 
 	in, err := Parse("a=error;b=error:testsentinel,times=1;c=panic;d=delay:5ms,after=1;seed=9")
 	if err != nil {
@@ -206,6 +207,7 @@ func TestParseSpecEmpty(t *testing.T) {
 }
 
 func TestParseSpecErrors(t *testing.T) {
+	RegisterFaultPoint("p")
 	bad := []string{
 		"noequals",
 		"p=explode",
@@ -224,7 +226,43 @@ func TestParseSpecErrors(t *testing.T) {
 	}
 }
 
+// TestParseSpecRejectsBadProbability pins the typed rejection of
+// non-real probabilities — NaN fails every range comparison, so without
+// the explicit check a p=NaN rule would fire unconditionally.
+func TestParseSpecRejectsBadProbability(t *testing.T) {
+	RegisterFaultPoint("p")
+	for _, spec := range []string{"p=error,p=NaN", "p=error,p=nan", "p=error,p=-0.5", "p=error,p=1.5"} {
+		_, err := Parse(spec)
+		var pe *InvalidProbabilityError
+		if !errors.As(err, &pe) {
+			t.Errorf("Parse(%q) = %v, want *InvalidProbabilityError", spec, err)
+		}
+	}
+	if _, err := Parse("p=error,p=0.5"); err != nil {
+		t.Errorf("valid probability rejected: %v", err)
+	}
+}
+
+// TestParseSpecRejectsUnknownPoint pins the typed rejection of point
+// names nobody registered — a typo'd point would otherwise be accepted
+// and silently never fire.
+func TestParseSpecRejectsUnknownPoint(t *testing.T) {
+	RegisterFaultPoint("known.point")
+	_, err := Parse("definitely.not.registered=error")
+	var ue *UnknownPointError
+	if !errors.As(err, &ue) {
+		t.Fatalf("Parse = %v, want *UnknownPointError", err)
+	}
+	if ue.Point != "definitely.not.registered" || len(ue.Known) == 0 {
+		t.Fatalf("error payload incomplete: %+v", ue)
+	}
+	if _, err := Parse("known.point=error"); err != nil {
+		t.Fatalf("registered point rejected: %v", err)
+	}
+}
+
 func ExampleParse() {
+	RegisterFaultPoint("demo.point")
 	in, _ := Parse("demo.point=error,times=1")
 	fmt.Println(in.Fire("demo.point") != nil)
 	fmt.Println(in.Fire("demo.point") != nil)

@@ -25,6 +25,7 @@ package resilience
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strconv"
 	"strings"
@@ -35,6 +36,9 @@ import (
 var (
 	regMu     sync.RWMutex
 	errByName = map[string]error{}
+
+	pointMu     sync.RWMutex
+	knownPoints = map[string]bool{}
 )
 
 // RegisterFaultError binds a name usable in "error:NAME" actions to a
@@ -67,6 +71,56 @@ func registeredFaultErrorNames() []string {
 	return names
 }
 
+// RegisterFaultPoint declares fault-point names that instrumented code
+// fires, making them addressable from the DSL. Instrumented packages
+// register their points at init (core registers core.ring and the
+// core.stage.* gates, parallel registers parallel.task, the service
+// registers its job and cache points), and Parse rejects any name
+// nobody registered — a typo'd point would otherwise be accepted and
+// silently never fire.
+func RegisterFaultPoint(names ...string) {
+	pointMu.Lock()
+	defer pointMu.Unlock()
+	for _, n := range names {
+		knownPoints[n] = true
+	}
+}
+
+// KnownFaultPoints lists every registered fault-point name, sorted.
+func KnownFaultPoints() []string {
+	pointMu.RLock()
+	defer pointMu.RUnlock()
+	names := make([]string, 0, len(knownPoints))
+	for n := range knownPoints {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// UnknownPointError reports a fault spec addressing a point name no
+// instrumented code registered. Known carries the registered names so
+// the operator sees the valid vocabulary in the failure itself.
+type UnknownPointError struct {
+	Point string
+	Known []string
+}
+
+func (e *UnknownPointError) Error() string {
+	return fmt.Sprintf("resilience: unknown fault point %q (registered: %s)",
+		e.Point, strings.Join(e.Known, ", "))
+}
+
+// InvalidProbabilityError reports a p= option whose value is not a real
+// probability: unparsable, NaN, negative, or above 1.
+type InvalidProbabilityError struct {
+	Value string
+}
+
+func (e *InvalidProbabilityError) Error() string {
+	return fmt.Sprintf("resilience: bad p=%q: want a probability in [0,1]", e.Value)
+}
+
 // Parse compiles a fault-spec string into a seeded Injector. An empty
 // spec returns (nil, nil): no injector, zero overhead.
 func Parse(spec string) (*Injector, error) {
@@ -94,14 +148,20 @@ func Parse(spec string) (*Injector, error) {
 			seed = n
 			continue
 		}
+		pointMu.RLock()
+		known := knownPoints[point]
+		pointMu.RUnlock()
+		if !known {
+			return nil, &UnknownPointError{Point: point, Known: KnownFaultPoints()}
+		}
 		fields := strings.Split(rest, ",")
 		rule := Rule{Point: point}
 		if err := applyAction(&rule, strings.TrimSpace(fields[0])); err != nil {
-			return nil, fmt.Errorf("resilience: fault item %q: %v", item, err)
+			return nil, fmt.Errorf("resilience: fault item %q: %w", item, err)
 		}
 		for _, f := range fields[1:] {
 			if err := applyOption(&rule, strings.TrimSpace(f)); err != nil {
-				return nil, fmt.Errorf("resilience: fault item %q: %v", item, err)
+				return nil, fmt.Errorf("resilience: fault item %q: %w", item, err)
 			}
 		}
 		rules = append(rules, rule)
@@ -165,9 +225,12 @@ func applyOption(rule *Rule, opt string) error {
 		}
 		rule.Times = n
 	case "p":
+		// NaN fails every comparison, so it must be rejected explicitly: a
+		// NaN probability would otherwise slip through the range check and
+		// make the rule fire unconditionally.
 		f, err := strconv.ParseFloat(val, 64)
-		if err != nil || f < 0 || f > 1 {
-			return fmt.Errorf("bad p=%q: want a probability in [0,1]", val)
+		if err != nil || math.IsNaN(f) || f < 0 || f > 1 {
+			return &InvalidProbabilityError{Value: val}
 		}
 		rule.Prob = f
 	default:

@@ -145,6 +145,16 @@ type Design struct {
 	// Routes maps every signal to its realized route (filled in Step 3).
 	Routes map[noc.Signal]*Route
 
+	// SpareRoutes maps signals to cold-standby protection routes added
+	// by fault-tolerant mapping (Options.FaultTolerance). A spare lives
+	// on a dedicated protection waveguide that carries no primary
+	// channel, so any single MRR failure (or ring-segment cut) kills at
+	// most one of {primary, spare} and the signal stays routable. Spares
+	// are dark in nominal operation: analyses iterate Routes only, while
+	// spare MRRs still contribute their passive through loss via the
+	// waveguide channel lists. Nil or empty for nominal designs.
+	SpareRoutes map[noc.Signal]*Route
+
 	// MaxWL is the per-waveguide wavelength budget #wl used by Step 3.
 	MaxWL int
 

@@ -245,8 +245,11 @@ func (d *Design) validateRoutes() error {
 			return fmt.Errorf("router: route %v has unknown kind %d", sig, r.Kind)
 		}
 	}
+	if err := d.validateSpareRoutes(); err != nil {
+		return err
+	}
 	// Every channel in the design must be reachable from the route table
-	// exactly once.
+	// (primary or spare) exactly once.
 	count := 0
 	for _, w := range d.Waveguides {
 		count += len(w.Channels)
@@ -254,8 +257,54 @@ func (d *Design) validateRoutes() error {
 	for _, s := range d.Shortcuts {
 		count += len(s.Channels)
 	}
-	if count != len(d.Routes) {
-		return fmt.Errorf("router: %d channels in design but %d routes", count, len(d.Routes))
+	if count != len(d.Routes)+len(d.SpareRoutes) {
+		return fmt.Errorf("router: %d channels in design but %d routes and %d spares",
+			count, len(d.Routes), len(d.SpareRoutes))
+	}
+	return nil
+}
+
+// validateSpareRoutes checks the protection invariants of fault-tolerant
+// designs: every spare backs a primary signal, is realized as a ring
+// channel, and sits on a dedicated protection waveguide that carries no
+// primary traffic (the waveguide-disjointness that makes single-element
+// failures survivable).
+func (d *Design) validateSpareRoutes() error {
+	if len(d.SpareRoutes) == 0 {
+		return nil
+	}
+	primaryWG := map[int]bool{}
+	for _, r := range d.Routes {
+		if r.Kind == OnRing {
+			primaryWG[r.WG] = true
+		}
+	}
+	for sig, r := range d.SpareRoutes {
+		if r.Sig != sig {
+			return fmt.Errorf("router: spare table key %v holds route for %v", sig, r.Sig)
+		}
+		if d.Routes[sig] == nil {
+			return fmt.Errorf("router: spare route %v has no primary route", sig)
+		}
+		if r.Kind != OnRing {
+			return fmt.Errorf("router: spare route %v must ride a ring waveguide", sig)
+		}
+		if r.WG < 0 || r.WG >= len(d.Waveguides) {
+			return fmt.Errorf("router: spare route %v references waveguide %d", sig, r.WG)
+		}
+		if primaryWG[r.WG] {
+			return fmt.Errorf("router: spare route %v shares waveguide %d with primary traffic", sig, r.WG)
+		}
+		found := false
+		for _, c := range d.Waveguides[r.WG].Channels {
+			if c.Sig == sig && c.WL == r.WL {
+				found = true
+				break
+			}
+		}
+		if !found {
+			return fmt.Errorf("router: spare route %v not present as channel on waveguide %d", sig, r.WG)
+		}
 	}
 	return nil
 }

@@ -26,7 +26,8 @@ import (
 // persistent tier stamps it into every on-disk entry and recovery
 // discards mismatches, so a v1 cache can never serve a v2 request.
 // v2: added Options.NoFallback.
-const keySchema = "xring-service-key-v2"
+// v3: added Options.FaultTolerance.
+const keySchema = "xring-service-key-v3"
 
 // canonicalKey hashes a resolved request into its content address.
 func canonicalKey(r *resolved) string {
@@ -69,6 +70,7 @@ func canonicalKey(r *resolved) string {
 	putB(o.NoOpenings)
 	putB(o.DisableConflicts)
 	putB(o.NoFallback)
+	putI(int64(o.FaultTolerance))
 	putI(int64(o.RingMaxNodes))
 	hashParams(h, o)
 

@@ -319,3 +319,35 @@ func (c *Client) ExploreFrontierCSV(ctx context.Context, id string) ([]byte, err
 func (c *Client) ExploreEvents(ctx context.Context, id string, fn func(service.Event)) error {
 	return c.streamEvents(ctx, "/v1/explore/"+id+"/events", fn)
 }
+
+// Whatif replays a cached design (by content key) under an injected
+// fault spec. With req.Async the server answers 202 and the returned
+// status is non-terminal; poll WhatifStatus or stream WhatifEvents.
+// An unknown design key yields an *APIError wrapping ErrNotFound.
+func (c *Client) Whatif(ctx context.Context, req *service.WhatifRequest) (*service.WhatifStatus, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out service.WhatifStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/whatif", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WhatifStatus fetches a fault replay's status, including the
+// survivability report once the replay is done.
+func (c *Client) WhatifStatus(ctx context.Context, id string) (*service.WhatifStatus, error) {
+	var out service.WhatifStatus
+	if err := c.do(ctx, http.MethodGet, "/v1/whatif/"+id, nil, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// WhatifEvents streams a replay's per-fault-scenario events until the
+// replay finishes, the stream ends, or ctx is cancelled.
+func (c *Client) WhatifEvents(ctx context.Context, id string, fn func(service.Event)) error {
+	return c.streamEvents(ctx, "/v1/whatif/"+id+"/events", fn)
+}

@@ -1,0 +1,135 @@
+package client
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"xring/internal/service"
+)
+
+// faultTolerantRequest asks for k=1 spare protection, so an exhaustive
+// single-MRR replay of the result must lose nothing. The spare layer
+// needs wavelength and die headroom the 4-node testRequest cannot
+// offer, so it uses the standard 8-node floorplan.
+func faultTolerantRequest() *service.Request {
+	return &service.Request{
+		Network: service.NetworkSpec{Standard: 8},
+		Options: service.OptionsSpec{
+			MaxWL:          8,
+			FaultTolerance: &service.FaultToleranceSpec{K: 1},
+		},
+	}
+}
+
+func TestClientWhatifRoundTrip(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	resp, err := c.Synthesize(ctx, faultTolerantRequest())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+
+	st, err := c.Whatif(ctx, &service.WhatifRequest{
+		Key:    resp.Key,
+		Faults: service.WhatifFaults{Kinds: []string{"mrr"}},
+	})
+	if err != nil {
+		t.Fatalf("whatif: %v", err)
+	}
+	if st.State != service.StateDone {
+		t.Fatalf("state = %s, want done (error: %s)", st.State, st.Error)
+	}
+	if st.Report == nil {
+		t.Fatal("sync whatif returned no report")
+	}
+	if !st.Report.FullSetSurvives || st.Report.MaxLost != 0 {
+		t.Errorf("k=1 design lost signals under single-MRR replay: %+v", st.Report)
+	}
+	if st.Scenarios != st.Universe || st.Completed != st.Scenarios {
+		t.Errorf("exhaustive replay incomplete: %d/%d of universe %d",
+			st.Completed, st.Scenarios, st.Universe)
+	}
+
+	again, err := c.WhatifStatus(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("whatif status: %v", err)
+	}
+	if again.State != service.StateDone || again.Completed != st.Completed {
+		t.Errorf("status disagrees with sync response: %+v", again)
+	}
+
+	var types []string
+	faultEvents := 0
+	if err := c.WhatifEvents(ctx, st.ID, func(ev service.Event) {
+		types = append(types, ev.Type)
+		if ev.Type == "fault" {
+			faultEvents++
+		}
+	}); err != nil {
+		t.Fatalf("whatif events: %v", err)
+	}
+	if len(types) == 0 || types[0] != "queued" || types[len(types)-1] != "done" {
+		t.Errorf("event stream %v, want queued ... done", types)
+	}
+	if faultEvents != st.Scenarios {
+		t.Errorf("%d fault events for %d scenarios", faultEvents, st.Scenarios)
+	}
+}
+
+func TestClientWhatifAsync(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	resp, err := c.Synthesize(ctx, testRequest())
+	if err != nil {
+		t.Fatalf("synthesize: %v", err)
+	}
+	st, err := c.Whatif(ctx, &service.WhatifRequest{
+		Key:    resp.Key,
+		Faults: service.WhatifFaults{Inject: []service.FaultSpec{{Kind: "segment", WG: intp(0), Edge: intp(0)}}},
+		Async:  true,
+	})
+	if err != nil {
+		t.Fatalf("async whatif: %v", err)
+	}
+	// Streaming the events waits out the replay: the stream ends at the
+	// terminal event, after which the status must carry the report.
+	if err := c.WhatifEvents(ctx, st.ID, func(service.Event) {}); err != nil {
+		t.Fatalf("whatif events: %v", err)
+	}
+	final, err := c.WhatifStatus(ctx, st.ID)
+	if err != nil {
+		t.Fatalf("whatif status: %v", err)
+	}
+	if final.State != service.StateDone || final.Report == nil {
+		t.Fatalf("async replay not done after stream end: %+v", final)
+	}
+	if final.Universe != 0 || final.Scenarios != 1 {
+		t.Errorf("inject mode universe/scenarios = %d/%d, want 0/1", final.Universe, final.Scenarios)
+	}
+}
+
+func TestClientWhatifNotFound(t *testing.T) {
+	c := newClientServer(t, service.Config{Workers: 1})
+	ctx := context.Background()
+	cases := map[string]func() error{
+		"unknown design key": func() error {
+			_, err := c.Whatif(ctx, &service.WhatifRequest{Key: "sha256:nope"})
+			return err
+		},
+		"unknown replay id": func() error { _, err := c.WhatifStatus(ctx, "nope"); return err },
+		"unknown replay stream": func() error {
+			return c.WhatifEvents(ctx, "nope", func(service.Event) {})
+		},
+	}
+	for name, call := range cases {
+		err := call()
+		if !errors.Is(err, ErrNotFound) {
+			t.Errorf("%s: error %v is not ErrNotFound", name, err)
+		}
+		var apiErr *APIError
+		if !errors.As(err, &apiErr) || apiErr.Status != 404 {
+			t.Errorf("%s: error %v is not a 404 APIError", name, err)
+		}
+	}
+}

@@ -71,6 +71,12 @@ var (
 		[]float64{10, 50, 100, 500, 1000, 5000, 10000, 60000, 300000})
 	mExploreCellMS = obs.NewHistogram("explore.cell.duration_ms", "ms", jobDurationBounds)
 
+	// Fault-replay workload (the /v1/whatif engine; the per-scenario
+	// replay counters live in internal/faults as faults.*).
+	mWhatifRuns      = obs.NewCounter("service.whatif.runs")
+	mWhatifScenarios = obs.NewCounter("service.whatif.scenarios")
+	mWhatifMS        = obs.NewHistogram("service.whatif.duration_ms", "ms", jobDurationBounds)
+
 	mDegraded         = obs.NewCounter("service.jobs.degraded")
 	mWarmStarted      = obs.NewCounter("service.jobs.warmstarted")
 	mPanicsRecovered  = obs.NewCounter("service.jobs.panics_recovered")
@@ -114,6 +120,10 @@ type Stats struct {
 	ExploreStudies     int64 `json:"exploreStudies"`
 	ExploreCells       int64 `json:"exploreCells"`
 	ExploreCellsFailed int64 `json:"exploreCellsFailed"`
+	// Fault-replay workload: /v1/whatif runs admitted and the fault
+	// scenarios they replayed.
+	WhatifRuns      int64 `json:"whatifRuns"`
+	WhatifScenarios int64 `json:"whatifScenarios"`
 	// UptimeSec is seconds since the server was created; BuildInfo
 	// identifies the binary (module version, VCS revision) so a fleet
 	// dashboard can tell which build answered.
@@ -140,6 +150,8 @@ type stats struct {
 	exploreStudies     atomic.Int64
 	exploreCells       atomic.Int64
 	exploreCellsFailed atomic.Int64
+	whatifRuns         atomic.Int64
+	whatifScenarios    atomic.Int64
 }
 
 func (s *stats) snapshot() Stats {
@@ -161,5 +173,7 @@ func (s *stats) snapshot() Stats {
 		ExploreStudies:     s.exploreStudies.Load(),
 		ExploreCells:       s.exploreCells.Load(),
 		ExploreCellsFailed: s.exploreCellsFailed.Load(),
+		WhatifRuns:         s.whatifRuns.Load(),
+		WhatifScenarios:    s.whatifScenarios.Load(),
 	}
 }

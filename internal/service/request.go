@@ -60,6 +60,17 @@ type OptionsSpec struct {
 	// back to the heuristic ring constructor on solver budget
 	// exhaustion, the request fails with the solver's error.
 	NoFallback bool `json:"noFallback,omitempty"`
+
+	// FaultTolerance requests k-fault-tolerant synthesis: the mapper adds
+	// a spare-route protection layer so the design survives any single
+	// MRR failure (only k=1 is supported). It is part of the content key:
+	// protected and unprotected designs never alias.
+	FaultTolerance *FaultToleranceSpec `json:"fault_tolerance,omitempty"`
+}
+
+// FaultToleranceSpec selects the synthesis protection level.
+type FaultToleranceSpec struct {
+	K int `json:"k"`
 }
 
 // Request is the POST /v1/synthesize body.
@@ -118,6 +129,12 @@ func (r *Request) resolve() (*resolved, error) {
 	out.opt.NoOpenings = o.NoOpenings
 	out.opt.DisableConflicts = o.DisableConflicts
 	out.opt.NoFallback = o.NoFallback
+	if o.FaultTolerance != nil {
+		if o.FaultTolerance.K < 0 || o.FaultTolerance.K > 1 {
+			return nil, fmt.Errorf("fault_tolerance.k %d out of range [0, 1]", o.FaultTolerance.K)
+		}
+		out.opt.FaultTolerance = o.FaultTolerance.K
+	}
 
 	if len(o.Traffic) > 0 {
 		seen := map[noc.Signal]bool{}

@@ -380,6 +380,9 @@ func (s *Server) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/explore/{id}", s.handleExploreStatus)
 	mux.HandleFunc("GET /v1/explore/{id}/events", s.handleExploreEvents)
 	mux.HandleFunc("GET /v1/explore/{id}/frontier", s.handleExploreFrontier)
+	mux.HandleFunc("POST /v1/whatif", s.handleWhatif)
+	mux.HandleFunc("GET /v1/whatif/{id}", s.handleWhatifStatus)
+	mux.HandleFunc("GET /v1/whatif/{id}/events", s.handleWhatifEvents)
 	mux.HandleFunc("GET /v1/stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -692,7 +695,9 @@ func (s *Server) handleJobDesign(w http.ResponseWriter, r *http.Request) {
 
 // handleDesignByKey serves a cached design by its content key, from
 // either cache tier. The persist tier validates the key shape itself,
-// so arbitrary path values never reach the filesystem.
+// so arbitrary path values never reach the filesystem. The body is the
+// exact designio.Save payload, so degraded-mode provenance rides in
+// headers: X-Design-Degraded plus the machine-readable reason.
 func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
 	c, tier, ok := s.cacheGet(r.PathValue("key"))
 	if !ok {
@@ -702,7 +707,27 @@ func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
 	s.countCacheServe(tier)
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Job-ID", c.jobID)
+	if c.summary != nil && c.summary.Degraded {
+		w.Header().Set("X-Design-Degraded", "true")
+		w.Header().Set("X-Design-Degraded-Reason", degradedReasonCode(c.summary.DegradedReason))
+	}
 	_, _ = w.Write(c.design)
+}
+
+// degradedReasonCode maps the engine's human-readable degraded reasons
+// to stable machine-readable codes for the X-Design-Degraded-Reason
+// header (and passes unknown reasons through verbatim rather than
+// hiding them).
+func degradedReasonCode(reason string) string {
+	switch reason {
+	case core.DegradedReasonBudget:
+		return "solver-budget-exhausted"
+	case core.DegradedReasonDeadline:
+		return "deadline-near-expiry"
+	case "":
+		return "unknown"
+	}
+	return reason
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, _ *http.Request) {

@@ -20,6 +20,9 @@
 //	GET  /v1/explore/{id}      study status: per-cell outcomes, cache attribution, frontier
 //	GET  /v1/explore/{id}/events   SSE stream: cell completions + incremental frontier events
 //	GET  /v1/explore/{id}/frontier Pareto frontier, canonical JSON (?format=csv for CSV)
+//	POST /v1/whatif            replay a cached design under injected faults (sync; "async": true -> 202)
+//	GET  /v1/whatif/{id}       replay status + survivability report
+//	GET  /v1/whatif/{id}/events    SSE stream: per-fault-scenario replay events
 //	GET  /v1/stats             always-on admission/cache counters + build info
 //	GET  /healthz, /readyz     liveness / readiness (readyz 503 while draining)
 //	GET  /metrics              Prometheus text exposition (JSON via ?format=json)
@@ -55,6 +58,8 @@ func init() {
 	// Lets operators force the degraded path from the fault DSL:
 	// xringd -fault 'core.ring=error:budget'.
 	resilience.RegisterFaultError("budget", milp.ErrBudget)
+	resilience.RegisterFaultPoint("service.job",
+		"service.cache.read", "service.cache.write")
 }
 
 // SynthFunc runs one resolved request. The default is the engine
@@ -88,6 +93,9 @@ type Config struct {
 	// MaxExplorations bounds retained exploration records; the oldest
 	// finished studies are evicted beyond it (default 64).
 	MaxExplorations int
+	// MaxWhatifs bounds retained fault-replay records; the oldest
+	// finished replays are evicted beyond it (default 64).
+	MaxWhatifs int
 	// Synth overrides the engine call (tests only).
 	Synth SynthFunc
 
@@ -139,6 +147,9 @@ func (c Config) withDefaults() Config {
 	if c.MaxExplorations <= 0 {
 		c.MaxExplorations = 64
 	}
+	if c.MaxWhatifs <= 0 {
+		c.MaxWhatifs = 64
+	}
 	if c.Synth == nil {
 		c.Synth = engineSynth
 	}
@@ -177,6 +188,10 @@ type Server struct {
 	exploreOrder []string                // admission order, for bounded retention
 	exploreSeq   atomic.Uint64
 
+	whatifs     map[string]*whatifRun // replay id -> record
+	whatifOrder []string              // admission order, for bounded retention
+	whatifSeq   atomic.Uint64
+
 	cache    *resultCache
 	persist  *persistStore // nil unless Config.PersistDir is set
 	inj      *resilience.Injector
@@ -208,6 +223,7 @@ func New(cfg Config) (*Server, error) {
 		inflight:     map[string]*job{},
 		jobs:         map[string]*job{},
 		explorations: map[string]*exploration{},
+		whatifs:      map[string]*whatifRun{},
 		cache:        newResultCache(cfg.CacheEntries),
 		inj:          inj,
 		flight:       obs.NewFlightRecorder(cfg.FlightRecords),

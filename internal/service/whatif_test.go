@@ -1,0 +1,220 @@
+package service
+
+// Service-boundary tests of the /v1/whatif fault-replay surface:
+// request validation, degraded-provenance propagation (headers on the
+// design endpoint, fields on replay statuses), and content-key
+// separation of fault-tolerant requests.
+
+import (
+	"bytes"
+	"encoding/json"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+
+	"xring/internal/milp"
+	"xring/internal/resilience"
+)
+
+func postWhatif(t *testing.T, url string, req *WhatifRequest) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(req)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	resp, err := http.Post(url+"/v1/whatif", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("POST /v1/whatif: %v", err)
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatalf("read body: %v", err)
+	}
+	return resp, data
+}
+
+func decodeWhatif(t *testing.T, data []byte) *WhatifStatus {
+	t.Helper()
+	var st WhatifStatus
+	if err := json.Unmarshal(data, &st); err != nil {
+		t.Fatalf("decode whatif status %s: %v", data, err)
+	}
+	return &st
+}
+
+func TestWhatifRejectsBadRequests(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, data := postSynth(t, ts.URL, quadRequest(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d %s", resp.StatusCode, data)
+	}
+	key := decodeResponse(t, data).Key
+
+	intp := func(v int) *int { return &v }
+	cases := map[string]struct {
+		req  *WhatifRequest
+		want int
+	}{
+		"unknown key": {&WhatifRequest{Key: "sha256:nope"}, http.StatusNotFound},
+		"unknown kind": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Kinds: []string{"gremlin"}}}, http.StatusBadRequest},
+		"unknown mode": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Mode: "guess"}}, http.StatusBadRequest},
+		"k too large": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{K: 9999}}, http.StatusBadRequest},
+		"inject needs element": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "mrr"}}}}, http.StatusBadRequest},
+		"inject both elements": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "mrr", WG: intp(0), SC: intp(0)}}}}, http.StatusBadRequest},
+		"inject wg range": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "segment", WG: intp(99), Edge: intp(0)}}}}, http.StatusBadRequest},
+		"inject missing edge": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "segment", WG: intp(0)}}}}, http.StatusBadRequest},
+		"inject unknown channel": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "mrr", WG: intp(0), Src: 0, Dst: 0}}}}, http.StatusBadRequest},
+		"inject bad role": {&WhatifRequest{Key: key,
+			Faults: WhatifFaults{Inject: []FaultSpec{{Kind: "mrr", WG: intp(0), Src: 0, Dst: 1, Role: "mid"}}}}, http.StatusBadRequest},
+	}
+	for name, tc := range cases {
+		resp, data := postWhatif(t, ts.URL, tc.req)
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status %d, want %d (body %s)", name, resp.StatusCode, tc.want, data)
+		}
+	}
+
+	// Unknown replay ids 404 on both the status and event endpoints.
+	for _, path := range []string{"/v1/whatif/nope", "/v1/whatif/nope/events"} {
+		resp, err := http.Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s: status %d, want 404", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestWhatifReplaysCachedDesign exercises the synchronous happy path
+// over raw HTTP: an exhaustive single-MRR universe on an unprotected
+// design loses exactly one signal per scenario.
+func TestWhatifReplaysCachedDesign(t *testing.T) {
+	s, ts := newTestServer(t, Config{Workers: 1})
+	resp, data := postSynth(t, ts.URL, quadRequest(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d %s", resp.StatusCode, data)
+	}
+	key := decodeResponse(t, data).Key
+
+	resp, data = postWhatif(t, ts.URL, &WhatifRequest{
+		Key: key, Faults: WhatifFaults{Kinds: []string{"mrr"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif: %d %s", resp.StatusCode, data)
+	}
+	st := decodeWhatif(t, data)
+	if st.State != StateDone || st.Report == nil {
+		t.Fatalf("status = %+v, want done with report", st)
+	}
+	if st.Report.FullSetSurvives || st.Report.MaxLost != 1 {
+		t.Errorf("unprotected design report: %+v, want maxLost 1", st.Report)
+	}
+	if st.Degraded {
+		t.Error("healthy design marked degraded")
+	}
+	if got := s.Stats(); got.WhatifRuns != 1 || got.WhatifScenarios != int64(st.Scenarios) {
+		t.Errorf("stats = runs %d scenarios %d, want 1/%d", got.WhatifRuns, got.WhatifScenarios, st.Scenarios)
+	}
+}
+
+// TestDegradedProvenancePropagates pins satellite provenance plumbing:
+// the design endpoint carries machine-readable degraded headers, and a
+// whatif over that design repeats the verdict in its status.
+func TestDegradedProvenancePropagates(t *testing.T) {
+	inj := resilience.NewInjector(1, resilience.Rule{Point: "core.ring", Err: milp.ErrBudget})
+	_, ts := newTestServer(t, Config{Workers: 1, Injector: inj})
+
+	resp, data := postSynth(t, ts.URL, quadRequest(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("degraded synthesize: %d %s", resp.StatusCode, data)
+	}
+	key := decodeResponse(t, data).Key
+
+	dresp, err := http.Get(ts.URL + "/v1/designs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if got := dresp.Header.Get("X-Design-Degraded"); got != "true" {
+		t.Errorf("X-Design-Degraded = %q, want true", got)
+	}
+	if got := dresp.Header.Get("X-Design-Degraded-Reason"); got != "solver-budget-exhausted" {
+		t.Errorf("X-Design-Degraded-Reason = %q, want solver-budget-exhausted", got)
+	}
+
+	resp, data = postWhatif(t, ts.URL, &WhatifRequest{
+		Key: key, Faults: WhatifFaults{Kinds: []string{"mrr"}},
+	})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("whatif: %d %s", resp.StatusCode, data)
+	}
+	st := decodeWhatif(t, data)
+	if !st.Degraded || !strings.Contains(st.DegradedReason, "budget") {
+		t.Errorf("whatif status degraded=%v reason=%q, want the budget provenance", st.Degraded, st.DegradedReason)
+	}
+}
+
+// TestHealthyDesignHasNoDegradedHeaders is the negative of the above.
+func TestHealthyDesignHasNoDegradedHeaders(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+	resp, data := postSynth(t, ts.URL, quadRequest(0))
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d %s", resp.StatusCode, data)
+	}
+	key := decodeResponse(t, data).Key
+	dresp, err := http.Get(ts.URL + "/v1/designs/" + key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	io.Copy(io.Discard, dresp.Body)
+	dresp.Body.Close()
+	if dresp.Header.Get("X-Design-Degraded") != "" || dresp.Header.Get("X-Design-Degraded-Reason") != "" {
+		t.Errorf("healthy design carries degraded headers: %v", dresp.Header)
+	}
+}
+
+// TestFaultToleranceSeparatesContentKeys: the k=1 option must flow into
+// the canonical key, or protected and unprotected results would collide
+// in the cache.
+func TestFaultToleranceSeparatesContentKeys(t *testing.T) {
+	_, ts := newTestServer(t, Config{Workers: 1})
+
+	plain := &Request{Network: NetworkSpec{Standard: 8}, Options: OptionsSpec{MaxWL: 8}}
+	resp, data := postSynth(t, ts.URL, plain)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("synthesize: %d %s", resp.StatusCode, data)
+	}
+	plainKey := decodeResponse(t, data).Key
+
+	ft := &Request{Network: NetworkSpec{Standard: 8},
+		Options: OptionsSpec{MaxWL: 8, FaultTolerance: &FaultToleranceSpec{K: 1}}}
+	resp, data = postSynth(t, ts.URL, ft)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("fault-tolerant synthesize: %d %s", resp.StatusCode, data)
+	}
+	ftKey := decodeResponse(t, data).Key
+
+	if plainKey == ftKey {
+		t.Fatalf("fault_tolerance did not change the content key: %s", plainKey)
+	}
+
+	// Out-of-range k is rejected at validation.
+	bad := &Request{Network: NetworkSpec{Standard: 8},
+		Options: OptionsSpec{MaxWL: 8, FaultTolerance: &FaultToleranceSpec{K: 7}}}
+	if resp, _ := postSynth(t, ts.URL, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("k=7 accepted: status %d", resp.StatusCode)
+	}
+}
