@@ -228,6 +228,27 @@ func arcCoversEdge(d *router.Design, sig noc.Signal, dir router.Direction, e int
 // Scenario is one replay: a set of simultaneous faults.
 type Scenario []Fault
 
+// Combinations returns the binomial count C(n, k), saturating at
+// limit+1 as soon as the running product exceeds limit. Callers bound
+// an enumeration (count > limit means "too many") without ever
+// materializing it or overflowing on large universes.
+func Combinations(n, k, limit int) int {
+	if k < 0 || k > n {
+		return 0
+	}
+	if k > n-k {
+		k = n - k
+	}
+	c := 1
+	for i := 1; i <= k; i++ {
+		c = c * (n - k + i) / i
+		if c > limit {
+			return limit + 1
+		}
+	}
+	return c
+}
+
 // EnumerateK expands a universe into every size-k fault combination, in
 // lexicographic index order. k=1 yields the exhaustive single-fault set.
 func EnumerateK(universe []Fault, k int) ([]Scenario, error) {

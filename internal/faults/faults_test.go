@@ -248,6 +248,25 @@ func TestParallelMatchesSerial(t *testing.T) {
 	}
 }
 
+func TestCombinations(t *testing.T) {
+	cases := []struct{ n, k, limit, want int }{
+		{6, 2, 100, 15},
+		{6, 0, 100, 1},
+		{6, 6, 100, 1},
+		{6, 7, 100, 0},
+		{6, -1, 100, 0},
+		{10, 3, 120, 120},       // exactly at the limit: exact count
+		{10, 3, 119, 120},       // over the limit: saturates at limit+1
+		{1885, 3, 4096, 4097},   // realistic whatif universe, k=3: must saturate, not overflow
+		{1 << 30, 5, 4096, 4097}, // huge n: the running product must saturate before overflowing
+	}
+	for _, c := range cases {
+		if got := Combinations(c.n, c.k, c.limit); got != c.want {
+			t.Errorf("Combinations(%d, %d, %d) = %d, want %d", c.n, c.k, c.limit, got, c.want)
+		}
+	}
+}
+
 func TestEnumerateAndSample(t *testing.T) {
 	d, _ := synth(t, 0, false)
 	u := Universe(d, []Kind{KindMRR}, 0)

@@ -272,10 +272,14 @@ func expandScenarios(d *router.Design, spec *WhatifFaults) ([]faults.Scenario, i
 	)
 	switch spec.Mode {
 	case "", "enumerate":
-		scs, err = faults.EnumerateK(universe, k)
-		if err == nil && len(scs) > maxWhatifScenarios {
-			err = fmt.Errorf("k=%d enumerates %d scenarios (max %d); use mode \"sample\"",
-				k, len(scs), maxWhatifScenarios)
+		// Bound by the binomial count before materializing anything: a
+		// k=3 universe of a few thousand faults enumerates billions of
+		// scenarios, which must be rejected without allocating them.
+		if n := faults.Combinations(len(universe), k, maxWhatifScenarios); n > maxWhatifScenarios {
+			err = fmt.Errorf("k=%d over a universe of %d enumerates more than %d scenarios; use mode \"sample\"",
+				k, len(universe), maxWhatifScenarios)
+		} else {
+			scs, err = faults.EnumerateK(universe, k)
 		}
 	case "sample":
 		n := spec.Samples
@@ -297,10 +301,15 @@ func expandScenarios(d *router.Design, spec *WhatifFaults) ([]faults.Scenario, i
 }
 
 func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
-	s.st.whatifRuns.Add(1)
-	mWhatifRuns.Inc()
 	traceID := string(requestTraceID(r))
 	w.Header().Set("X-Trace-Id", traceID)
+	if s.draining.Load() {
+		s.st.drained.Add(1)
+		mRejectedDrain.Inc()
+		w.Header().Set("Retry-After", "5")
+		writeErrorTraced(w, http.StatusServiceUnavailable, errors.New("server is draining"), traceID)
+		return
+	}
 	var req WhatifRequest
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxRequestBody))
 	dec.DisallowUnknownFields()
@@ -327,14 +336,6 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 		writeErrorTraced(w, http.StatusBadRequest, err, traceID)
 		return
 	}
-	if s.draining.Load() {
-		s.st.drained.Add(1)
-		mRejectedDrain.Inc()
-		w.Header().Set("Retry-After", "5")
-		writeErrorTraced(w, http.StatusServiceUnavailable, errors.New("server is draining"), traceID)
-		return
-	}
-
 	spec, _ := json.Marshal(&req.Faults)
 	wr := &whatifRun{
 		id:        whatifID(s.whatifSeq.Add(1), req.Key, spec),
@@ -358,6 +359,11 @@ func (s *Server) handleWhatif(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	s.retainWhatifLocked(wr)
 	s.mu.Unlock()
+	// Runs count on admission (the replay is registered and will
+	// execute), not on handler entry: 404s and malformed bodies are not
+	// runs.
+	s.st.whatifRuns.Add(1)
+	mWhatifRuns.Inc()
 	s.st.whatifScenarios.Add(int64(len(scenarios)))
 	mWhatifScenarios.Add(int64(len(scenarios)))
 	s.wg.Add(1)

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"testing"
 
+	"xring/internal/faults"
 	"xring/internal/milp"
 	"xring/internal/resilience"
 )
@@ -81,6 +82,28 @@ func TestWhatifRejectsBadRequests(t *testing.T) {
 		resp, data := postWhatif(t, ts.URL, tc.req)
 		if resp.StatusCode != tc.want {
 			t.Errorf("%s: status %d, want %d (body %s)", name, resp.StatusCode, tc.want, data)
+		}
+	}
+
+	// Combinatorial blowups are rejected from the binomial count alone,
+	// before any scenario is materialized: probe the real universe size,
+	// pick the smallest k whose C(n, k) exceeds the cap, and expect a
+	// 400 that points at sample mode.
+	resp, data = postWhatif(t, ts.URL, &WhatifRequest{Key: key})
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("universe probe: %d %s", resp.StatusCode, data)
+	}
+	n := decodeWhatif(t, data).Universe
+	blowK := 2
+	for blowK < n && faults.Combinations(n, blowK, maxWhatifScenarios) <= maxWhatifScenarios {
+		blowK++
+	}
+	if faults.Combinations(n, blowK, maxWhatifScenarios) > maxWhatifScenarios {
+		resp, data = postWhatif(t, ts.URL, &WhatifRequest{Key: key,
+			Faults: WhatifFaults{K: blowK}})
+		if resp.StatusCode != http.StatusBadRequest || !strings.Contains(string(data), "sample") {
+			t.Errorf("k=%d enumerate: status %d body %s, want 400 suggesting sample mode",
+				blowK, resp.StatusCode, data)
 		}
 	}
 
