@@ -1,18 +1,25 @@
 package main
 
-// Load mode: drive a running xringd instance with a concurrent mixed
-// workload through the service client, then report client-side latency
-// percentiles next to the server's own admission/cache counters. This
-// is the ops-facing complement of the synthesis tables: it answers
-// "what does this daemon do under N concurrent requests" — how much
-// load the content-addressed cache and singleflight dedup absorb, and
-// how often admission control pushed back.
+// Load mode: drive one running xringd — or a whole fleet — with a
+// concurrent mixed workload through the service client, then report
+// client-side latency percentiles next to the servers' own
+// admission/cache counters. This is the ops-facing complement of the
+// synthesis tables: it answers "what does this daemon (or cluster
+// front) do under N concurrent requests" — how much load the
+// content-addressed cache and singleflight dedup absorb, and how often
+// admission control pushed back.
+//
+// With -endpoints a,b,c the workload round-robins across the fleet and
+// the report adds a per-endpoint breakdown. All endpoint clients share
+// one BreakerGroup, so a dead endpoint trips only its own circuit: the
+// rest of the fleet keeps being measured.
 
 import (
 	"context"
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"time"
 
@@ -23,10 +30,21 @@ import (
 
 // loadConfig is the -load* flag bundle.
 type loadConfig struct {
-	base  string // xringd base URL
-	total int    // requests to send
-	conc  int    // concurrent senders
-	nodes int    // floorplan size (standard grids)
+	endpoints []string // xringd base URLs (round-robin when several)
+	total     int      // requests to send
+	conc      int      // concurrent senders
+	nodes     int      // floorplan size (standard grids)
+}
+
+// splitEndpoints parses the -endpoints list, dropping empties.
+func splitEndpoints(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
 }
 
 // loadVariants builds the mixed request set: four distinct #wl budgets
@@ -49,20 +67,38 @@ func loadVariants(n int) []*service.Request {
 	return reqs
 }
 
+// pctOf returns the p-quantile of a sorted latency slice.
+func pctOf(lats []time.Duration, p float64) time.Duration {
+	if len(lats) == 0 {
+		return 0
+	}
+	i := int(p * float64(len(lats)-1))
+	return lats[i]
+}
+
 func runLoad(w io.Writer, cfg loadConfig) error {
 	ctx := context.Background()
-	c := client.New(cfg.base, nil)
-	if err := c.Ready(ctx); err != nil {
-		return fmt.Errorf("xringd at %s is not ready: %w", cfg.base, err)
-	}
-	before, err := c.Stats(ctx)
-	if err != nil {
-		return err
+	// One breaker group for the whole fleet: per-endpoint circuits, so
+	// one bad endpoint cannot stop the workload against the others.
+	group := client.NewBreakerGroup()
+	clients := make([]*client.Client, len(cfg.endpoints))
+	befores := make([]*service.Stats, len(cfg.endpoints))
+	for i, ep := range cfg.endpoints {
+		clients[i] = client.NewWithBreakers(ep, nil, group)
+		if err := clients[i].Ready(ctx); err != nil {
+			return fmt.Errorf("xringd at %s is not ready: %w", ep, err)
+		}
+		st, err := clients[i].Stats(ctx)
+		if err != nil {
+			return err
+		}
+		befores[i] = st
 	}
 	variants := loadVariants(cfg.nodes)
 
 	type sample struct {
 		lat      time.Duration
+		endpoint int
 		source   string
 		traceID  string
 		echoed   bool // server echoed our trace ID back
@@ -84,9 +120,10 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 			// request is greppable by it.
 			tid := obs.NewTraceID()
 			rctx := obs.WithTraceID(ctx, tid)
+			ep := i % len(clients)
 			start := time.Now()
-			resp, err := c.Synthesize(rctx, variants[i%len(variants)])
-			s := sample{lat: time.Since(start), traceID: string(tid), err: err}
+			resp, err := clients[ep].Synthesize(rctx, variants[i%len(variants)])
+			s := sample{lat: time.Since(start), endpoint: ep, traceID: string(tid), err: err}
 			if err == nil {
 				s.source = resp.Source
 				s.echoed = resp.TraceID == string(tid)
@@ -97,12 +134,13 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 	}
 	wg.Wait()
 	wall := time.Since(t0)
-	after, err := c.Stats(ctx)
-	if err != nil {
-		return err
-	}
 
 	var lats []time.Duration
+	perEP := make([][]time.Duration, len(clients))
+	perEPSources := make([]map[string]int, len(clients))
+	for i := range perEPSources {
+		perEPSources[i] = map[string]int{}
+	}
 	sources := map[string]int{}
 	failures, degraded, traceMismatches := 0, 0, 0
 	var failureSamples []string
@@ -122,32 +160,53 @@ func runLoad(w io.Writer, cfg loadConfig) error {
 			degraded++
 		}
 		lats = append(lats, s.lat)
+		perEP[s.endpoint] = append(perEP[s.endpoint], s.lat)
+		perEPSources[s.endpoint][s.source]++
 		sources[s.source]++
 	}
 	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
-	pct := func(p float64) time.Duration {
-		if len(lats) == 0 {
-			return 0
-		}
-		i := int(p * float64(len(lats)-1))
-		return lats[i]
+	for _, l := range perEP {
+		sort.Slice(l, func(i, j int) bool { return l[i] < l[j] })
 	}
 
-	fmt.Fprintf(w, "xringd load: %d requests x %d concurrent against %s (%d-node floorplans, %d variants)\n",
-		cfg.total, cfg.conc, cfg.base, cfg.nodes, len(variants))
+	fmt.Fprintf(w, "xringd load: %d requests x %d concurrent against %d endpoint(s) (%d-node floorplans, %d variants)\n",
+		cfg.total, cfg.conc, len(cfg.endpoints), cfg.nodes, len(variants))
 	fmt.Fprintf(w, "  wall time        %v\n", wall.Round(time.Millisecond))
 	fmt.Fprintf(w, "  ok / failed      %d / %d\n", len(lats), failures)
-	fmt.Fprintf(w, "  latency p50/p95/p99  %v / %v / %v\n",
-		pct(0.50).Round(time.Microsecond), pct(0.95).Round(time.Microsecond), pct(0.99).Round(time.Microsecond))
-	fmt.Fprintf(w, "  sources          synthesized %d, dedup %d, cache %d\n",
-		sources["synthesized"], sources["dedup"], sources["cache"])
+	fmt.Fprintf(w, "  latency p50/p95/p99/p999  %v / %v / %v / %v\n",
+		pctOf(lats, 0.50).Round(time.Microsecond), pctOf(lats, 0.95).Round(time.Microsecond),
+		pctOf(lats, 0.99).Round(time.Microsecond), pctOf(lats, 0.999).Round(time.Microsecond))
+	fmt.Fprintf(w, "  sources          synthesized %d, dedup %d, cache %d, peerfill %d\n",
+		sources["synthesized"], sources["dedup"], sources["cache"], sources["peerfill"])
 	if degraded > 0 {
 		fmt.Fprintf(w, "  degraded         %d responses used the heuristic fallback\n", degraded)
 	}
-	fmt.Fprintf(w, "  server counters  +%d requests, +%d synthesized, +%d cache hits, +%d dedup hits, +%d rejected, +%d degraded\n",
-		after.Requests-before.Requests, after.Synthesized-before.Synthesized,
-		after.CacheHits-before.CacheHits, after.DedupHits-before.DedupHits,
-		after.Rejected-before.Rejected, after.Degraded-before.Degraded)
+	if len(cfg.endpoints) > 1 {
+		fmt.Fprintf(w, "  per endpoint     %-28s %6s %10s %10s %10s  %s\n",
+			"url", "ok", "p50", "p99", "p999", "sources (synth/dedup/cache/peerfill)")
+		for i, ep := range cfg.endpoints {
+			l := perEP[i]
+			src := perEPSources[i]
+			fmt.Fprintf(w, "                   %-28s %6d %10v %10v %10v  %d/%d/%d/%d\n",
+				ep, len(l),
+				pctOf(l, 0.50).Round(time.Microsecond), pctOf(l, 0.99).Round(time.Microsecond),
+				pctOf(l, 0.999).Round(time.Microsecond),
+				src["synthesized"], src["dedup"], src["cache"], src["peerfill"])
+		}
+	}
+	for i, c := range clients {
+		after, err := c.Stats(ctx)
+		if err != nil {
+			return err
+		}
+		before := befores[i]
+		fmt.Fprintf(w, "  server counters  %s: +%d requests, +%d synthesized, +%d cache hits, +%d dedup hits, +%d peer fills, +%d rejected, +%d degraded\n",
+			cfg.endpoints[i],
+			after.Requests-before.Requests, after.Synthesized-before.Synthesized,
+			after.CacheHits-before.CacheHits, after.DedupHits-before.DedupHits,
+			after.PeerFills-before.PeerFills,
+			after.Rejected-before.Rejected, after.Degraded-before.Degraded)
+	}
 	for _, msg := range failureSamples {
 		fmt.Fprintf(w, "  failure          %s\n", msg)
 	}

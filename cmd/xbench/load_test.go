@@ -26,11 +26,11 @@ func TestRunLoadAgainstInProcessService(t *testing.T) {
 	}()
 
 	var out strings.Builder
-	if err := runLoad(&out, loadConfig{base: ts.URL, total: 12, conc: 4, nodes: 8}); err != nil {
+	if err := runLoad(&out, loadConfig{endpoints: []string{ts.URL}, total: 12, conc: 4, nodes: 8}); err != nil {
 		t.Fatalf("runLoad: %v\n%s", err, out.String())
 	}
 	report := out.String()
-	for _, want := range []string{"ok / failed      12 / 0", "latency p50/p95/p99", "server counters"} {
+	for _, want := range []string{"ok / failed      12 / 0", "latency p50/p95/p99/p999", "server counters"} {
 		if !strings.Contains(report, want) {
 			t.Errorf("report missing %q:\n%s", want, report)
 		}
@@ -60,5 +60,54 @@ func TestLoadVariantsFeasibleBudgets(t *testing.T) {
 			}
 			seen[wl] = true
 		}
+	}
+}
+
+func TestRunLoadAcrossEndpoints(t *testing.T) {
+	var urls []string
+	var servers []*service.Server
+	for i := 0; i < 2; i++ {
+		s, err := service.New(service.Config{QueueDepth: 8, Workers: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(s.Handler())
+		defer func() {
+			ts.Close()
+			ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+			defer cancel()
+			if err := s.Drain(ctx); err != nil {
+				t.Errorf("drain: %v", err)
+			}
+		}()
+		urls = append(urls, ts.URL)
+		servers = append(servers, s)
+	}
+
+	var out strings.Builder
+	if err := runLoad(&out, loadConfig{endpoints: urls, total: 16, conc: 4, nodes: 8}); err != nil {
+		t.Fatalf("runLoad: %v\n%s", err, out.String())
+	}
+	report := out.String()
+	for _, want := range []string{"against 2 endpoint(s)", "per endpoint", "p999", urls[0], urls[1]} {
+		if !strings.Contains(report, want) {
+			t.Errorf("report missing %q:\n%s", want, report)
+		}
+	}
+	// Round-robin: both endpoints saw traffic.
+	for i, s := range servers {
+		if st := s.Stats(); st.Requests == 0 {
+			t.Errorf("endpoint %d received no requests", i)
+		}
+	}
+}
+
+func TestSplitEndpoints(t *testing.T) {
+	got := splitEndpoints(" http://a:1/, ,http://b:2 ")
+	if len(got) != 2 || got[0] != "http://a:1" || got[1] != "http://b:2" {
+		t.Errorf("splitEndpoints = %v", got)
+	}
+	if splitEndpoints("") != nil {
+		t.Error("empty list should be nil")
 	}
 }

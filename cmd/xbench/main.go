@@ -86,8 +86,10 @@ func main() {
 	deltaBench := flag.Bool("delta", false, "run the placement delta-evaluation micro-benchmark (writes -json if set, compares -check if set)")
 	exploreBench := flag.Bool("explore", false, "run the /v1/explore grid benchmark (writes -json if set, compares -check if set)")
 	whatifBench := flag.Bool("whatif", false, "run the fault-replay benchmark (writes -json if set, compares -check if set)")
-	benchCheck := flag.String("check", "", "with -solver/-delta/-explore/-whatif: committed BENCH_*.json to compare against; exits non-zero on regression")
+	clusterBench := flag.Bool("cluster", false, "run the 3-shard cluster vs independent-instances benchmark (writes -json if set, compares -check if set)")
+	benchCheck := flag.String("check", "", "with -solver/-delta/-explore/-whatif/-cluster: committed BENCH_*.json to compare against; exits non-zero on regression")
 	loadURL := flag.String("load", "", "drive a running xringd at this base URL with a mixed concurrent workload")
+	loadEndpoints := flag.String("endpoints", "", "comma-separated base URLs for -load mode: round-robin the workload across a fleet, with per-endpoint breakdowns")
 	loadN := flag.Int("load-n", 32, "total requests to send in -load mode")
 	loadC := flag.Int("load-c", 8, "concurrent senders in -load mode")
 	loadNodes := flag.Int("load-nodes", 8, "floorplan size for -load mode requests (8, 16 or 32)")
@@ -111,10 +113,21 @@ func main() {
 		parallel.SetWorkers(1)
 	}
 
-	if *loadURL != "" {
+	if *loadURL != "" || *loadEndpoints != "" {
+		endpoints := splitEndpoints(*loadEndpoints)
+		if len(endpoints) == 0 {
+			endpoints = []string{*loadURL}
+		}
 		if err := runLoad(os.Stdout, loadConfig{
-			base: *loadURL, total: *loadN, conc: *loadC, nodes: *loadNodes,
+			endpoints: endpoints, total: *loadN, conc: *loadC, nodes: *loadNodes,
 		}); err != nil {
+			fmt.Fprintln(os.Stderr, "xbench:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *clusterBench {
+		if err := runClusterBench(*jsonOut, *benchCheck); err != nil {
 			fmt.Fprintln(os.Stderr, "xbench:", err)
 			os.Exit(1)
 		}

@@ -16,6 +16,11 @@
 //	xringd -fault 'core.ring=error:budget'  # deterministic fault injection
 //	xringd -flight 512              # flight-recorder depth (last N job records)
 //	xringd -flight-dir /var/log/xring  # auto-snapshot on panic / stage timeout
+//	xringd -cluster-self http://10.0.0.1:8418 \
+//	       -cluster-peers http://10.0.0.1:8418,http://10.0.0.2:8418,http://10.0.0.3:8418
+//	                                # shard of a consistent-hash cluster: cache
+//	                                # peer-fill + cross-instance ring batching
+//	                                # (front with xringlb; see SERVICE.md)
 //
 // Observability: GET /metrics serves Prometheus text exposition (JSON
 // via ?format=json), GET /debug/flightrecorder dumps the last N job
@@ -37,9 +42,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
+	"xring/internal/cluster"
+	"xring/internal/core"
 	"xring/internal/obs"
 	"xring/internal/service"
 )
@@ -60,10 +68,29 @@ func main() {
 	exploreCells := flag.Int("explore-cells", 0, "concurrent cells per /v1/explore study (0 = shared worker pool budget)")
 	maxExplorations := flag.Int("max-explorations", 0, "retained exploration records for status/frontier queries (0 = default 64)")
 	maxWhatifs := flag.Int("max-whatifs", 0, "retained fault-replay records for /v1/whatif status queries (0 = default 64)")
+	clusterSelf := flag.String("cluster-self", "", "this shard's advertised base URL (e.g. http://10.0.0.1:8418); enables cluster mode")
+	clusterPeers := flag.String("cluster-peers", "", "comma-separated shard base URLs — the full membership, including self")
+	clusterPrev := flag.String("cluster-prev", "", "previous membership (comma-separated), so peer-fill survives a rebalance")
+	clusterVnodes := flag.Int("cluster-vnodes", 0, "virtual nodes per member on the consistent-hash ring (0 = default 64; must match the fleet)")
 	obsFlags := obs.BindFlags(flag.CommandLine)
 	flag.Parse()
 
-	if err := run(*addr, service.Config{
+	var peers *cluster.Peers
+	if *clusterSelf != "" || *clusterPeers != "" {
+		p, err := cluster.NewPeers(cluster.PeersConfig{
+			Self:         *clusterSelf,
+			Members:      splitPeers(*clusterPeers),
+			Previous:     splitPeers(*clusterPrev),
+			VirtualNodes: *clusterVnodes,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "xringd:", err)
+			os.Exit(1)
+		}
+		peers = p
+	}
+
+	if err := run(*addr, peers, service.Config{
 		QueueDepth:      *queue,
 		Workers:         *workers,
 		CacheEntries:    *cache,
@@ -84,7 +111,18 @@ func main() {
 	}
 }
 
-func run(addr string, cfg service.Config, drainTimeout time.Duration, obsFlags *obs.Flags) error {
+// splitPeers parses a comma-separated peer list, dropping empties.
+func splitPeers(s string) []string {
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, strings.TrimRight(p, "/"))
+		}
+	}
+	return out
+}
+
+func run(addr string, peers *cluster.Peers, cfg service.Config, drainTimeout time.Duration, obsFlags *obs.Flags) error {
 	flushObs, err := obsFlags.Activate(os.Stderr)
 	if err != nil {
 		return err
@@ -99,6 +137,19 @@ func run(addr string, cfg service.Config, drainTimeout time.Duration, obsFlags *
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "xringd: serving on %s\n", ln.Addr())
+	if peers != nil {
+		// Cluster mode: the service pulls cache misses from the key's
+		// owner shard (peer-fill), the engine forwards ring-construction
+		// misses to the floorplan's owner (cross-instance batching), and
+		// GET /v1/cluster reports this shard's membership view.
+		cfg.PeerFetch = peers.Fetch
+		cfg.ClusterInfo = peers.Info
+		core.SetRingDelegate(peers.Delegate)
+		defer core.SetRingDelegate(nil)
+		peers.Start()
+		defer peers.Stop()
+		fmt.Fprintf(os.Stderr, "xringd: cluster mode, %d members\n", peers.Ring().Size())
+	}
 	return serve(ln, cfg, drainTimeout)
 }
 

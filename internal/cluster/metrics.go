@@ -1,0 +1,36 @@
+package cluster
+
+// Cluster telemetry, following the repo-wide obs conventions
+// (OBSERVABILITY.md). Router-side counters cover forwarding and
+// failover; shard-side counters cover the peer-fill and construct
+// delegation amplifiers. The service layer's own cluster counters
+// (entries served, fills adopted) live in internal/service.
+
+import "xring/internal/obs"
+
+var (
+	// Router: requests forwarded to owner shards, failover retries after
+	// a forward error, forwards that exhausted every candidate shard,
+	// and ID-addressed requests resolved by fanning out across shards.
+	mRouteForwards = obs.NewCounter("cluster.route.forwards")
+	mRouteRetries  = obs.NewCounter("cluster.route.retries")
+	mRouteErrors   = obs.NewCounter("cluster.route.errors")
+	mRouteFanouts  = obs.NewCounter("cluster.route.fanouts")
+
+	// Health prober: readiness probes that failed, and the current
+	// healthy-member count.
+	mProbeFailures = obs.NewCounter("cluster.probe.failures")
+	mPeersHealthy  = obs.NewGauge("cluster.peers.healthy")
+
+	// Peer-fill client: fetches attempted against owner/previous-owner
+	// shards and fetches that returned an entry (adoption and validation
+	// are counted by the service as cluster.peerfill.*).
+	mFillFetches = obs.NewCounter("cluster.fill.fetches")
+	mFillServed  = obs.NewCounter("cluster.fill.served")
+
+	// Construct delegation: ring-construction solves forwarded to the
+	// floorplan's owner shard instead of solved locally, and delegations
+	// that failed over to the local solver.
+	mConstructDelegated = obs.NewCounter("cluster.construct.delegated")
+	mConstructFallback  = obs.NewCounter("cluster.construct.fallback")
+)

@@ -1,0 +1,256 @@
+package cluster
+
+// Per-peer health tracking, built on the service /readyz contract: a
+// 200 with a JSON load signal means serving, a 503 means draining, and
+// anything else (transport error, bad body) means gone. The prober
+// keeps the latest status per peer so the router can weigh shards by
+// queue depth and skip unhealthy ones without probing inline.
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+
+	"xring/internal/service"
+)
+
+// DefaultProbeInterval is the background probe cadence; short enough
+// that a killed shard stops receiving forwards within a few seconds.
+const DefaultProbeInterval = 2 * time.Second
+
+// probeTimeout bounds one readiness probe.
+const probeTimeout = 3 * time.Second
+
+// PeerStatus is the latest probed view of one shard.
+type PeerStatus struct {
+	URL     string `json:"url"`
+	Healthy bool   `json:"healthy"`
+	// Draining distinguishes a graceful 503 from a dead peer.
+	Draining bool `json:"draining"`
+	// QueueDepth and Inflight mirror the shard's /readyz load signal;
+	// the router prefers the least-loaded shard on fan-out reads.
+	QueueDepth int `json:"queueDepth"`
+	Inflight   int `json:"inflight"`
+	// Failures counts consecutive failed probes (reset on success).
+	Failures  int       `json:"consecutiveFailures,omitempty"`
+	LastProbe time.Time `json:"lastProbe"`
+	LastError string    `json:"lastError,omitempty"`
+}
+
+// Health probes a fixed peer set and serves the latest status. Create
+// with NewHealth, prime with ProbeAll, run with Start, stop with Stop.
+type Health struct {
+	hc       *http.Client
+	interval time.Duration
+
+	mu    sync.Mutex
+	peers map[string]*PeerStatus
+	order []string // stable listing order
+
+	stopOnce sync.Once
+	stop     chan struct{}
+	done     chan struct{}
+}
+
+// NewHealth builds a prober over the given peer base URLs. A nil
+// httpClient gets a probe-timeout client; interval <= 0 selects
+// DefaultProbeInterval. Peers start unhealthy until the first probe.
+func NewHealth(peers []string, interval time.Duration, httpClient *http.Client) *Health {
+	if interval <= 0 {
+		interval = DefaultProbeInterval
+	}
+	if httpClient == nil {
+		httpClient = &http.Client{Timeout: probeTimeout}
+	}
+	h := &Health{
+		hc:       httpClient,
+		interval: interval,
+		peers:    map[string]*PeerStatus{},
+		stop:     make(chan struct{}),
+		done:     make(chan struct{}),
+	}
+	for _, p := range peers {
+		if _, dup := h.peers[p]; dup {
+			continue
+		}
+		h.peers[p] = &PeerStatus{URL: p}
+		h.order = append(h.order, p)
+	}
+	return h
+}
+
+// Start launches the background probe loop (after one synchronous
+// sweep, so callers see real state immediately).
+func (h *Health) Start() {
+	h.ProbeAll(context.Background())
+	go func() {
+		defer close(h.done)
+		t := time.NewTicker(h.interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				h.ProbeAll(context.Background())
+			case <-h.stop:
+				return
+			}
+		}
+	}()
+}
+
+// Stop ends the probe loop and waits for it to exit. Safe to call
+// multiple times; a Health that was never started must not be stopped.
+func (h *Health) Stop() {
+	h.stopOnce.Do(func() { close(h.stop) })
+	<-h.done
+}
+
+// ProbeAll sweeps every peer once, concurrently.
+func (h *Health) ProbeAll(ctx context.Context) {
+	var wg sync.WaitGroup
+	for _, url := range h.order {
+		wg.Add(1)
+		go func(url string) {
+			defer wg.Done()
+			h.probe(ctx, url)
+		}(url)
+	}
+	wg.Wait()
+	mPeersHealthy.Set(int64(h.HealthyCount()))
+}
+
+// probe refreshes one peer's status from its /readyz.
+func (h *Health) probe(ctx context.Context, url string) {
+	st := PeerStatus{URL: url, LastProbe: time.Now()}
+	rd, err := probeReadyz(ctx, h.hc, url)
+	switch {
+	case err != nil:
+		st.LastError = err.Error()
+	case rd.Ready:
+		st.Healthy = true
+		st.QueueDepth = rd.QueueDepth
+		st.Inflight = rd.Inflight
+	default:
+		st.Draining = rd.Draining
+	}
+
+	h.mu.Lock()
+	prev := h.peers[url]
+	if !st.Healthy {
+		st.Failures = prev.Failures + 1
+	}
+	h.peers[url] = &st
+	h.mu.Unlock()
+	if !st.Healthy {
+		mProbeFailures.Inc()
+	}
+}
+
+// probeReadyz performs one GET /readyz and decodes the JSON load
+// signal. A 503 with a parseable body is a valid "draining" answer,
+// not an error.
+func probeReadyz(ctx context.Context, hc *http.Client, url string) (*service.Readiness, error) {
+	ctx, cancel := context.WithTimeout(ctx, probeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url+"/readyz", nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := hc.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(io.LimitReader(resp.Body, 1<<16))
+	if err != nil {
+		return nil, err
+	}
+	var rd service.Readiness
+	// Pre-JSON readyz bodies ("ready\n") fail to parse; fall back to
+	// the status code alone so mixed-version fleets stay probe-able.
+	if jerr := json.Unmarshal(data, &rd); jerr != nil {
+		rd = service.Readiness{}
+	}
+	rd.Ready = resp.StatusCode == http.StatusOK
+	if resp.StatusCode == http.StatusServiceUnavailable && !rd.Draining {
+		rd.Draining = true
+	}
+	return &rd, nil
+}
+
+// Healthy reports the latest probe verdict for url (false for unknown
+// peers).
+func (h *Health) Healthy(url string) bool {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[url]
+	return ok && st.Healthy
+}
+
+// HealthyCount returns the number of currently healthy peers.
+func (h *Health) HealthyCount() int {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	n := 0
+	for _, st := range h.peers {
+		if st.Healthy {
+			n++
+		}
+	}
+	return n
+}
+
+// Status returns the latest status for url.
+func (h *Health) Status(url string) (PeerStatus, bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	st, ok := h.peers[url]
+	if !ok {
+		return PeerStatus{}, false
+	}
+	return *st, true
+}
+
+// Snapshot returns every peer's latest status in listing order.
+func (h *Health) Snapshot() []PeerStatus {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	out := make([]PeerStatus, 0, len(h.order))
+	for _, url := range h.order {
+		out = append(out, *h.peers[url])
+	}
+	return out
+}
+
+// ByLoad returns the peer URLs ordered healthiest-first: healthy peers
+// by ascending queue depth + in-flight jobs, then draining, then dead —
+// the fan-out order for ID-addressed reads that could live anywhere.
+func (h *Health) ByLoad() []string {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	urls := append([]string(nil), h.order...)
+	rank := func(u string) (int, int) {
+		st := h.peers[u]
+		switch {
+		case st.Healthy:
+			return 0, st.QueueDepth + st.Inflight
+		case st.Draining:
+			return 1, 0
+		default:
+			return 2, 0
+		}
+	}
+	sort.SliceStable(urls, func(i, j int) bool {
+		ci, li := rank(urls[i])
+		cj, lj := rank(urls[j])
+		if ci != cj {
+			return ci < cj
+		}
+		return li < lj
+	})
+	return urls
+}

@@ -1,0 +1,393 @@
+package cluster
+
+// The cluster router: a thin, stateless HTTP tier that places every
+// key-addressed request on its owner shard (consistent hashing) and
+// resolves ID-addressed requests by asking the likeliest shards in
+// load order. Being deterministic over the membership list, any number
+// of routers can run side by side without coordinating.
+//
+// Forwarding contract: requests are forwarded with their bodies and
+// headers intact — including traceparent, so one trace ID follows a
+// request across hops — with bounded failover. A forward retries on
+// the next candidate only while nothing has been written to the
+// client: transport errors and gateway-ish statuses (502/503/504)
+// fail over; everything else streams through verbatim, SSE included.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"xring/internal/obs"
+	"xring/internal/service"
+	"xring/internal/service/client"
+)
+
+// DefaultRouteRetries is the default failover budget: one forward plus
+// up to this many retries on other candidates.
+const DefaultRouteRetries = 2
+
+// maxRouteBody mirrors the service's own POST body bound.
+const maxRouteBody = 8 << 20
+
+// RouterConfig sizes a Router.
+type RouterConfig struct {
+	// Members is the shard fleet (base URLs).
+	Members []string
+	// VirtualNodes <= 0 selects DefaultVirtualNodes. Must match the
+	// shards' own setting or routers and shards disagree on ownership.
+	VirtualNodes int
+	// MaxRetries bounds failover attempts after the first forward
+	// (< 0: no retries; 0: DefaultRouteRetries).
+	MaxRetries int
+	// ProbeInterval tunes the health prober (<= 0: DefaultProbeInterval).
+	ProbeInterval time.Duration
+	// HTTPClient overrides the forwarding transport (tests). The
+	// default has no overall timeout — forwards carry SSE streams —
+	// and relies on the client's request context for cancellation.
+	HTTPClient *http.Client
+}
+
+// Router forwards the service API across a shard fleet. Create with
+// NewRouter, probe with Start, serve Handler.
+type Router struct {
+	ring     *Ring
+	health   *Health
+	hc       *http.Client
+	breakers *client.BreakerGroup
+	retries  int
+	mux      *http.ServeMux
+}
+
+// NewRouter builds a router over the fleet.
+func NewRouter(cfg RouterConfig) (*Router, error) {
+	r, err := NewRing(cfg.Members, cfg.VirtualNodes)
+	if err != nil {
+		return nil, err
+	}
+	retries := cfg.MaxRetries
+	if retries == 0 {
+		retries = DefaultRouteRetries
+	}
+	if retries < 0 {
+		retries = 0
+	}
+	hc := cfg.HTTPClient
+	if hc == nil {
+		hc = &http.Client{} // no Timeout: forwards include SSE streams
+	}
+	rt := &Router{
+		ring:     r,
+		health:   NewHealth(r.Members(), cfg.ProbeInterval, nil),
+		hc:       hc,
+		breakers: client.NewBreakerGroup(),
+		retries:  retries,
+	}
+	rt.mux = rt.routes()
+	return rt, nil
+}
+
+// Start launches health probing; Stop ends it.
+func (rt *Router) Start() { rt.health.Start() }
+func (rt *Router) Stop()  { rt.health.Stop() }
+
+// Handler returns the router's HTTP surface.
+func (rt *Router) Handler() http.Handler { return rt.mux }
+
+func (rt *Router) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/synthesize", rt.routeSynthesize)
+	mux.HandleFunc("POST /v1/whatif", rt.routeWhatif)
+	mux.HandleFunc("POST /v1/explore", rt.routeExplore)
+	mux.HandleFunc("GET /v1/designs/{key}", func(w http.ResponseWriter, r *http.Request) {
+		rt.forward(w, r, nil, rt.candidates(r.PathValue("key")))
+	})
+	// ID-addressed state lives on whichever shard admitted the job;
+	// resolve by asking shards in load order until one answers non-404.
+	for _, pat := range []string{
+		"GET /v1/jobs/{id}", "GET /v1/jobs/{id}/events", "GET /v1/jobs/{id}/design",
+		"GET /v1/explore/{id}", "GET /v1/explore/{id}/events", "GET /v1/explore/{id}/frontier",
+		"GET /v1/whatif/{id}", "GET /v1/whatif/{id}/events",
+	} {
+		mux.HandleFunc(pat, rt.fanout)
+	}
+	mux.HandleFunc("GET /v1/cluster", rt.handleClusterInfo)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("GET /readyz", rt.handleReadyz)
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("format") == "json" ||
+			strings.Contains(r.Header.Get("Accept"), "application/json") {
+			w.Header().Set("Content-Type", "application/json")
+			_ = obs.WriteMetrics(w)
+			return
+		}
+		w.Header().Set("Content-Type", obs.PrometheusContentType)
+		_ = obs.WritePrometheus(w)
+	})
+	return mux
+}
+
+// routeSynthesize decodes just enough of the body to compute the
+// request's content key — the same canonicalization the shard will
+// apply — and forwards to the key's owner. Requests the shard would
+// reject (unresolvable) are rejected here with the same error.
+func (rt *Router) routeSynthesize(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req service.Request
+	if err := json.Unmarshal(body, &req); err != nil {
+		writeRouterError(w, http.StatusBadRequest, fmt.Errorf("decoding request: %w", err))
+		return
+	}
+	key, err := service.CanonicalKey(&req)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, err)
+		return
+	}
+	rt.forward(w, r, body, rt.candidates(key))
+}
+
+// routeWhatif routes by the replayed design's content key, which is
+// the whole body's addressing field.
+func (rt *Router) routeWhatif(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, err)
+		return
+	}
+	var req struct {
+		Key string `json:"key"`
+	}
+	if err := json.Unmarshal(body, &req); err != nil || req.Key == "" {
+		writeRouterError(w, http.StatusBadRequest, errors.New("whatif request needs a design key"))
+		return
+	}
+	rt.forward(w, r, body, rt.candidates(req.Key))
+}
+
+// routeExplore routes a whole study by a digest of its raw body:
+// identical study submissions land on one shard and dedup there, and
+// the per-cell synthesis work is then spread by the shards' own
+// construct delegation and peer-fill.
+func (rt *Router) routeExplore(w http.ResponseWriter, r *http.Request) {
+	body, err := readBody(w, r)
+	if err != nil {
+		writeRouterError(w, http.StatusBadRequest, err)
+		return
+	}
+	sum := sha256.Sum256(body)
+	rt.forward(w, r, body, rt.candidates("explore!"+hex.EncodeToString(sum[:])))
+}
+
+// candidates returns the full failover order for key: owner first.
+func (rt *Router) candidates(key string) []string {
+	return rt.ring.Owners(key, rt.ring.Size())
+}
+
+// errPeerMiss marks a shard that answered 404 during an ID fan-out:
+// not a failure, just "not my job" — keep asking.
+var errPeerMiss = errors.New("cluster: shard does not hold the id")
+
+// fanout resolves an ID-addressed read by trying shards healthiest-
+// first until one answers something other than 404. Unlike key-routed
+// forwards this must be willing to ask every shard — the ID gives no
+// ownership hint — so the attempt budget is the whole fleet.
+func (rt *Router) fanout(w http.ResponseWriter, r *http.Request) {
+	mRouteFanouts.Inc()
+	candidates := rt.health.ByLoad()
+	rt.forwardEx(w, r, nil, candidates, len(candidates), true)
+}
+
+// forward proxies a key-routed request to the first candidate that
+// answers, with bounded failover.
+func (rt *Router) forward(w http.ResponseWriter, r *http.Request, body []byte, candidates []string) {
+	rt.forwardEx(w, r, body, candidates, rt.retries+1, false)
+}
+
+// forwardEx is the shared forwarding core. Candidate order is
+// preference order; tripped or unhealthy peers move to the back rather
+// than being dropped — when the whole fleet looks down, trying is
+// still better than failing. resolve404 makes a shard's 404 a "try the
+// next one" signal (ID fan-out) instead of a final answer.
+func (rt *Router) forwardEx(w http.ResponseWriter, r *http.Request, body []byte, candidates []string, maxAttempts int, resolve404 bool) {
+	traceID := routeTraceID(r)
+	w.Header().Set("X-Trace-Id", traceID)
+
+	var ordered []string
+	var demoted []string
+	for _, c := range candidates {
+		if rt.health.Healthy(c) && !rt.breakers.Open(c) {
+			ordered = append(ordered, c)
+		} else {
+			demoted = append(demoted, c)
+		}
+	}
+	ordered = append(ordered, demoted...)
+	if maxAttempts > len(ordered) {
+		maxAttempts = len(ordered)
+	}
+
+	var lastErr error
+	for i := 0; i < maxAttempts; i++ {
+		peer := ordered[i]
+		if i > 0 {
+			mRouteRetries.Inc()
+		}
+		retryable, err := rt.proxyTo(w, r, body, peer, traceID, resolve404)
+		if err == nil {
+			mRouteForwards.Inc()
+			return
+		}
+		lastErr = err
+		if !retryable {
+			return // response already streaming; nothing we can do
+		}
+	}
+	if errors.Is(lastErr, errPeerMiss) {
+		// Every shard answered 404: the ID is genuinely unknown.
+		writeRouterError(w, http.StatusNotFound, errors.New("unknown id on every shard"))
+		return
+	}
+	mRouteErrors.Inc()
+	if lastErr == nil {
+		lastErr = errors.New("no shard available")
+	}
+	writeRouterError(w, http.StatusBadGateway,
+		fmt.Errorf("cluster: no shard could serve the request: %w", lastErr))
+}
+
+// proxyTo forwards once. The returned bool says whether failing over
+// is still safe (nothing written to the client yet). Gateway-ish
+// responses (502/503/504) are treated as failed forwards so a draining
+// or dying shard fails over instead of bouncing the client.
+func (rt *Router) proxyTo(w http.ResponseWriter, r *http.Request, body []byte, peer, traceID string, resolve404 bool) (retryable bool, err error) {
+	var rd io.Reader
+	if body != nil {
+		rd = strings.NewReader(string(body))
+	}
+	preq, err := http.NewRequestWithContext(r.Context(), r.Method, peer+r.URL.RequestURI(), rd)
+	if err != nil {
+		return true, err
+	}
+	copyHeaders(preq.Header, r.Header)
+	// Cross-hop trace propagation: the shard sees the same trace ID the
+	// router answered with, whether the client sent one or not.
+	preq.Header.Set("traceparent", obs.TraceID(traceID).Traceparent())
+
+	br := rt.breakers
+	resp, err := rt.hc.Do(preq)
+	if err != nil {
+		br.Report(peer, false)
+		return true, err
+	}
+	defer resp.Body.Close()
+	br.Report(peer, resp.StatusCode < 500)
+	if resolve404 && resp.StatusCode == http.StatusNotFound {
+		return true, errPeerMiss
+	}
+	if resp.StatusCode == http.StatusBadGateway ||
+		resp.StatusCode == http.StatusServiceUnavailable ||
+		resp.StatusCode == http.StatusGatewayTimeout {
+		return true, fmt.Errorf("%s answered HTTP %d", peer, resp.StatusCode)
+	}
+
+	copyHeaders(w.Header(), resp.Header)
+	w.Header().Set("X-Cluster-Shard", peer)
+	w.WriteHeader(resp.StatusCode)
+	flushCopy(w, resp.Body)
+	return false, nil
+}
+
+// readBody slurps a bounded POST body for re-sending on failover.
+func readBody(w http.ResponseWriter, r *http.Request) ([]byte, error) {
+	defer r.Body.Close()
+	return io.ReadAll(http.MaxBytesReader(w, r.Body, maxRouteBody))
+}
+
+// routeTraceID extracts or mints the request's trace identity.
+func routeTraceID(r *http.Request) string {
+	if tid, err := obs.ParseTraceparent(r.Header.Get("traceparent")); err == nil {
+		return string(tid)
+	}
+	return string(obs.NewTraceID())
+}
+
+// copyHeaders copies all header values from src to dst.
+func copyHeaders(dst, src http.Header) {
+	for k, vs := range src {
+		for _, v := range vs {
+			dst.Add(k, v)
+		}
+	}
+}
+
+// flushCopy streams src to w, flushing after every chunk so SSE events
+// pass through the router without buffering delays.
+func flushCopy(w http.ResponseWriter, src io.Reader) {
+	flusher, _ := w.(http.Flusher)
+	buf := make([]byte, 32*1024)
+	for {
+		n, err := src.Read(buf)
+		if n > 0 {
+			if _, werr := w.Write(buf[:n]); werr != nil {
+				return
+			}
+			if flusher != nil {
+				flusher.Flush()
+			}
+		}
+		if err != nil {
+			return
+		}
+	}
+}
+
+// handleReadyz: the router is ready while at least one shard is.
+func (rt *Router) handleReadyz(w http.ResponseWriter, _ *http.Request) {
+	healthy := rt.health.HealthyCount()
+	body := map[string]any{
+		"ready":        healthy > 0,
+		"role":         "router",
+		"healthyPeers": healthy,
+		"peers":        rt.health.Snapshot(),
+	}
+	status := http.StatusOK
+	if healthy == 0 {
+		status = http.StatusServiceUnavailable
+	}
+	writeRouterJSON(w, status, body)
+}
+
+// handleClusterInfo serves the router's membership and ownership view.
+func (rt *Router) handleClusterInfo(w http.ResponseWriter, _ *http.Request) {
+	writeRouterJSON(w, http.StatusOK, map[string]any{
+		"role":    "router",
+		"members": rt.ring.Members(),
+		"shares":  rt.ring.Shares(),
+		"peers":   rt.health.Snapshot(),
+	})
+}
+
+func writeRouterJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	_ = enc.Encode(v)
+}
+
+func writeRouterError(w http.ResponseWriter, status int, err error) {
+	writeRouterJSON(w, status, map[string]string{"error": err.Error()})
+}

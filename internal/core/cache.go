@@ -22,6 +22,7 @@ import (
 	"fmt"
 	"math"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"xring/internal/milp"
@@ -133,6 +134,35 @@ var ringFlights = struct {
 	m map[string]chan struct{}
 }{m: map[string]chan struct{}{}}
 
+// RingDelegateFunc lets a cluster layer take over a ring-construction
+// miss: given the floorplan and its cache key, it may return the
+// Step-1 result computed elsewhere (the shard owning this floorplan
+// cluster-wide). Returning ok=false means "solve locally" — the
+// delegate declines for floorplans it owns itself and on any transport
+// failure, so delegation can only ever add reuse, never a new failure
+// mode. The solve is deterministic, so a delegated result is identical
+// to a local one.
+type RingDelegateFunc func(ctx context.Context, net *noc.Network, opt ring.Options, key string) (*ring.Result, bool)
+
+var ringDelegate struct {
+	sync.RWMutex
+	fn RingDelegateFunc
+}
+
+// SetRingDelegate installs (or, with nil, removes) the cluster
+// delegate consulted by singleflight leaders on a ring-cache miss.
+func SetRingDelegate(fn RingDelegateFunc) {
+	ringDelegate.Lock()
+	ringDelegate.fn = fn
+	ringDelegate.Unlock()
+}
+
+func loadRingDelegate() RingDelegateFunc {
+	ringDelegate.RLock()
+	defer ringDelegate.RUnlock()
+	return ringDelegate.fn
+}
+
 // constructRing is ring.Construct behind the cache, with singleflight
 // miss coalescing. The solve is deterministic, so an adopted leader
 // result is bit-identical to a private solve. A leader that fails
@@ -140,6 +170,36 @@ var ringFlights = struct {
 // on its own — one request's deadline must not poison identical
 // requests that still have budget.
 func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ring.Result, error) {
+	return constructRingShared(ctx, net, opt, true)
+}
+
+// ConstructRingShared runs Step-1 ring construction through the
+// process-wide cache and singleflight WITHOUT consulting the cluster
+// delegate: the entry point for a shard serving a construct RPC, where
+// delegating again could ping-pong between shards that disagree about
+// ownership during a topology change. Concurrent identical requests
+// (local or forwarded by every other shard) coalesce onto one solve.
+func ConstructRingShared(ctx context.Context, net *noc.Network, opt ring.Options) (*ring.Result, error) {
+	return constructRingShared(ctx, net, opt, false)
+}
+
+// cacheIsolation, when set, makes Step-1 construction bypass the
+// process-global ring cache, hint cache, singleflight and delegate
+// entirely. In-process multi-instance benchmarks flip it on so three
+// "independent daemons" sharing one process behave like the three
+// separate processes they model — without it, instance B would warm-hit
+// the rings instance A constructed, which no real deployment of
+// independent daemons ever does.
+var cacheIsolation atomic.Bool
+
+// SetCacheIsolation toggles benchmark cache isolation (see
+// cacheIsolation). Production never sets this.
+func SetCacheIsolation(v bool) { cacheIsolation.Store(v) }
+
+func constructRingShared(ctx context.Context, net *noc.Network, opt ring.Options, delegate bool) (*ring.Result, error) {
+	if cacheIsolation.Load() {
+		return ring.ConstructCtx(ctx, net, opt)
+	}
 	key := floorplanKey(net, opt)
 	for {
 		if r, ok := cacheLookup(key); ok {
@@ -165,7 +225,20 @@ func constructRing(ctx context.Context, net *noc.Network, opt ring.Options) (*ri
 				return nil, ctx.Err()
 			}
 		}
-		r, err := ring.ConstructCtx(ctx, net, opt)
+		// This goroutine is the leader. The cluster delegate (when
+		// installed) gets the first shot: the floorplan's owner shard
+		// solves once for the whole fleet, and the local singleflight
+		// above makes this process send at most one RPC per floorplan.
+		var r *ring.Result
+		var err error
+		if d := loadRingDelegate(); delegate && d != nil {
+			if dr, ok := d(ctx, net, opt, key); ok {
+				r = dr
+			}
+		}
+		if r == nil {
+			r, err = ring.ConstructCtx(ctx, net, opt)
+		}
 		ringFlights.Lock()
 		delete(ringFlights.m, key)
 		ringFlights.Unlock()
@@ -295,6 +368,9 @@ type hintCacheEntry struct {
 }
 
 func hintStore(key string, tour []int) {
+	if cacheIsolation.Load() {
+		return
+	}
 	if len(tour) == 0 {
 		return
 	}
@@ -316,6 +392,9 @@ func hintStore(key string, tour []int) {
 }
 
 func hintLookup(key string) ([]int, bool) {
+	if cacheIsolation.Load() {
+		return nil, false
+	}
 	hintCache.Lock()
 	defer hintCache.Unlock()
 	el, ok := hintCache.m[key]

@@ -29,6 +29,19 @@ import (
 // v3: added Options.FaultTolerance.
 const keySchema = "xring-service-key-v3"
 
+// CanonicalKey resolves a request and returns its content address —
+// the same key the server would compute at admission. The cluster
+// router uses it to place a request on its owner shard without running
+// any synthesis; an invalid request returns the same error the server
+// would reject it with.
+func CanonicalKey(req *Request) (string, error) {
+	rr, err := req.resolve()
+	if err != nil {
+		return "", err
+	}
+	return canonicalKey(rr), nil
+}
+
 // canonicalKey hashes a resolved request into its content address.
 func canonicalKey(r *resolved) string {
 	h := sha256.New()

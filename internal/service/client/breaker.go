@@ -55,6 +55,71 @@ func newBreaker(threshold int, cooldown time.Duration) *breaker {
 	return &breaker{threshold: threshold, cooldown: cooldown, now: time.Now}
 }
 
+// BreakerGroup holds one circuit breaker per endpoint (base URL), so
+// callers that talk to a fleet — the cluster router, xbench's
+// multi-endpoint load driver — share breaker state per shard instead of
+// globally: five consecutive failures on one bad shard open only that
+// shard's circuit, and every other endpoint keeps serving. Construct
+// one group per fleet and hand it to NewWithBreakers for each endpoint
+// client; the zero value is not usable, use NewBreakerGroup.
+type BreakerGroup struct {
+	threshold int
+	cooldown  time.Duration
+
+	mu         sync.Mutex
+	byEndpoint map[string]*breaker
+}
+
+// NewBreakerGroup builds an empty group with the default threshold and
+// cooldown.
+func NewBreakerGroup() *BreakerGroup {
+	return &BreakerGroup{
+		threshold:  breakerThreshold,
+		cooldown:   breakerCooldown,
+		byEndpoint: map[string]*breaker{},
+	}
+}
+
+// forEndpoint returns the endpoint's breaker, creating it closed on
+// first use.
+func (g *BreakerGroup) forEndpoint(endpoint string) *breaker {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	b, ok := g.byEndpoint[endpoint]
+	if !ok {
+		b = newBreaker(g.threshold, g.cooldown)
+		g.byEndpoint[endpoint] = b
+	}
+	return b
+}
+
+// Open reports whether the endpoint's circuit is currently refusing
+// requests (open and still cooling down). Endpoints never seen are
+// closed. Routers use this to skip a tripped shard without paying for
+// the failed acquire.
+func (g *BreakerGroup) Open(endpoint string) bool {
+	b := g.forEndpoint(endpoint)
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state == breakerOpen && b.now().Before(b.openUntil)
+}
+
+// Report records one request outcome against the endpoint's breaker,
+// for callers that drive their own HTTP transport (the cluster router)
+// instead of going through Client.do. A post-cooldown report moves an
+// open circuit to half-open first, so a success after the cooldown
+// closes it just as a probed request would.
+func (g *BreakerGroup) Report(endpoint string, success bool) {
+	b := g.forEndpoint(endpoint)
+	b.mu.Lock()
+	if b.state == breakerOpen && !b.now().Before(b.openUntil) {
+		b.state = breakerHalfOpen
+		b.probing = true
+	}
+	b.mu.Unlock()
+	b.report(success)
+}
+
 // acquire asks permission to issue a request. While open it fails
 // fast; when the cooldown has passed it admits exactly one probe.
 func (b *breaker) acquire() error {

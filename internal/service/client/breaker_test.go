@@ -113,3 +113,84 @@ func TestRetryDelayBoundsAndFloor(t *testing.T) {
 		t.Errorf("attempt 200 delay %v above cap", d)
 	}
 }
+
+// A BreakerGroup keeps one circuit per endpoint: tripping one shard's
+// breaker must not affect any other shard in the fleet.
+func TestBreakerGroupIsolatesEndpoints(t *testing.T) {
+	clock := time.Unix(0, 0)
+	g := NewBreakerGroup()
+	// Pin the clock on both endpoints' breakers (created closed).
+	for _, ep := range []string{"http://bad", "http://good"} {
+		g.forEndpoint(ep).now = func() time.Time { return clock }
+	}
+
+	for i := 0; i < breakerThreshold; i++ {
+		g.Report("http://bad", false)
+	}
+	if !g.Open("http://bad") {
+		t.Fatal("bad endpoint's circuit did not open after threshold failures")
+	}
+	if g.Open("http://good") {
+		t.Fatal("good endpoint's circuit opened from the bad endpoint's failures")
+	}
+	if g.Open("http://never-seen") {
+		t.Fatal("an endpoint never reported on is open")
+	}
+
+	// After the cooldown, a raw-transport success report closes the
+	// circuit via the half-open transition Report performs itself.
+	clock = clock.Add(breakerCooldown + time.Millisecond)
+	if g.Open("http://bad") {
+		t.Fatal("circuit still refusing after cooldown elapsed")
+	}
+	g.Report("http://bad", true)
+	if g.Open("http://bad") {
+		t.Fatal("circuit did not close after a successful post-cooldown probe")
+	}
+	// And a failure while half-open re-opens for another full cooldown.
+	for i := 0; i < breakerThreshold; i++ {
+		g.Report("http://bad", false)
+	}
+	clock = clock.Add(breakerCooldown + time.Millisecond)
+	g.Report("http://bad", false)
+	if !g.Open("http://bad") {
+		t.Fatal("failed post-cooldown probe did not re-open the circuit")
+	}
+}
+
+// Two clients built over one group share per-endpoint breaker state:
+// a dead shard fails fast for every client pointed at it, while the
+// live shard keeps serving through the same group.
+func TestBreakerGroupSharedAcrossClients(t *testing.T) {
+	live := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write([]byte(`{"ready":true}`))
+	}))
+	defer live.Close()
+	dead := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		http.Error(w, "boom", http.StatusInternalServerError)
+	}))
+	defer dead.Close()
+
+	g := NewBreakerGroup()
+	cLive := NewWithBreakers(live.URL, nil, g)
+	cDead := NewWithBreakers(dead.URL, nil, g)
+
+	ctx := context.Background()
+	for i := 0; i < breakerThreshold; i++ {
+		if _, err := cDead.Readiness(ctx); err == nil {
+			t.Fatal("dead shard's 500 did not error")
+		}
+	}
+	if _, err := cDead.Readiness(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("dead shard err = %v, want ErrCircuitOpen", err)
+	}
+	if _, err := cLive.Readiness(ctx); err != nil {
+		t.Fatalf("live shard tripped by dead shard's breaker: %v", err)
+	}
+	// A second client to the SAME dead endpoint shares the open circuit.
+	cDead2 := NewWithBreakers(dead.URL, nil, g)
+	if _, err := cDead2.Readiness(ctx); !errors.Is(err, ErrCircuitOpen) {
+		t.Fatalf("second client to dead shard err = %v, want shared ErrCircuitOpen", err)
+	}
+}

@@ -55,9 +55,12 @@ func (e *APIError) Temporary() bool {
 }
 
 // Client talks to one xringd instance. All typed calls go through a
-// shared circuit breaker: consecutive transport errors or 5xx
+// per-endpoint circuit breaker: consecutive transport errors or 5xx
 // responses open it, and further calls fail fast with ErrCircuitOpen
-// until a post-cooldown probe succeeds.
+// until a post-cooldown probe succeeds. Breaker state is keyed by the
+// endpoint, never global — clients for different shards built over one
+// BreakerGroup trip independently, so one bad shard cannot take the
+// whole fleet's client side down with it.
 type Client struct {
 	base string
 	hc   *http.Client
@@ -68,15 +71,30 @@ type Client struct {
 }
 
 // New builds a client for the service at base (e.g.
-// "http://localhost:8418"). A nil httpClient uses http.DefaultClient.
+// "http://localhost:8418") with its own private breaker state. A nil
+// httpClient uses http.DefaultClient. Fleet callers that build one
+// Client per shard should share a BreakerGroup via NewWithBreakers so
+// per-endpoint state survives client rebuilds.
 func New(base string, httpClient *http.Client) *Client {
+	return NewWithBreakers(base, httpClient, NewBreakerGroup())
+}
+
+// NewWithBreakers builds a client whose circuit breaker is the group's
+// entry for base: every client built over the same group and base
+// shares one breaker, and clients for different endpoints trip
+// independently.
+func NewWithBreakers(base string, httpClient *http.Client, group *BreakerGroup) *Client {
 	if httpClient == nil {
 		httpClient = http.DefaultClient
 	}
+	if group == nil {
+		group = NewBreakerGroup()
+	}
+	base = strings.TrimRight(base, "/")
 	return &Client{
-		base:       strings.TrimRight(base, "/"),
+		base:       base,
 		hc:         httpClient,
-		br:         newBreaker(breakerThreshold, breakerCooldown),
+		br:         group.forEndpoint(base),
 		MaxRetries: 8,
 	}
 }
@@ -218,6 +236,51 @@ func (c *Client) Stats(ctx context.Context) (*service.Stats, error) {
 // Ready probes /readyz (an error means not serving or draining).
 func (c *Client) Ready(ctx context.Context) error {
 	return c.do(ctx, http.MethodGet, "/readyz", nil, nil)
+}
+
+// Readiness fetches the /readyz load signal (queue depth, in-flight
+// jobs, drain state). Unlike Ready it succeeds on a draining server —
+// a 503 with a parseable body is still a readiness answer — so routers
+// can distinguish "draining" from "gone".
+func (c *Client) Readiness(ctx context.Context) (*service.Readiness, error) {
+	var out service.Readiness
+	err := c.do(ctx, http.MethodGet, "/readyz", nil, &out)
+	var apiErr *APIError
+	if isAPIStatus(err, http.StatusServiceUnavailable, &apiErr) {
+		// Draining: the JSON body rode along in the error message; the
+		// status already tells us everything the caller needs.
+		return &service.Readiness{Ready: false, Draining: true}, nil
+	}
+	if err != nil {
+		return nil, err
+	}
+	return &out, nil
+}
+
+// ClusterEntry fetches the persist envelope of a cached design from a
+// fellow shard — the cache peer-fill wire call. A shard that has never
+// seen the key answers ErrNotFound.
+func (c *Client) ClusterEntry(ctx context.Context, key string) ([]byte, error) {
+	var raw []byte
+	if err := c.do(ctx, http.MethodGet, "/v1/cluster/entry/"+key, nil, &raw); err != nil {
+		return nil, err
+	}
+	return raw, nil
+}
+
+// Construct asks the shard to solve one Step-1 ring construction on
+// behalf of the fleet (cross-instance batching: the shard's ring cache
+// and singleflight coalesce concurrent identical requests fleet-wide).
+func (c *Client) Construct(ctx context.Context, req *service.ConstructRequest) (*service.ConstructResponse, error) {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return nil, err
+	}
+	var out service.ConstructResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/cluster/construct", body, &out); err != nil {
+		return nil, err
+	}
+	return &out, nil
 }
 
 // Events streams a job's progress, invoking fn for every event —

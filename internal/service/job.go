@@ -67,6 +67,9 @@ type job struct {
 	// dedupWaiters counts requests that attached to this job instead of
 	// starting their own (singleflight hits).
 	dedupWaiters int
+	// peerFilled marks a job that adopted a cluster peer's persisted
+	// envelope instead of running synthesis (Response source "peerfill").
+	peerFilled bool
 }
 
 func newJob(id, key, traceID string, req *resolved, deadline time.Duration) *job {
@@ -139,6 +142,13 @@ func (j *job) terminal() bool {
 func (j *job) attach() {
 	j.mu.Lock()
 	j.dedupWaiters++
+	j.mu.Unlock()
+}
+
+// markPeerFilled records that the job was served by cluster peer-fill.
+func (j *job) markPeerFilled() {
+	j.mu.Lock()
+	j.peerFilled = true
 	j.mu.Unlock()
 }
 

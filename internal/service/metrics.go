@@ -87,6 +87,20 @@ var (
 	mPersistRecovered = obs.NewCounter("service.persist.recovered")
 	mPersistDiscarded = obs.NewCounter("service.persist.discarded")
 	mPersistEvicts    = obs.NewCounter("service.persist.evictions")
+
+	// Cluster peer-fill (the shard-side half; the transport counters
+	// live in internal/cluster as cluster.fill.* / cluster.route.*):
+	// envelopes adopted from a peer instead of solved, envelopes refused
+	// as corrupt (checksum/key damage) or stale (written under another
+	// schema or format version), and fills attempted that found nothing.
+	mPeerFillAdopted = obs.NewCounter("cluster.peerfill.adopted")
+	mPeerFillCorrupt = obs.NewCounter("cluster.peerfill.corrupt")
+	mPeerFillStale   = obs.NewCounter("cluster.peerfill.stale")
+	mPeerFillMisses  = obs.NewCounter("cluster.peerfill.misses")
+	// Cluster serving side: persist envelopes served to fellow shards
+	// and ring-construction RPCs solved on behalf of the fleet.
+	mClusterEntriesServed = obs.NewCounter("cluster.entries.served")
+	mClusterConstructs    = obs.NewCounter("cluster.construct.served")
 )
 
 // Stats are the server's own always-on counters (independent of the
@@ -124,6 +138,14 @@ type Stats struct {
 	// scenarios they replayed.
 	WhatifRuns      int64 `json:"whatifRuns"`
 	WhatifScenarios int64 `json:"whatifScenarios"`
+	// Cluster peer-fill: envelopes adopted from a peer instead of
+	// solved locally, envelopes refused (corrupt or stale — split in
+	// the obs metrics), plus the serving side — envelopes handed to
+	// fellow shards and ring-construction RPCs solved for the fleet.
+	PeerFills            int64 `json:"peerFills"`
+	PeerFillRejected     int64 `json:"peerFillRejected"`
+	ClusterEntriesServed int64 `json:"clusterEntriesServed"`
+	ClusterConstructs    int64 `json:"clusterConstructs"`
 	// UptimeSec is seconds since the server was created; BuildInfo
 	// identifies the binary (module version, VCS revision) so a fleet
 	// dashboard can tell which build answered.
@@ -152,28 +174,36 @@ type stats struct {
 	exploreCellsFailed atomic.Int64
 	whatifRuns         atomic.Int64
 	whatifScenarios    atomic.Int64
+	peerFills          atomic.Int64
+	peerFillRejected   atomic.Int64
+	clusterEntries     atomic.Int64
+	clusterConstructs  atomic.Int64
 }
 
 func (s *stats) snapshot() Stats {
 	return Stats{
-		Requests:           s.requests.Load(),
-		CacheHits:          s.cacheHits.Load(),
-		DedupHits:          s.dedupHits.Load(),
-		Rejected:           s.rejected.Load(),
-		Drained:            s.drained.Load(),
-		Synthesized:        s.synthesized.Load(),
-		Failed:             s.failed.Load(),
-		Degraded:           s.degraded.Load(),
-		WarmStarts:         s.warmStarts.Load(),
-		Panics:             s.panics.Load(),
-		StageTimeouts:      s.stageTimeouts.Load(),
-		PersistHits:        s.persistHits.Load(),
-		PersistRecovered:   s.persistRecovered.Load(),
-		PersistDiscarded:   s.persistDiscarded.Load(),
-		ExploreStudies:     s.exploreStudies.Load(),
-		ExploreCells:       s.exploreCells.Load(),
-		ExploreCellsFailed: s.exploreCellsFailed.Load(),
-		WhatifRuns:         s.whatifRuns.Load(),
-		WhatifScenarios:    s.whatifScenarios.Load(),
+		Requests:             s.requests.Load(),
+		CacheHits:            s.cacheHits.Load(),
+		DedupHits:            s.dedupHits.Load(),
+		Rejected:             s.rejected.Load(),
+		Drained:              s.drained.Load(),
+		Synthesized:          s.synthesized.Load(),
+		Failed:               s.failed.Load(),
+		Degraded:             s.degraded.Load(),
+		WarmStarts:           s.warmStarts.Load(),
+		Panics:               s.panics.Load(),
+		StageTimeouts:        s.stageTimeouts.Load(),
+		PersistHits:          s.persistHits.Load(),
+		PersistRecovered:     s.persistRecovered.Load(),
+		PersistDiscarded:     s.persistDiscarded.Load(),
+		ExploreStudies:       s.exploreStudies.Load(),
+		ExploreCells:         s.exploreCells.Load(),
+		ExploreCellsFailed:   s.exploreCellsFailed.Load(),
+		WhatifRuns:           s.whatifRuns.Load(),
+		WhatifScenarios:      s.whatifScenarios.Load(),
+		PeerFills:            s.peerFills.Load(),
+		PeerFillRejected:     s.peerFillRejected.Load(),
+		ClusterEntriesServed: s.clusterEntries.Load(),
+		ClusterConstructs:    s.clusterConstructs.Load(),
 	}
 }

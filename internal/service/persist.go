@@ -181,32 +181,69 @@ func (p *persistStore) discarded() {
 	}
 }
 
+// Entry-rejection verdicts from decodeEntry. The split matters to the
+// cluster peer-fill metrics: a stale entry (written by a different key
+// schema, payload or designio version) is an expected consequence of a
+// mixed-version fleet, while a corrupt one (checksum, key mismatch,
+// unparsable JSON) means bytes were damaged in storage or transit.
+const (
+	rejectStale   = "stale"
+	rejectCorrupt = "corrupt"
+)
+
+// decodeEntry validates one persist envelope — read from disk or
+// fetched from a cluster peer; the validation is identical, so a peer
+// can never smuggle in an entry that local crash recovery would have
+// discarded. It returns the cached result and "" on success, or nil
+// and a rejection verdict.
+func decodeEntry(data []byte, wantKey string) (*cached, string) {
+	var e persistEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return nil, rejectCorrupt
+	}
+	if e.Schema != keySchema || e.Payload != persistPayloadVersion || e.DesignVersion != designio.FormatVersion {
+		return nil, rejectStale
+	}
+	if e.Key != wantKey || e.Summary == nil || len(e.Design) == 0 {
+		return nil, rejectCorrupt
+	}
+	sum := sha256.Sum256(e.Design)
+	if e.Checksum != hex.EncodeToString(sum[:]) {
+		return nil, rejectCorrupt
+	}
+	// The checksum guards the envelope; the version stamp inside the
+	// payload must agree too (a forged or half-migrated entry fails here).
+	if v, err := designio.PayloadVersion(e.Design); err != nil || v != designio.FormatVersion {
+		return nil, rejectCorrupt
+	}
+	return &cached{key: e.Key, jobID: e.JobID, summary: e.Summary, design: e.Design}, ""
+}
+
+// encodeEntry serializes one cached result into the persist envelope —
+// the disk-tier format, also served verbatim to cluster peers at
+// GET /v1/cluster/entry/{key}.
+func encodeEntry(c *cached) ([]byte, error) {
+	sum := sha256.Sum256(c.design)
+	return json.Marshal(&persistEntry{
+		Schema:        keySchema,
+		Payload:       persistPayloadVersion,
+		DesignVersion: designio.FormatVersion,
+		Key:           c.key,
+		JobID:         c.jobID,
+		Summary:       c.summary,
+		Design:        c.design,
+		Checksum:      hex.EncodeToString(sum[:]),
+	})
+}
+
 // load reads and validates one entry file. Invalid in any way -> not ok.
 func (p *persistStore) load(path, wantKey string) (*cached, bool) {
 	data, err := os.ReadFile(path)
 	if err != nil {
 		return nil, false
 	}
-	var e persistEntry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return nil, false
-	}
-	if e.Schema != keySchema || e.Payload != persistPayloadVersion || e.Key != wantKey || e.Summary == nil || len(e.Design) == 0 {
-		return nil, false
-	}
-	if e.DesignVersion != designio.FormatVersion {
-		return nil, false
-	}
-	sum := sha256.Sum256(e.Design)
-	if e.Checksum != hex.EncodeToString(sum[:]) {
-		return nil, false
-	}
-	// The checksum guards the envelope; the version stamp inside the
-	// payload must agree too (a forged or half-migrated entry fails here).
-	if v, err := designio.PayloadVersion(e.Design); err != nil || v != designio.FormatVersion {
-		return nil, false
-	}
-	return &cached{key: e.Key, jobID: e.JobID, summary: e.Summary, design: e.Design}, true
+	c, reject := decodeEntry(data, wantKey)
+	return c, reject == ""
 }
 
 // write spills one completed result to disk atomically: temp file in
@@ -220,18 +257,7 @@ func (p *persistStore) write(c *cached) error {
 	if !ok {
 		return fmt.Errorf("service: unpersistable key %q", c.key)
 	}
-	sum := sha256.Sum256(c.design)
-	e := &persistEntry{
-		Schema:        keySchema,
-		Payload:       persistPayloadVersion,
-		DesignVersion: designio.FormatVersion,
-		Key:           c.key,
-		JobID:         c.jobID,
-		Summary:       c.summary,
-		Design:        c.design,
-		Checksum:      hex.EncodeToString(sum[:]),
-	}
-	data, err := json.Marshal(e)
+	data, err := encodeEntry(c)
 	if err != nil {
 		return err
 	}

@@ -68,7 +68,7 @@ type Response struct {
 	// TraceID is the current request's trace ID (from its traceparent
 	// header, or generated), also echoed in the X-Trace-Id header.
 	TraceID   string          `json:"traceID,omitempty"`
-	Source    string          `json:"source"` // synthesized | cache | dedup
+	Source    string          `json:"source"` // synthesized | cache | dedup | peerfill
 	Summary   *Summary        `json:"summary,omitempty"`
 	Design    json.RawMessage `json:"design,omitempty"`
 	ElapsedMS float64         `json:"elapsedMS"`
@@ -141,7 +141,11 @@ func (s *Server) run(j *job) {
 	mQueueWaitMS.Observe(float64(queueWait.Microseconds()) / 1000)
 	j.setRunning()
 	mInflight.Add(1)
-	defer mInflight.Add(-1)
+	s.running.Add(1)
+	defer func() {
+		mInflight.Add(-1)
+		s.running.Add(-1)
+	}()
 	ctx := obs.WithTraceID(context.Background(), obs.TraceID(j.traceID))
 	cancel := context.CancelFunc(func() {})
 	if j.deadline > 0 {
@@ -198,46 +202,60 @@ func (s *Server) run(j *job) {
 	})
 
 	t0 := time.Now()
-	res, err := s.synthIsolated(ctx, j)
-	dur := time.Since(t0)
-
-	// Surface the watchdog's typed cause instead of the bare
-	// context.Canceled the engine unwinds with.
-	if err != nil {
-		var ste *StageTimeoutError
-		if errors.As(context.Cause(ctx), &ste) {
-			err = ste
-		}
-	}
-
 	var summary *Summary
 	var design []byte
-	if err == nil {
-		summary = summarize(res)
-		summary.TraceID = j.traceID
-		design, err = designio.Save(res.Design)
-	}
-	if err == nil {
-		s.st.synthesized.Add(1)
-		mJobsDone.Inc()
-		if summary.Degraded {
-			s.st.degraded.Add(1)
-			mDegraded.Inc()
-		}
-		if summary.WarmStart {
-			s.st.warmStarts.Add(1)
-			mWarmStarted.Inc()
-		}
-		c := &cached{key: j.key, jobID: j.id, summary: summary, design: design}
-		s.cache.put(c)
-		if s.persist != nil {
-			// A failed spill costs durability, not the request: the result
-			// is already in memory and on its way to the client.
-			if perr := s.persist.write(c); perr != nil {
-				mPersistErrors.Inc()
+	var err error
+	// Cluster peer-fill: before paying for a solve, ask the key's owner
+	// shard (and, across a topology change, its previous owner) for the
+	// already-solved envelope. This runs inside the singleflight job, so
+	// concurrent identical requests converge on one fetch — a fill racing
+	// a local solve can never double-count cache metrics — and adoption
+	// already placed the entry in both cache tiers.
+	if c, ok := s.peerFill(ctx, j.key); ok {
+		j.markPeerFilled()
+		summary, design = c.summary, c.design
+	} else {
+		var res *core.Result
+		res, err = s.synthIsolated(ctx, j)
+
+		// Surface the watchdog's typed cause instead of the bare
+		// context.Canceled the engine unwinds with.
+		if err != nil {
+			var ste *StageTimeoutError
+			if errors.As(context.Cause(ctx), &ste) {
+				err = ste
 			}
 		}
-	} else {
+
+		if err == nil {
+			summary = summarize(res)
+			summary.TraceID = j.traceID
+			design, err = designio.Save(res.Design)
+		}
+		if err == nil {
+			s.st.synthesized.Add(1)
+			mJobsDone.Inc()
+			if summary.Degraded {
+				s.st.degraded.Add(1)
+				mDegraded.Inc()
+			}
+			if summary.WarmStart {
+				s.st.warmStarts.Add(1)
+				mWarmStarted.Inc()
+			}
+			c := &cached{key: j.key, jobID: j.id, summary: summary, design: design}
+			s.cache.put(c)
+			if s.persist != nil {
+				// A failed spill costs durability, not the request: the result
+				// is already in memory and on its way to the client.
+				if perr := s.persist.write(c); perr != nil {
+					mPersistErrors.Inc()
+				}
+			}
+		}
+	}
+	dur := time.Since(t0)
+	if err != nil {
 		s.st.failed.Add(1)
 		mJobsFailed.Inc()
 		var pe *resilience.PanicError
@@ -388,15 +406,10 @@ func (s *Server) routes() *http.ServeMux {
 		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 		fmt.Fprintln(w, "ok")
 	})
-	mux.HandleFunc("GET /readyz", func(w http.ResponseWriter, _ *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		if s.draining.Load() {
-			w.WriteHeader(http.StatusServiceUnavailable)
-			fmt.Fprintln(w, "draining")
-			return
-		}
-		fmt.Fprintln(w, "ready")
-	})
+	mux.HandleFunc("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /v1/cluster", s.handleClusterInfo)
+	mux.HandleFunc("GET /v1/cluster/entry/{key}", s.handleClusterEntry)
+	mux.HandleFunc("POST /v1/cluster/construct", s.handleClusterConstruct)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	mux.HandleFunc("GET /debug/flightrecorder", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
@@ -548,6 +561,9 @@ func (s *Server) handleSynthesize(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	j.mu.Lock()
+	if j.peerFilled && source == "synthesized" {
+		source = "peerfill" // the job adopted a peer's envelope instead of solving
+	}
 	resp := &Response{
 		JobID: j.id, Key: key, TraceID: traceID, Source: source,
 		Summary: j.summary, Design: j.design,
@@ -701,10 +717,21 @@ func (s *Server) handleJobDesign(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleDesignByKey(w http.ResponseWriter, r *http.Request) {
 	c, tier, ok := s.cacheGet(r.PathValue("key"))
 	if !ok {
+		// Cluster peer-fill: a key this shard has never seen may be
+		// cached by its owner (or, after a rebalance, the previous
+		// owner); adoption validates the envelope and fills both local
+		// tiers, so the next fetch is a plain memory hit.
+		if pc, pok := s.peerFill(r.Context(), r.PathValue("key")); pok {
+			c, tier, ok = pc, tierPeer, true
+		}
+	}
+	if !ok {
 		writeError(w, http.StatusNotFound, errors.New("design not cached"))
 		return
 	}
-	s.countCacheServe(tier)
+	if tier != tierPeer { // adoption is counted by peerFill, not as a hit
+		s.countCacheServe(tier)
+	}
 	w.Header().Set("Content-Type", "application/json")
 	w.Header().Set("X-Job-ID", c.jobID)
 	if c.summary != nil && c.summary.Degraded {

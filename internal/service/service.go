@@ -24,7 +24,10 @@
 //	GET  /v1/whatif/{id}       replay status + survivability report
 //	GET  /v1/whatif/{id}/events    SSE stream: per-fault-scenario replay events
 //	GET  /v1/stats             always-on admission/cache counters + build info
-//	GET  /healthz, /readyz     liveness / readiness (readyz 503 while draining)
+//	GET  /v1/cluster           cluster membership/ownership view (404 unless clustered)
+//	GET  /v1/cluster/entry/{key}   persist envelope of a cached design (cache peer-fill)
+//	POST /v1/cluster/construct     solve one Step-1 ring construction for the fleet
+//	GET  /healthz, /readyz     liveness / readiness (readyz 503 + JSON load signal while draining)
 //	GET  /metrics              Prometheus text exposition (JSON via ?format=json)
 //	GET  /debug/flightrecorder last-N completed job records (trace IDs, stage timings)
 //
@@ -126,6 +129,19 @@ type Config struct {
 	// flight recorder on panic recovery and stage timeout — the last
 	// N jobs' worth of context for the run that just went wrong.
 	FlightDir string
+
+	// PeerFetch, when set, enables cluster cache peer-fill: on a cache
+	// miss the server asks it for the key's persist envelope (the exact
+	// bytes a peer serves at GET /v1/cluster/entry/{key}) before paying
+	// for a local solve. The envelope is validated with the same checks
+	// as disk-tier crash recovery — checksum, key, schema and format
+	// versions — so a peer can never inject an entry recovery would have
+	// discarded. Any error or missing entry just means "solve locally".
+	PeerFetch func(ctx context.Context, key string) ([]byte, error)
+	// ClusterInfo, when set, is served verbatim at GET /v1/cluster —
+	// the shard's view of cluster membership, key ownership and peer
+	// health. Unset, the endpoint answers 404 (not clustered).
+	ClusterInfo func() any
 }
 
 func (c Config) withDefaults() Config {
@@ -197,6 +213,7 @@ type Server struct {
 	inj      *resilience.Injector
 	flight   *obs.FlightRecorder
 	draining atomic.Bool
+	running  atomic.Int64 // jobs currently executing on a worker (readyz)
 	seq      atomic.Uint64
 	wg       sync.WaitGroup
 	st       stats
